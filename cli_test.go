@@ -1,0 +1,105 @@
+package kremlin_test
+
+// Builds the real CLI binaries and drives the documented workflow through
+// them: kremlin-cc → kremlin-run → kremlin → kremlin-sim.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI build")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir,
+		"./cmd/kremlin-cc", "./cmd/kremlin-run", "./cmd/kremlin", "./cmd/kremlin-sim")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func runCLI(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	bin := buildCLIs(t)
+	src := filepath.Join(t.TempDir(), "demo.kr")
+	prof := filepath.Join(t.TempDir(), "demo.krpf")
+	program := `
+float a[500];
+float b[500];
+void work() {
+	for (int i = 0; i < 500; i++) {
+		b[i] = a[i] * 3.0 + 1.0;
+	}
+}
+int main() {
+	for (int i = 0; i < 500; i++) { a[i] = float(i % 9); }
+	work();
+	print("done", b[499]);
+	return 0;
+}
+`
+	if err := os.WriteFile(src, []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cc := runCLI(t, filepath.Join(bin, "kremlin-cc"), "-dump-regions", src)
+	if !strings.Contains(cc, "loop regions") || !strings.Contains(cc, "func work") {
+		t.Errorf("kremlin-cc output:\n%s", cc)
+	}
+
+	run := runCLI(t, filepath.Join(bin, "kremlin-run"), "-o", prof, src)
+	if !strings.Contains(run, "done 13") { // 499%9=4 → 4*3+1
+		t.Errorf("kremlin-run output:\n%s", run)
+	}
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+
+	plan := runCLI(t, filepath.Join(bin, "kremlin"), "-profile", prof, src)
+	if !strings.Contains(plan, "loop work") || !strings.Contains(plan, "Self-P") {
+		t.Errorf("kremlin plan output:\n%s", plan)
+	}
+
+	gp := runCLI(t, filepath.Join(bin, "kremlin-run"), "-mode=gprof", src)
+	if !strings.Contains(gp, "self%") {
+		t.Errorf("gprof mode output:\n%s", gp)
+	}
+
+	sim := runCLI(t, filepath.Join(bin, "kremlin-sim"), "-profile", prof, src)
+	if !strings.Contains(sim, "best configuration") {
+		t.Errorf("kremlin-sim output:\n%s", sim)
+	}
+
+	labels := runCLI(t, filepath.Join(bin, "kremlin"), "-labels", "-profile", prof, src)
+	var label string
+	for _, l := range strings.Split(labels, "\n") {
+		if i := strings.Index(l, "loop work"); i > 0 {
+			label = strings.TrimSpace(l[:i]) + " loop work"
+		}
+	}
+	if label == "" {
+		t.Fatalf("no loop label found in:\n%s", labels)
+	}
+	// Excluding the dominant region removes it from the replanned output.
+	excluded := runCLI(t, filepath.Join(bin, "kremlin"), "-profile", prof, "-exclude", label, src)
+	if strings.Contains(excluded, "loop work ") {
+		t.Errorf("excluded region still planned:\n%s", excluded)
+	}
+}

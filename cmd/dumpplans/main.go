@@ -1,0 +1,28 @@
+// Command dumpplans regenerates the golden OpenMP plans pinned by
+// internal/bench's TestGoldenPlans. Run it after an intentional behavior
+// change and paste its output into golden_test.go.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kremlin/internal/bench"
+	"kremlin/internal/planner"
+)
+
+func main() {
+	all := append(bench.All(), bench.Tracking())
+	for _, b := range all {
+		c, err := bench.Load(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := c.Program.Plan(c.Profile, planner.OpenMP())
+		fmt.Printf("\t%q: {\n", b.Name)
+		for _, r := range plan.Recs {
+			fmt.Printf("\t\t%q,\n", r.Label())
+		}
+		fmt.Printf("\t},\n")
+	}
+}

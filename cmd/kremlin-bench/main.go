@@ -1,0 +1,269 @@
+// Command kremlin-bench regenerates every table and figure of the paper's
+// evaluation (§4.4, §6) on the bundled benchmark suite and prints them in
+// a form mirroring the paper's layout.
+//
+// Usage:
+//
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|ablation|personality]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kremlin/internal/eval"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment to run")
+	flag.Parse()
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("fig3", fig3)
+	run("fig6", fig6)
+	run("fig7", fig7)
+	run("fig8", fig8)
+	run("fig9", fig9)
+	run("compression", compression)
+	run("overhead", overhead)
+	run("spclass", spclass)
+	run("sensitivity", sensitivity)
+	run("scaling", scaling)
+	run("ablation", ablation)
+	run("personality", personality)
+}
+
+func header(s string) {
+	fmt.Printf("\n==== %s ====\n", s)
+}
+
+func fig3() error {
+	header("Figure 3: Kremlin's user interface (feature tracking)")
+	s, err := eval.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func fig6() error {
+	header("Figure 6(a): plan size comparison (MANUAL vs Kremlin)")
+	rows, err := eval.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %8s %8s %10s\n", "bench", "MANUAL", "Kremlin", "Overlap", "Reduction")
+	for _, r := range rows {
+		fmt.Printf("%-8s %8d %8d %8d %9.2fx\n", r.Name, r.ManualSize, r.KremlinSize, r.Overlap, r.SizeReduction)
+	}
+	m, k, o, red, rel := eval.Fig6Totals(rows)
+	fmt.Printf("%-8s %8d %8d %8d %9.2fx\n", "Overall", m, k, o, red)
+
+	header("Figure 6(b): speedup of Kremlin plan relative to MANUAL")
+	fmt.Printf("%-8s %10s %10s %10s\n", "bench", "MANUAL", "Kremlin", "Relative")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9.2fx %9.2fx %9.2fx\n", r.Name, r.ManualSpeedup, r.KremlinSpeedup, r.Relative)
+	}
+	fmt.Printf("geomean relative speedup: %.2fx\n", rel)
+	return nil
+}
+
+func fig7() error {
+	header("Figure 7: marginal benefit of applying plan entries in order")
+	series, err := eval.Fig7()
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Printf("%-8s", s.Name)
+		for i, v := range s.Reduction {
+			if i == s.CutIndex {
+				fmt.Printf(" |") // the paper's dotted line: MANUAL-only regions follow
+			}
+			fmt.Printf(" %5.1f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(cumulative % execution-time reduction; entries right of '|' are MANUAL-only)")
+	return nil
+}
+
+func fig8() error {
+	header("Figure 8: benefit by plan fraction (25% increments)")
+	rows, avg, marginal, err := eval.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %8s %8s %8s\n", "bench", "25%", "50%", "75%", "100%")
+	for _, r := range rows {
+		fmt.Printf("%-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", r.Name,
+			r.Fraction[0], r.Fraction[1], r.Fraction[2], r.Fraction[3])
+	}
+	fmt.Printf("%-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "average", avg[0], avg[1], avg[2], avg[3])
+	fmt.Printf("%-8s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", "marginal", marginal[0], marginal[1], marginal[2], marginal[3])
+	return nil
+}
+
+func fig9() error {
+	header("Figure 9: plan size reduction due to each planning component")
+	rows, avg, err := eval.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %10s %10s %10s\n", "bench", "regions", "work", "work+SP", "full")
+	for _, r := range rows {
+		fmt.Printf("%-8s %8d %9.1f%% %9.1f%% %9.1f%%\n", r.Name, r.Total, r.WorkPct, r.WorkSPPct, r.FullPct)
+	}
+	fmt.Printf("%-8s %8s %9.1f%% %9.1f%% %9.1f%%\n", "average", "", avg[0], avg[1], avg[2])
+	return nil
+}
+
+func compression() error {
+	header("§4.4: dictionary compression of the parallelism profile")
+	rows, avgRatio, err := eval.Compression()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %12s %12s %10s\n", "bench", "dyn.regions", "raw bytes", "compressed", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12d %12d %12d %9.0fx\n", r.Name, r.RawRecords, r.RawBytes, r.Compressed, r.Ratio)
+	}
+	fmt.Printf("average compression ratio: %.0fx (grows with run length; the paper's W inputs gave ~119,000x)\n", avgRatio)
+	return nil
+}
+
+func overhead() error {
+	header("§4.4: instrumentation overhead (plain vs gprof-style vs HCPA)")
+	rows, err := eval.Overhead()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %12s %12s %10s %10s\n", "bench", "plain", "gprof", "hcpa", "hcpa/plain", "hcpa/gprof")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12v %12v %12v %9.1fx %9.1fx\n", r.Name, r.Plain, r.Gprof, r.HCPA, r.HCPASlowdown, r.VsGprof)
+	}
+	return nil
+}
+
+func spclass() error {
+	header("§6.2: low-parallelism classification, self-P vs total-P (threshold 5.0)")
+	selfLow, totalLow, n, err := eval.SPClassification(5.0)
+	if err != nil {
+		return err
+	}
+	ratio := 0.0
+	if totalLow > 0 {
+		ratio = selfLow / totalLow
+	}
+	fmt.Printf("regions: %d\n", n)
+	fmt.Printf("low parallelism by total-parallelism: %5.1f%%\n", 100*totalLow)
+	fmt.Printf("low parallelism by self-parallelism:  %5.1f%%\n", 100*selfLow)
+	fmt.Printf("false-positive reduction: %.2fx (paper: 2.28x)\n", ratio)
+	return nil
+}
+
+func sensitivity() error {
+	header("§6.1: input sensitivity (train plan reused on ref input)")
+	rows, err := eval.InputSensitivity()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %8s %12s %12s\n", "bench", "plan", "train spd", "ref spd")
+	for _, r := range rows {
+		fmt.Printf("%-8s %8d %11.2fx %11.2fx\n", r.Name, r.PlanSize, r.TrainSpeedup, r.RefSpeedup)
+	}
+	return nil
+}
+
+func ablation() error {
+	header("Ablation: induction/reduction dependence breaking (§2.4, §4.1)")
+	rows, err := eval.DependenceBreakingAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %10s %12s %12s\n", "bench", "SP collapses", "maxSPdrop", "plan(with)", "plan(w/o)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12d %9.1fx %12d %12d\n", r.Name, r.LoopsCollapsed, r.MaxSPDrop, r.PlanWith, r.PlanWithout)
+	}
+
+	header("Ablation: post-instrumentation optimization (§3)")
+	orows, err := eval.OptimizationAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %12s %10s %8s %8s %10s\n", "bench", "work", "opt work", "reduction", "folded", "dce", "plan kept")
+	for _, r := range orows {
+		fmt.Printf("%-8s %12d %12d %9.2fx %8d %8d %10t\n",
+			r.Name, r.PlainWork, r.OptWork, r.WorkReduction, r.Folded, r.RemovedDead, r.PlanAgrees)
+	}
+
+	header("Ablation: planning on compressed vs expanded traces (§4.4)")
+	crows, err := eval.CompressedPlanningAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %12s %14s %14s %10s\n", "bench", "alphabet", "dyn.regions", "compressed", "expanded", "speedup")
+	for _, r := range crows {
+		fmt.Printf("%-8s %10d %12d %14v %14v %9.1fx\n",
+			r.Name, r.DictEntries, r.DynamicRegions, r.CompressedTime, r.ExpandedTime, r.Speedup)
+	}
+	return nil
+}
+
+func personality() error {
+	header("§5.2: OpenMP vs Cilk++ planner personalities")
+	rows, err := eval.PersonalityComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %10s %12s %12s\n", "bench", "omp plan", "cilk plan", "omp speedup", "cilk speedup")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %10d %11.2fx %11.2fx\n", r.Name, r.OpenMPSize, r.CilkSize, r.OpenMPSpeed, r.CilkSpeed)
+	}
+
+	header("§5.3: portability-accuracy matrix (plan personality x machine)")
+	cells, err := eval.PortabilityMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %14s\n", "plan", "numa32", "finegrained")
+	for _, plan := range []string{"openmp", "cilk"} {
+		fmt.Printf("%-8s", plan)
+		for _, m := range []string{"numa32", "finegrained"} {
+			for _, c := range cells {
+				if c.Plan == plan && c.Machine == m {
+					fmt.Printf(" %13.2fx", c.Geomean)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("(geomean best-config speedup across the suite)")
+	return nil
+}
+
+func scaling() error {
+	header("Figure 6(b) annotation: absolute speedup scaling (Kremlin plan, 1-32 cores)")
+	rows, err := eval.Scaling()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %7s %7s %7s %7s %7s %7s %9s\n", "bench", "1", "2", "4", "8", "16", "32", "best")
+	for _, r := range rows {
+		fmt.Printf("%-8s", r.Name)
+		for _, v := range r.Speedups {
+			fmt.Printf(" %6.2fx", v)
+		}
+		fmt.Printf(" %8.2fx\n", r.Best)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command kremlin-cc is the compiler front half of the toolchain (the
+// paper's `make CC=kremlin-cc`): it compiles a Kr source file, runs the
+// static analyses (SSA promotion, induction/reduction detection, region
+// extraction, instrumentation planning), and reports what it found. With
+// -run it also executes the program uninstrumented.
+//
+// Usage:
+//
+//	kremlin-cc [-dump-ast] [-dump-ir] [-dump-regions] [-run] prog.kr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kremlin"
+	"kremlin/internal/ast"
+	"kremlin/internal/regions"
+)
+
+func main() {
+	dumpAST := flag.Bool("dump-ast", false, "print the canonicalized source (AST printer)")
+	dumpIR := flag.Bool("dump-ir", false, "print the SSA IR of every function")
+	dumpRegions := flag.Bool("dump-regions", false, "print the static region tree")
+	run := flag.Bool("run", false, "execute the program (uninstrumented) after compiling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kremlin-cc [-dump-ir] [-dump-regions] [-run] prog.kr")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-cc:", err)
+		os.Exit(1)
+	}
+	prog, err := kremlin.Compile(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var loops, funcs int
+	for _, r := range prog.Regions.Regions {
+		switch r.Kind {
+		case regions.LoopRegion:
+			loops++
+		case regions.FuncRegion:
+			funcs++
+		}
+	}
+	fmt.Printf("%s: %d functions, %d loop regions, %d regions total\n",
+		path, funcs, loops, len(prog.Regions.Regions))
+	fmt.Printf("broken dependencies: %d induction, %d reduction (SSA), %d reduction (memory)\n",
+		prog.Analysis.InductionPhis, prog.Analysis.ReductionPhis, prog.Analysis.MemoryReductions)
+
+	if *dumpAST {
+		fmt.Print(ast.Print(prog.AST))
+	}
+	if *dumpIR {
+		fmt.Print(prog.Module.String())
+	}
+	if *dumpRegions {
+		for _, r := range prog.Regions.Regions {
+			indent := 0
+			for p := r.Parent; p != nil; p = p.Parent {
+				indent++
+			}
+			for i := 0; i < indent; i++ {
+				fmt.Print("  ")
+			}
+			fmt.Printf("[%d] %s\n", r.ID, r)
+		}
+	}
+	if *run {
+		res, err := prog.Run(&kremlin.RunConfig{Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-cc: run:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("executed: %d instructions, %d work units\n", res.Steps, res.Work)
+	}
+}

@@ -1,0 +1,94 @@
+// Command kremlin-run executes an instrumented Kr program — the
+// equivalent of running the kremlin-cc-built binary. The program runs
+// normally (its output goes to stdout) while hierarchical critical path
+// analysis records the parallelism profile, which is compressed on line
+// and written to a .krpf file for the planner.
+//
+// Multiple runs can append into the same profile (-merge), the paper's
+// multi-run aggregation that reduces input sensitivity.
+//
+// Usage:
+//
+//	kremlin-run [-mode=hcpa|gprof] [-o prog.krpf] [-merge] [-mindepth N] [-maxdepth N] prog.kr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kremlin"
+	"kremlin/internal/profile"
+)
+
+func main() {
+	out := flag.String("o", "", "profile output path (default: source with .krpf extension)")
+	merge := flag.Bool("merge", false, "merge into an existing profile instead of replacing it")
+	maxDepth := flag.Int("maxdepth", 0, "region-depth collection window upper bound (0 = default)")
+	minDepth := flag.Int("mindepth", 0, "region-depth collection window lower bound")
+	mode := flag.String("mode", "hcpa", "instrumentation mode: hcpa (parallelism profile) or gprof (serial hotspot list)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kremlin-run [-o prog.krpf] [-merge] [-maxdepth N] prog.kr")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	if *out == "" {
+		*out = strings.TrimSuffix(path, ".kr") + ".krpf"
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+		os.Exit(1)
+	}
+	prog, err := kremlin.Compile(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *mode == "gprof" {
+		// The paper's §2.1 baseline workflow: a serial hotspot list with no
+		// parallelism information.
+		res, err := prog.RunGprof(&kremlin.RunConfig{Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			os.Exit(1)
+		}
+		fmt.Print(kremlin.RenderHotspots(prog.Hotspots(res)))
+		return
+	}
+	prof, res, err := prog.Profile(&kremlin.RunConfig{Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+		os.Exit(1)
+	}
+
+	if *merge {
+		if f, err := os.Open(*out); err == nil {
+			old, rerr := profile.ReadFrom(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "kremlin-run: existing profile %s: %v\n", *out, rerr)
+				os.Exit(1)
+			}
+			old.Merge(prof)
+			prof = old
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+		os.Exit(1)
+	}
+	if _, err := prof.WriteTo(f); err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "kremlin-run: %d work units; %d dynamic regions compressed to %d dictionary entries (%d bytes, raw %d bytes); profile written to %s\n",
+		res.Work, prof.Dict.RawCount, len(prof.Dict.Entries), prof.MarshalSize(), prof.RawBytes(), *out)
+}

@@ -1,0 +1,98 @@
+// Command kremlin is the planner front end of Figure 3: given a program
+// and its parallelism profile, it prints the ordered parallelism plan for
+// the chosen planner personality.
+//
+// Usage:
+//
+//	kremlin [-personality=openmp|cilk|work-only|work+sp] [-profile prog.krpf]
+//	        [-exclude label,label,...] prog.kr
+//
+// Without -profile, the program is profiled on the fly. -exclude removes
+// regions the user is unable or unwilling to parallelize and replans (the
+// paper's exclusion-list workflow). Labels are as printed by -labels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kremlin"
+	"kremlin/internal/planner"
+	"kremlin/internal/profile"
+)
+
+func main() {
+	pers := flag.String("personality", "openmp", "planner personality: openmp, cilk, work-only, work+sp")
+	profPath := flag.String("profile", "", "profile file from kremlin-run (default: profile on the fly)")
+	exclude := flag.String("exclude", "", "comma-separated region labels to exclude")
+	labels := flag.Bool("labels", false, "print region labels usable with -exclude")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kremlin [-personality=p] [-profile f.krpf] [-exclude a,b] prog.kr")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin:", err)
+		os.Exit(1)
+	}
+	prog, err := kremlin.Compile(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var prof *profile.Profile
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin:", err)
+			os.Exit(1)
+		}
+		prof, err = profile.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin:", err)
+			os.Exit(1)
+		}
+	} else {
+		prof, _, err = prog.Profile(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *labels {
+		sum := prog.Summarize(prof)
+		for _, st := range sum.Executed {
+			fmt.Printf("%-40s SP=%8.1f cov=%6.2f%%\n", st.Region.Label(), st.SelfP, 100*st.Coverage)
+		}
+		return
+	}
+
+	var p planner.Personality
+	switch *pers {
+	case "openmp":
+		p = planner.OpenMP()
+	case "cilk":
+		p = planner.Cilk()
+	case "work-only":
+		p = planner.WorkOnly()
+	case "work+sp":
+		p = planner.WorkSP()
+	default:
+		fmt.Fprintf(os.Stderr, "kremlin: unknown personality %q\n", *pers)
+		os.Exit(2)
+	}
+
+	var opts []planner.Option
+	if *exclude != "" {
+		opts = append(opts, planner.Exclude(strings.Split(*exclude, ",")...))
+	}
+	plan := planner.Make(prog.Summarize(prof), p, opts...)
+	fmt.Print(plan.Render())
+}

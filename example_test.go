@@ -1,0 +1,106 @@
+package kremlin_test
+
+// Verified examples of the public API (run by `go test` and rendered by
+// godoc).
+
+import (
+	"fmt"
+	"log"
+
+	"kremlin"
+	"kremlin/internal/planner"
+)
+
+// ExampleCompile compiles and runs a Kr program.
+func ExampleCompile() {
+	prog, err := kremlin.Compile("hello.kr", `
+int main() {
+	int sum = 0;
+	for (int i = 1; i <= 10; i++) {
+		sum += i;
+	}
+	print("sum", sum);
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(&kremlin.RunConfig{Out: printer{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("terminated:", res.Steps > 0)
+	// Output:
+	// sum 55
+	// terminated: true
+}
+
+// printer adapts fmt printing for the example.
+type printer struct{}
+
+func (printer) Write(b []byte) (int, error) {
+	fmt.Print(string(b))
+	return len(b), nil
+}
+
+// ExampleProgram_Profile profiles a program and inspects self-parallelism.
+func ExampleProgram_Profile() {
+	prog, err := kremlin.Compile("doall.kr", `
+float a[100];
+float b[100];
+int main() {
+	for (int i = 0; i < 100; i++) {
+		b[i] = a[i] * 2.0;
+	}
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := prog.Summarize(prof)
+	for _, st := range sum.Executed {
+		if st.Region.Kind.String() == "loop" {
+			fmt.Printf("loop self-parallelism ≈ iteration count: %t\n", st.SelfP > 90)
+			fmt.Printf("DOALL: %t\n", st.DOALL)
+		}
+	}
+	// Output:
+	// loop self-parallelism ≈ iteration count: true
+	// DOALL: true
+}
+
+// ExampleProgram_Plan produces the ranked parallelism plan.
+func ExampleProgram_Plan() {
+	prog, err := kremlin.Compile("mix.kr", `
+float a[800];
+float b[800];
+void parallel() {
+	for (int i = 0; i < 800; i++) { b[i] = a[i] + 1.0; }
+}
+void serial() {
+	for (int i = 1; i < 800; i++) { b[i] = b[i-1] * 0.5; }
+}
+int main() {
+	parallel();
+	serial();
+	return 0;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := prog.Plan(prof, planner.OpenMP())
+	// The serial loop is correctly absent from the output.
+	for _, rec := range plan.Recs {
+		fmt.Println(rec.Stats.Region.Func.Name, rec.Hint())
+	}
+	// Output:
+	// parallel DOALL
+}

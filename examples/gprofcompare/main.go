@@ -1,0 +1,84 @@
+// Gprofcompare dramatizes the paper's motivation (§2.1): the serial
+// hotspot list a gprof-style profiler produces ranks regions by time —
+// but the hottest region may be unparallelizable, and the real
+// opportunity may sit further down. The example program's #1 hotspot is a
+// serial recurrence; Kremlin's plan skips it and leads with the truly
+// parallel region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kremlin"
+	"kremlin/internal/planner"
+)
+
+const src = `
+float state[6000];
+float field[3000];
+float checksum;
+
+// Hotspot #1 by time: a serial recurrence. gprof ranks it first;
+// parallelizing it is wasted effort.
+void simulate(int steps) {
+	for (int t = 1; t < steps; t++) {
+		state[t] = state[t-1] * 0.9995 + sin(float(t) * 0.001);
+	}
+}
+
+// Hotspot #2 by time: fully parallel. This is where the speedup is.
+void relax(int n) {
+	for (int i = 0; i < n; i++) {
+		field[i] = sqrt(fabs(field[i])) + float(i % 17) * 0.25;
+	}
+}
+
+// A small reduction tail.
+void fold(int n) {
+	for (int i = 0; i < n; i++) {
+		checksum = checksum + field[i] + state[i % 6000];
+	}
+}
+
+int main() {
+	state[0] = 1.0;
+	simulate(6000);
+	relax(3000);
+	fold(3000);
+	print("checksum", checksum);
+	return 0;
+}
+`
+
+func main() {
+	prog, err := kremlin.Compile("compare.kr", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The old workflow: a gprof flat profile. simulate() leads.
+	res, err := prog.RunGprof(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- the gprof workflow: serial hotspot list (which is #1? simulate — a dead end) --")
+	fmt.Print(kremlin.RenderHotspots(prog.Hotspots(res)))
+
+	// The Kremlin workflow: profile parallelism, plan.
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- the Kremlin workflow: parallelism plan (simulate is correctly absent) --")
+	plan := prog.Plan(prof, planner.OpenMP())
+	fmt.Print(plan.Render())
+
+	for _, r := range plan.Recs {
+		if r.Stats.Region.Func.Name == "simulate" {
+			log.Fatal("BUG: the serial recurrence was recommended")
+		}
+	}
+	fmt.Println("\nThe top gprof hotspot (simulate) is serial: self-parallelism ≈ 1.")
+	fmt.Println("Kremlin spends the programmer's effort on relax/fold instead.")
+}

@@ -1,0 +1,65 @@
+// NPB runs one NAS Parallel Benchmark (or SPEC OMP program) end to end:
+// profile the serial version, plan with the OpenMP personality, compare
+// the plan against the MANUAL parallelization on the simulated 32-core
+// machine, and show the marginal benefit of each recommendation — a
+// single-benchmark slice of the paper's §6 evaluation.
+//
+// Usage: go run ./examples/npb [benchmark]   (default: sp)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kremlin/internal/bench"
+	"kremlin/internal/eval"
+	"kremlin/internal/exec"
+	"kremlin/internal/planner"
+)
+
+func main() {
+	name := "sp"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b := bench.ByName(name)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q (one of: ammp art equake bt cg ep ft is lu mg sp)", name)
+	}
+	c, err := bench.Load(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	fmt.Printf("-- %s (%s, input %s): Kremlin plan --\n", b.Name, b.Suite, b.Input)
+	fmt.Print(plan.Render())
+
+	kIDs := eval.PlanIDs(plan)
+	mIDs := bench.ManualPlan(b, c.Summary)
+	machine := exec.Default32()
+
+	kSet := map[int]bool{}
+	for _, id := range kIDs {
+		kSet[id] = true
+	}
+	mSet := map[int]bool{}
+	for _, id := range mIDs {
+		mSet[id] = true
+	}
+	kRes := exec.BestConfig(c.Summary, kSet, machine)
+	mRes := exec.BestConfig(c.Summary, mSet, machine)
+
+	fmt.Printf("\n-- simulated on a %d-core machine (best configuration) --\n", machine.Cores)
+	fmt.Printf("MANUAL plan:  %2d regions, speedup %6.2fx\n", len(mIDs), mRes.Speedup)
+	fmt.Printf("Kremlin plan: %2d regions, speedup %6.2fx  (%.2fx relative)\n",
+		len(kIDs), kRes.Speedup, kRes.Speedup/mRes.Speedup)
+
+	fmt.Println("\n-- marginal benefit of applying the plan in order (Figure 7) --")
+	series := exec.MarginalSeries(c.Summary, kIDs, machine)
+	for i, v := range series {
+		fmt.Printf("  after %2d region(s): %5.1f%% time reduction  (%s)\n",
+			i+1, v, plan.Recs[i].Label())
+	}
+}

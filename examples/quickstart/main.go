@@ -1,0 +1,85 @@
+// Quickstart: compile a small serial Kr program, profile it with
+// hierarchical critical path analysis, and print the OpenMP parallelism
+// plan — the full Kremlin workflow in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kremlin"
+	"kremlin/internal/planner"
+)
+
+const src = `
+float a[2000];
+float b[2000];
+float total;
+
+// Independent iterations: a textbook DOALL loop.
+void scale(int n) {
+	for (int i = 0; i < n; i++) {
+		b[i] = 3.0 * a[i] + 1.0;
+	}
+}
+
+// Loop-carried dependence: b[i] needs b[i-1]. Serial.
+void smooth(int n) {
+	for (int i = 1; i < n; i++) {
+		b[i] = 0.5 * (b[i] + b[i-1]);
+	}
+}
+
+// A reduction: parallel once the accumulation dependence is broken.
+void sum(int n) {
+	for (int i = 0; i < n; i++) {
+		total = total + b[i];
+	}
+}
+
+int main() {
+	int n = 2000;
+	for (int i = 0; i < n; i++) {
+		a[i] = float(i % 13);
+	}
+	scale(n);
+	smooth(n);
+	sum(n);
+	print("total", total);
+	return 0;
+}
+`
+
+func main() {
+	// 1. Compile (the library form of `make CC=kremlin-cc`).
+	prog, err := kremlin.Compile("quickstart.kr", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run the instrumented program: normal output plus a parallelism
+	// profile recorded by hierarchical critical path analysis.
+	fmt.Println("-- program output --")
+	prof, res, err := prog.Profile(&kremlin.RunConfig{Out: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- profiled %d work units; %d dynamic regions -> %d dictionary entries --\n\n",
+		res.Work, prof.Dict.RawCount, len(prof.Dict.Entries))
+
+	// 3. Inspect per-region self-parallelism: the loop in scale() should be
+	// massively parallel, smooth() serial, sum() parallel (reduction broken).
+	sum := prog.Summarize(prof)
+	fmt.Println("-- region metrics --")
+	for _, st := range sum.Executed {
+		fmt.Printf("%-34s self-P %8.1f   coverage %5.1f%%\n",
+			st.Region.Label(), st.SelfP, 100*st.Coverage)
+	}
+
+	// 4. Plan: which regions to parallelize first, per the OpenMP
+	// personality (Figure 3's output).
+	fmt.Println("\n-- parallelism plan (openmp personality) --")
+	plan := prog.Plan(prof, planner.OpenMP())
+	fmt.Print(plan.Render())
+}

@@ -1,0 +1,46 @@
+// Whatif demonstrates the planner workflow features beyond the basic plan:
+// planner personalities (OpenMP vs Cilk++ vs the Figure-9 baselines) on
+// the same profile, and the exclusion-list replanning loop for regions the
+// user is unable or unwilling to parallelize.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kremlin/internal/bench"
+	"kremlin/internal/planner"
+)
+
+func main() {
+	c, err := bench.Load(bench.ByName("cg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := c.Summary
+
+	fmt.Println("-- the same profile under four planner personalities --")
+	for _, p := range []planner.Personality{
+		planner.OpenMP(), planner.Cilk(), planner.WorkOnly(), planner.WorkSP(),
+	} {
+		plan := planner.Make(sum, p)
+		fmt.Printf("%-10s %2d of %2d regions, ideal program speedup %6.2fx\n",
+			p.Name, len(plan.Recs), plan.Considered, plan.EstProgramSpeedup)
+	}
+
+	// Exclusion-list replanning: suppose the top recommendation turns out
+	// to be too hard to parallelize (the paper's §3 workflow). Excluding it
+	// and replanning re-optimizes the rest of the plan.
+	base := planner.Make(sum, planner.OpenMP())
+	fmt.Println("\n-- openmp plan --")
+	fmt.Print(base.Render())
+
+	top := base.Recs[0].Label()
+	fmt.Printf("\n-- user can't parallelize %q; replanning with it excluded --\n", top)
+	replanned := planner.Make(sum, planner.OpenMP(), planner.Exclude(top))
+	fmt.Print(replanned.Render())
+
+	if replanned.Has(top) {
+		log.Fatalf("exclusion failed: %s still planned", top)
+	}
+}

@@ -1,0 +1,3 @@
+module kremlin
+
+go 1.22

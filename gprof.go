@@ -1,0 +1,79 @@
+package kremlin
+
+// The gprof-style serial hotspot report of the paper's §2.1: the flat
+// profile programmers traditionally start parallelization from — regions
+// ranked by self work, with no indication of whether any of it is
+// parallelizable. Kremlin's plan (Program.Plan) is the replacement; this
+// report exists as the baseline workflow and for the overhead comparison.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kremlin/internal/interp"
+	"kremlin/internal/regions"
+)
+
+// HotspotEntry is one row of the gprof-style flat profile.
+type HotspotEntry struct {
+	Region  *regions.Region
+	SelfPct float64 // % of total work exclusive to the region
+	CumPct  float64 // running total, gprof-style
+	Self    uint64
+	Total   uint64 // inclusive work
+	Calls   int64  // dynamic instances
+}
+
+// Hotspots turns a gprof-mode run result into the ranked flat profile.
+// Loop-body regions fold into their loops, as a time profiler would
+// present them.
+func (p *Program) Hotspots(res *interp.Result) []HotspotEntry {
+	if res.Gprof == nil || res.Work == 0 {
+		return nil
+	}
+	var rows []HotspotEntry
+	for _, e := range res.Gprof {
+		r := p.Regions.Regions[e.RegionID]
+		if r.Kind == regions.BodyRegion {
+			continue // folded into the loop
+		}
+		self := e.Self
+		// A loop's self work includes its body instances' self work.
+		for _, c := range r.Children {
+			if c.Kind != regions.BodyRegion {
+				continue
+			}
+			for _, be := range res.Gprof {
+				if be.RegionID == c.ID {
+					self += be.Self
+				}
+			}
+		}
+		rows = append(rows, HotspotEntry{
+			Region:  r,
+			Self:    self,
+			Total:   e.Total,
+			Calls:   e.Count,
+			SelfPct: 100 * float64(self) / float64(res.Work),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Self > rows[j].Self })
+	cum := 0.0
+	for i := range rows {
+		cum += rows[i].SelfPct
+		rows[i].CumPct = cum
+	}
+	return rows
+}
+
+// RenderHotspots formats the flat profile the way gprof would.
+func RenderHotspots(rows []HotspotEntry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%7s %7s %12s %12s %9s  %s\n", "self%", "cum%", "self", "total", "calls", "region")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%6.2f%% %6.2f%% %12d %12d %9d  %s\n",
+			r.SelfPct, r.CumPct, r.Self, r.Total, r.Calls, r.Region.Label())
+	}
+	return sb.String()
+}

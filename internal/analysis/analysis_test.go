@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"testing"
+
+	"kremlin/internal/ir"
+	"kremlin/internal/irbuild"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+func analyze(t *testing.T, src string) (*ir.Module, Stats) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	file := source.NewFile("t.kr", src)
+	tree := parser.Parse(file, errs)
+	info := types.Check(tree, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("frontend: %v", errs.Err())
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("build: %v", errs.Err())
+	}
+	return mod, Run(mod)
+}
+
+func TestBasicInduction(t *testing.T) {
+	_, st := analyze(t, `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		s += i;
+	}
+	return s;
+}`)
+	if st.InductionPhis != 1 {
+		t.Errorf("induction phis = %d, want 1", st.InductionPhis)
+	}
+	if st.ReductionPhis != 1 { // s += i is an SSA reduction
+		t.Errorf("reduction phis = %d, want 1", st.ReductionPhis)
+	}
+}
+
+func TestStrideAndDownwardInduction(t *testing.T) {
+	_, st := analyze(t, `
+int main() {
+	int a = 0;
+	for (int i = 20; i > 0; i -= 3) { a++; }
+	for (int j = 0; j < 30; j += 5) { a++; }
+	return a;
+}`)
+	// i and j are inductions; `a++` in each loop is also a basic induction
+	// variable (int accumulator with an invariant step), so 4 total.
+	if st.InductionPhis != 4 {
+		t.Errorf("induction phis = %d, want 4", st.InductionPhis)
+	}
+}
+
+func TestNonInvariantStepNotInduction(t *testing.T) {
+	mod, st := analyze(t, `
+int main() {
+	int x = 1;
+	for (int i = 0; i < 100; i = i + x) {
+		x = x + 1;
+	}
+	return x;
+}`)
+	_ = mod
+	// x (step 1) is an induction variable; i (step x, loop-variant) is not.
+	if st.InductionPhis != 1 {
+		t.Errorf("induction phis = %d, want 1 (only x; i's step is loop-variant)", st.InductionPhis)
+	}
+}
+
+func TestFloatAccumulatorIsReductionNotInduction(t *testing.T) {
+	_, st := analyze(t, `
+float a[10];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 10; i++) {
+		s = s + a[i];
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 1 {
+		t.Errorf("reduction phis = %d, want 1", st.ReductionPhis)
+	}
+}
+
+func TestProductReduction(t *testing.T) {
+	_, st := analyze(t, `
+int main() {
+	float p = 1.0;
+	for (int i = 1; i < 10; i++) {
+		p = p * 1.5;
+	}
+	print(p);
+	return 0;
+}`)
+	if st.ReductionPhis != 1 {
+		t.Errorf("product reduction not detected: %+v", st)
+	}
+}
+
+func TestAccumulatorWithOtherUseNotReduction(t *testing.T) {
+	_, st := analyze(t, `
+float a[10];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 10; i++) {
+		a[i] = s;     // partial sums consumed: order matters
+		s = s + 1.5;
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 0 {
+		t.Errorf("reduction phis = %d, want 0 (partial sums escape)", st.ReductionPhis)
+	}
+}
+
+func TestGlobalScalarMemoryReduction(t *testing.T) {
+	_, st := analyze(t, `
+float total;
+float a[10];
+int main() {
+	for (int i = 0; i < 10; i++) {
+		total = total + a[i];
+	}
+	print(total);
+	return 0;
+}`)
+	if st.MemoryReductions != 1 {
+		t.Errorf("memory reductions = %d, want 1", st.MemoryReductions)
+	}
+}
+
+func TestCompoundArrayElementReduction(t *testing.T) {
+	mod, st := analyze(t, `
+float hist[16];
+int keys[100];
+int main() {
+	for (int i = 0; i < 100; i++) {
+		hist[keys[i] % 16] += 1.0;
+	}
+	print(hist[0]);
+	return 0;
+}`)
+	if st.MemoryReductions != 1 {
+		t.Errorf("memory reductions = %d, want 1 (histogram)", st.MemoryReductions)
+	}
+	// The annotated op must break exactly its load operand.
+	found := false
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Op == ir.OpBin && ins.Reduction {
+					found = true
+					if ins.BreakArg < 0 || ins.BreakArg >= len(ins.Args) {
+						t.Errorf("BreakArg = %d", ins.BreakArg)
+					}
+					ld, ok := ins.Args[ins.BreakArg].(*ir.Instr)
+					if !ok || ld.Op != ir.OpLoad {
+						t.Errorf("broken operand is %v, want load", ins.Args[ins.BreakArg])
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no annotated reduction op")
+	}
+}
+
+func TestRecurrenceNotBroken(t *testing.T) {
+	// b[i] = b[i-1] * x is a true loop-carried dependence: the load and
+	// store cells differ, so nothing may be broken.
+	_, st := analyze(t, `
+float b[100];
+int main() {
+	for (int i = 1; i < 100; i++) {
+		b[i] = b[i-1] * 0.5;
+	}
+	print(b[99]);
+	return 0;
+}`)
+	if st.MemoryReductions != 0 {
+		t.Errorf("memory reductions = %d, want 0 (recurrence)", st.MemoryReductions)
+	}
+}
+
+func TestDigestChainNotReduction(t *testing.T) {
+	// cur = (cur*13 + k) % m is order-dependent through the indirect phi
+	// chain; the conservative detector must leave it alone.
+	_, st := analyze(t, `
+int keys[50];
+int main() {
+	int cur = 0;
+	for (int i = 0; i < 50; i++) {
+		cur = (cur * 13 + keys[i]) % 65536;
+	}
+	return cur;
+}`)
+	if st.ReductionPhis != 0 {
+		t.Errorf("reduction phis = %d, want 0 (digest chain)", st.ReductionPhis)
+	}
+}
+
+func TestBreakArgInitialized(t *testing.T) {
+	mod, _ := analyze(t, `
+int main() {
+	int x = 1;
+	if (x > 0) { x = 2; }
+	return x;
+}`)
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if !ins.Reduction && !ins.Induction && ins.BreakArg != -1 {
+					t.Errorf("unannotated %s has BreakArg %d", ins.Op, ins.BreakArg)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiTermReductionChain(t *testing.T) {
+	// acc = acc + a[i] + b[i]: the accumulator sits below an associative
+	// chain; the chase must still find and break it.
+	_, st := analyze(t, `
+float a[10];
+float b[10];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 10; i++) {
+		s = s + a[i] + b[i];
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 1 {
+		t.Errorf("reduction phis = %d, want 1 (chain chase)", st.ReductionPhis)
+	}
+}
+
+func TestMultiTermMemoryReduction(t *testing.T) {
+	_, st := analyze(t, `
+float total;
+float a[10];
+float b[10];
+int main() {
+	for (int i = 0; i < 10; i++) {
+		total = total + a[i] + b[i] + 1.0;
+	}
+	print(total);
+	return 0;
+}`)
+	if st.MemoryReductions != 1 {
+		t.Errorf("memory reductions = %d, want 1 (chain chase)", st.MemoryReductions)
+	}
+}
+
+func TestMixedFamilyChainNotBroken(t *testing.T) {
+	// s = s * 2.0 + a[i] mixes * and +: order-dependent, must not break.
+	_, st := analyze(t, `
+float a[10];
+int main() {
+	float s = 1.0;
+	for (int i = 0; i < 10; i++) {
+		s = s * 2.0 + a[i];
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 0 {
+		t.Errorf("reduction phis = %d, want 0 (mixed * and +)", st.ReductionPhis)
+	}
+}
+
+func TestRightSubtractionNotBroken(t *testing.T) {
+	// s = a[i] - s is not a reduction of s (order matters).
+	_, st := analyze(t, `
+float a[10];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 10; i++) {
+		s = a[i] - s;
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 0 {
+		t.Errorf("reduction phis = %d, want 0 (right-hand subtraction)", st.ReductionPhis)
+	}
+}

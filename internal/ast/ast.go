@@ -1,0 +1,292 @@
+// Package ast defines the abstract syntax tree of the Kr language.
+package ast
+
+import "kremlin/internal/token"
+
+// Node is implemented by every AST node and reports its source extent.
+type Node interface {
+	Pos() int // byte offset of the first character
+	End() int // byte offset just past the node
+}
+
+// BasicKind is a scalar element type.
+type BasicKind int
+
+// The scalar kinds of Kr.
+const (
+	Invalid BasicKind = iota
+	Int
+	Float
+	Bool
+	Void
+)
+
+func (k BasicKind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Void:
+		return "void"
+	}
+	return "invalid"
+}
+
+// File is a parsed Kr compilation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a scalar or array variable, global or local.
+// Arrays carry one extent expression per dimension.
+type VarDecl struct {
+	NamePos int
+	Name    string
+	Elem    BasicKind
+	Dims    []Expr // nil for scalars
+	Init    Expr   // optional initializer (scalars only)
+	EndOff  int
+}
+
+func (d *VarDecl) Pos() int { return d.NamePos }
+func (d *VarDecl) End() int { return d.EndOff }
+
+// ParamDecl declares a function parameter. NumDims > 0 means an array
+// reference parameter (extents are carried at run time).
+type ParamDecl struct {
+	NamePos int
+	Name    string
+	Elem    BasicKind
+	NumDims int
+}
+
+func (d *ParamDecl) Pos() int { return d.NamePos }
+func (d *ParamDecl) End() int { return d.NamePos + len(d.Name) }
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	NamePos int
+	Name    string
+	Ret     BasicKind
+	Params  []*ParamDecl
+	Body    *Block
+}
+
+func (d *FuncDecl) Pos() int { return d.NamePos }
+func (d *FuncDecl) End() int { return d.Body.End() }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	LbracePos int
+	Stmts     []Stmt
+	RbracePos int
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt assigns RHS to LHS with operator Op (one of =, +=, -=, *=, /=).
+type AssignStmt struct {
+	LHS Expr
+	Op  token.Kind
+	RHS Expr
+}
+
+// IncDecStmt is lhs++ or lhs--.
+type IncDecStmt struct {
+	LHS Expr
+	Op  token.Kind // INC or DEC
+}
+
+// IfStmt is an if statement with optional else branch.
+type IfStmt struct {
+	IfPos int
+	Cond  Expr
+	Then  *Block
+	Else  Stmt // *Block, *IfStmt, or nil
+}
+
+// ForStmt is a C-style for loop. Init/Post may be nil; Cond may be nil
+// (infinite loop).
+type ForStmt struct {
+	ForPos int
+	Init   Stmt // *AssignStmt, *DeclStmt, *IncDecStmt, or nil
+	Cond   Expr
+	Post   Stmt
+	Body   *Block
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	WhilePos int
+	Cond     Expr
+	Body     *Block
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ KwPos int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ KwPos int }
+
+// ReturnStmt returns from the enclosing function, with optional result.
+type ReturnStmt struct {
+	KwPos  int
+	Result Expr
+	EndOff int
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct{ X Expr }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IncDecStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*ForStmt) stmt()      {}
+func (*WhileStmt) stmt()    {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+
+func (b *Block) Pos() int      { return b.LbracePos }
+func (b *Block) End() int      { return b.RbracePos + 1 }
+func (s *DeclStmt) Pos() int   { return s.Decl.Pos() }
+func (s *DeclStmt) End() int   { return s.Decl.End() }
+func (s *AssignStmt) Pos() int { return s.LHS.Pos() }
+func (s *AssignStmt) End() int { return s.RHS.End() }
+func (s *IncDecStmt) Pos() int { return s.LHS.Pos() }
+func (s *IncDecStmt) End() int { return s.LHS.End() + 2 }
+func (s *IfStmt) Pos() int     { return s.IfPos }
+func (s *IfStmt) End() int {
+	if s.Else != nil {
+		return s.Else.End()
+	}
+	return s.Then.End()
+}
+func (s *ForStmt) Pos() int      { return s.ForPos }
+func (s *ForStmt) End() int      { return s.Body.End() }
+func (s *WhileStmt) Pos() int    { return s.WhilePos }
+func (s *WhileStmt) End() int    { return s.Body.End() }
+func (s *BreakStmt) Pos() int    { return s.KwPos }
+func (s *BreakStmt) End() int    { return s.KwPos + len("break") }
+func (s *ContinueStmt) Pos() int { return s.KwPos }
+func (s *ContinueStmt) End() int { return s.KwPos + len("continue") }
+func (s *ReturnStmt) Pos() int   { return s.KwPos }
+func (s *ReturnStmt) End() int   { return s.EndOff }
+func (s *ExprStmt) Pos() int     { return s.X.Pos() }
+func (s *ExprStmt) End() int     { return s.X.End() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos int
+	Value  int64
+	Text   string
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	LitPos int
+	Value  float64
+	Text   string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	LitPos int
+	Value  bool
+}
+
+// StringLit is a string literal (only legal as a print argument).
+type StringLit struct {
+	LitPos int
+	Value  string
+	EndOff int
+}
+
+// Ident is a use of a named variable.
+type Ident struct {
+	NamePos int
+	Name    string
+}
+
+// IndexExpr is X[Index]; multi-dimensional accesses nest.
+type IndexExpr struct {
+	X      Expr
+	Index  Expr
+	EndOff int
+}
+
+// CallExpr calls a function or builtin by name.
+type CallExpr struct {
+	NamePos int
+	Name    string
+	Args    []Expr
+	EndOff  int
+}
+
+// BinaryExpr is X Op Y.
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// UnaryExpr is Op X (unary minus or logical not).
+type UnaryExpr struct {
+	OpPos int
+	Op    token.Kind
+	X     Expr
+}
+
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*BoolLit) expr()    {}
+func (*StringLit) expr()  {}
+func (*Ident) expr()      {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+
+func (e *IntLit) Pos() int   { return e.LitPos }
+func (e *IntLit) End() int   { return e.LitPos + len(e.Text) }
+func (e *FloatLit) Pos() int { return e.LitPos }
+func (e *FloatLit) End() int { return e.LitPos + len(e.Text) }
+func (e *BoolLit) Pos() int  { return e.LitPos }
+func (e *BoolLit) End() int {
+	if e.Value {
+		return e.LitPos + 4
+	}
+	return e.LitPos + 5
+}
+func (e *StringLit) Pos() int  { return e.LitPos }
+func (e *StringLit) End() int  { return e.EndOff }
+func (e *Ident) Pos() int      { return e.NamePos }
+func (e *Ident) End() int      { return e.NamePos + len(e.Name) }
+func (e *IndexExpr) Pos() int  { return e.X.Pos() }
+func (e *IndexExpr) End() int  { return e.EndOff }
+func (e *CallExpr) Pos() int   { return e.NamePos }
+func (e *CallExpr) End() int   { return e.EndOff }
+func (e *BinaryExpr) Pos() int { return e.X.Pos() }
+func (e *BinaryExpr) End() int { return e.Y.End() }
+func (e *UnaryExpr) Pos() int  { return e.OpPos }
+func (e *UnaryExpr) End() int  { return e.X.End() }

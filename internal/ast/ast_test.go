@@ -1,0 +1,103 @@
+package ast
+
+import (
+	"testing"
+
+	"kremlin/internal/token"
+)
+
+func TestBasicKindString(t *testing.T) {
+	cases := map[BasicKind]string{
+		Int: "int", Float: "float", Bool: "bool", Void: "void", Invalid: "invalid",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d renders %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNodeExtents(t *testing.T) {
+	id := &Ident{NamePos: 10, Name: "abc"}
+	if id.Pos() != 10 || id.End() != 13 {
+		t.Errorf("ident extent %d-%d", id.Pos(), id.End())
+	}
+	lit := &IntLit{LitPos: 5, Value: 42, Text: "42"}
+	if lit.End() != 7 {
+		t.Errorf("int lit end %d", lit.End())
+	}
+	bt := &BoolLit{LitPos: 0, Value: true}
+	bf := &BoolLit{LitPos: 0, Value: false}
+	if bt.End() != 4 || bf.End() != 5 {
+		t.Errorf("bool extents %d,%d", bt.End(), bf.End())
+	}
+	bin := &BinaryExpr{Op: token.ADD, X: lit, Y: id}
+	if bin.Pos() != lit.Pos() || bin.End() != id.End() {
+		t.Errorf("binary extent %d-%d", bin.Pos(), bin.End())
+	}
+	un := &UnaryExpr{OpPos: 2, Op: token.SUB, X: lit}
+	if un.Pos() != 2 || un.End() != lit.End() {
+		t.Errorf("unary extent %d-%d", un.Pos(), un.End())
+	}
+	idx := &IndexExpr{X: id, Index: lit, EndOff: 20}
+	if idx.Pos() != id.Pos() || idx.End() != 20 {
+		t.Errorf("index extent %d-%d", idx.Pos(), idx.End())
+	}
+	call := &CallExpr{NamePos: 1, Name: "f", EndOff: 9}
+	if call.Pos() != 1 || call.End() != 9 {
+		t.Errorf("call extent %d-%d", call.Pos(), call.End())
+	}
+}
+
+func TestStmtExtents(t *testing.T) {
+	blk := &Block{LbracePos: 3, RbracePos: 9}
+	if blk.Pos() != 3 || blk.End() != 10 {
+		t.Errorf("block extent %d-%d", blk.Pos(), blk.End())
+	}
+	iff := &IfStmt{IfPos: 0, Then: blk}
+	if iff.End() != blk.End() {
+		t.Errorf("if without else ends at %d", iff.End())
+	}
+	els := &Block{LbracePos: 12, RbracePos: 20}
+	iff.Else = els
+	if iff.End() != els.End() {
+		t.Errorf("if with else ends at %d", iff.End())
+	}
+	ret := &ReturnStmt{KwPos: 4, EndOff: 14}
+	if ret.Pos() != 4 || ret.End() != 14 {
+		t.Errorf("return extent %d-%d", ret.Pos(), ret.End())
+	}
+	brk := &BreakStmt{KwPos: 7}
+	if brk.End()-brk.Pos() != len("break") {
+		t.Errorf("break extent %d-%d", brk.Pos(), brk.End())
+	}
+	cont := &ContinueStmt{KwPos: 7}
+	if cont.End()-cont.Pos() != len("continue") {
+		t.Errorf("continue extent %d-%d", cont.Pos(), cont.End())
+	}
+}
+
+// TestAllStmtsImplementInterface is a compile-time exhaustiveness check
+// plus a runtime sanity pass over the node kinds.
+func TestAllStmtsImplementInterface(t *testing.T) {
+	stmts := []Stmt{
+		&Block{}, &DeclStmt{Decl: &VarDecl{}}, &AssignStmt{LHS: &Ident{}, RHS: &Ident{}},
+		&IncDecStmt{LHS: &Ident{}}, &IfStmt{Then: &Block{}},
+		&ForStmt{Body: &Block{}}, &WhileStmt{Body: &Block{}},
+		&BreakStmt{}, &ContinueStmt{}, &ReturnStmt{}, &ExprStmt{X: &Ident{}},
+	}
+	for _, s := range stmts {
+		_ = s.Pos()
+		_ = s.End()
+	}
+	exprs := []Expr{
+		&IntLit{Text: "0"}, &FloatLit{Text: "0.0"}, &BoolLit{}, &StringLit{},
+		&Ident{Name: "x"}, &IndexExpr{X: &Ident{}, Index: &IntLit{Text: "0"}},
+		&CallExpr{Name: "f"}, &BinaryExpr{X: &Ident{}, Y: &Ident{}},
+		&UnaryExpr{X: &Ident{}},
+	}
+	for _, e := range exprs {
+		_ = e.Pos()
+		_ = e.End()
+	}
+}

@@ -1,0 +1,280 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kremlin/internal/token"
+)
+
+// Print renders the AST back to Kr source. The output is canonical
+// (normalized whitespace, explicit parentheses only where precedence
+// requires them) and re-parses to a structurally identical tree — the
+// fixpoint property the printer tests assert. kremlin-cc -dump-ast uses
+// it, and it doubles as documentation of the grammar.
+func Print(f *File) string {
+	var p printer
+	for _, g := range f.Globals {
+		p.varDecl(g, 0)
+	}
+	if len(f.Globals) > 0 {
+		p.sb.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.sb.WriteByte('\n')
+		}
+		p.funcDecl(fn)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb strings.Builder
+}
+
+func (p *printer) indent(n int) {
+	for i := 0; i < n; i++ {
+		p.sb.WriteByte('\t')
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl, depth int) {
+	p.indent(depth)
+	p.sb.WriteString(d.Elem.String())
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(d.Name)
+	for _, dim := range d.Dims {
+		p.sb.WriteByte('[')
+		p.expr(dim, 0)
+		p.sb.WriteByte(']')
+	}
+	if d.Init != nil {
+		p.sb.WriteString(" = ")
+		p.expr(d.Init, 0)
+	}
+	p.sb.WriteString(";\n")
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	p.sb.WriteString(fn.Ret.String())
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(fn.Name)
+	p.sb.WriteByte('(')
+	for i, param := range fn.Params {
+		if i > 0 {
+			p.sb.WriteString(", ")
+		}
+		p.sb.WriteString(param.Elem.String())
+		p.sb.WriteByte(' ')
+		p.sb.WriteString(param.Name)
+		for d := 0; d < param.NumDims; d++ {
+			p.sb.WriteString("[]")
+		}
+	}
+	p.sb.WriteString(") ")
+	p.block(fn.Body, 0)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) block(b *Block, depth int) {
+	p.sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		p.stmt(s, depth+1)
+	}
+	p.indent(depth)
+	p.sb.WriteByte('}')
+}
+
+func (p *printer) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Block:
+		p.indent(depth)
+		p.block(s, depth)
+		p.sb.WriteByte('\n')
+	case *DeclStmt:
+		p.varDecl(s.Decl, depth)
+	case *AssignStmt:
+		p.indent(depth)
+		p.simpleStmt(s)
+		p.sb.WriteString(";\n")
+	case *IncDecStmt:
+		p.indent(depth)
+		p.expr(s.LHS, 0)
+		p.sb.WriteString(s.Op.String())
+		p.sb.WriteString(";\n")
+	case *IfStmt:
+		p.indent(depth)
+		p.ifStmt(s, depth)
+		p.sb.WriteByte('\n')
+	case *ForStmt:
+		p.indent(depth)
+		p.sb.WriteString("for (")
+		if s.Init != nil {
+			p.forInit(s.Init)
+		}
+		p.sb.WriteString("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.sb.WriteString("; ")
+		if s.Post != nil {
+			p.forPost(s.Post)
+		}
+		p.sb.WriteString(") ")
+		p.block(s.Body, depth)
+		p.sb.WriteByte('\n')
+	case *WhileStmt:
+		p.indent(depth)
+		p.sb.WriteString("while (")
+		p.expr(s.Cond, 0)
+		p.sb.WriteString(") ")
+		p.block(s.Body, depth)
+		p.sb.WriteByte('\n')
+	case *BreakStmt:
+		p.indent(depth)
+		p.sb.WriteString("break;\n")
+	case *ContinueStmt:
+		p.indent(depth)
+		p.sb.WriteString("continue;\n")
+	case *ReturnStmt:
+		p.indent(depth)
+		p.sb.WriteString("return")
+		if s.Result != nil {
+			p.sb.WriteByte(' ')
+			p.expr(s.Result, 0)
+		}
+		p.sb.WriteString(";\n")
+	case *ExprStmt:
+		p.indent(depth)
+		p.expr(s.X, 0)
+		p.sb.WriteString(";\n")
+	default:
+		panic(fmt.Sprintf("ast: unknown statement %T", s))
+	}
+}
+
+func (p *printer) ifStmt(s *IfStmt, depth int) {
+	p.sb.WriteString("if (")
+	p.expr(s.Cond, 0)
+	p.sb.WriteString(") ")
+	p.block(s.Then, depth)
+	switch e := s.Else.(type) {
+	case nil:
+	case *IfStmt:
+		p.sb.WriteString(" else ")
+		p.ifStmt(e, depth)
+	case *Block:
+		p.sb.WriteString(" else ")
+		p.block(e, depth)
+	}
+}
+
+// forInit prints a declaration or simple statement without the trailing
+// semicolon/newline (for-header position).
+func (p *printer) forInit(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		d := s.Decl
+		p.sb.WriteString(d.Elem.String())
+		p.sb.WriteByte(' ')
+		p.sb.WriteString(d.Name)
+		if d.Init != nil {
+			p.sb.WriteString(" = ")
+			p.expr(d.Init, 0)
+		}
+	default:
+		p.forPost(s)
+	}
+}
+
+func (p *printer) forPost(s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		p.simpleStmt(s)
+	case *IncDecStmt:
+		p.expr(s.LHS, 0)
+		p.sb.WriteString(s.Op.String())
+	case *ExprStmt:
+		p.expr(s.X, 0)
+	default:
+		panic(fmt.Sprintf("ast: bad for-header statement %T", s))
+	}
+}
+
+func (p *printer) simpleStmt(s *AssignStmt) {
+	p.expr(s.LHS, 0)
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(s.Op.String())
+	p.sb.WriteByte(' ')
+	p.expr(s.RHS, 0)
+}
+
+// expr prints e, parenthesizing when its top-level operator binds looser
+// than the context precedence.
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		p.sb.WriteString(strconv.FormatInt(e.Value, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		// Keep float literals lexically float (the parser types "1" as int).
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.sb.WriteString(s)
+	case *BoolLit:
+		if e.Value {
+			p.sb.WriteString("true")
+		} else {
+			p.sb.WriteString("false")
+		}
+	case *StringLit:
+		p.sb.WriteString(strconv.Quote(e.Value))
+	case *Ident:
+		p.sb.WriteString(e.Name)
+	case *IndexExpr:
+		p.expr(e.X, token.LAND.Precedence()+10) // primary position
+		p.sb.WriteByte('[')
+		p.expr(e.Index, 0)
+		p.sb.WriteByte(']')
+	case *CallExpr:
+		p.sb.WriteString(e.Name)
+		p.sb.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.sb.WriteByte(')')
+	case *BinaryExpr:
+		myPrec := e.Op.Precedence()
+		if myPrec < prec {
+			p.sb.WriteByte('(')
+		}
+		p.expr(e.X, myPrec)
+		p.sb.WriteByte(' ')
+		p.sb.WriteString(e.Op.String())
+		p.sb.WriteByte(' ')
+		// Right operand needs one level tighter: operators are
+		// left-associative.
+		p.expr(e.Y, myPrec+1)
+		if myPrec < prec {
+			p.sb.WriteByte(')')
+		}
+	case *UnaryExpr:
+		p.sb.WriteString(e.Op.String())
+		if _, nested := e.X.(*UnaryExpr); nested {
+			// "--x" would lex as a decrement; force parentheses.
+			p.sb.WriteByte('(')
+			p.expr(e.X, 0)
+			p.sb.WriteByte(')')
+		} else {
+			p.expr(e.X, 100) // unary binds tightest
+		}
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,113 @@
+package ast_test
+
+import (
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/krgen"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	errs := &source.ErrorList{}
+	f := parser.Parse(source.NewFile("t.kr", src), errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v\nsource:\n%s", errs.Err(), src)
+	}
+	return f
+}
+
+// TestPrintFixpoint: printing is a fixpoint under reparsing —
+// print(parse(print(parse(src)))) == print(parse(src)).
+func TestPrintFixpoint(t *testing.T) {
+	src := `
+int n = 8;
+float grid[8][8];
+
+float cell(int i, int j) {
+	if (i < 0 || j < 0) {
+		return -1.0;
+	} else if (i == j) {
+		return 0.0;
+	}
+	return grid[i][j] * 2.0 + 1.0;
+}
+
+void scan() {
+	int count = 0;
+	for (int i = 0; i < n; i++) {
+		int j = n - 1;
+		while (j > i) {
+			if (grid[i][j] > cell(i, j)) {
+				count++;
+				continue;
+			}
+			j--;
+			if (count > 10) { break; }
+		}
+	}
+	grid[0][0] += float(count);
+	print("count", count, true);
+}
+
+int main() {
+	scan();
+	return int(grid[0][0]) % 100;
+}
+`
+	once := ast.Print(parse(t, src))
+	twice := ast.Print(parse(t, once))
+	if once != twice {
+		t.Errorf("printer not a fixpoint:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// TestPrintPrecedence: explicit parentheses survive exactly where needed.
+func TestPrintPrecedence(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"int x = (1 + 2) * 3;", "(1 + 2) * 3"},
+		{"int x = 1 + 2 * 3;", "1 + 2 * 3"},
+		{"int x = 1 - (2 - 3);", "1 - (2 - 3)"},
+		{"int x = (1 - 2) - 3;", "1 - 2 - 3"},
+		// Comparisons bind tighter than ==, so those parens are redundant
+		// and the canonical form drops them.
+		{"bool b = (1 < 2) == (3 < 4);", "bool b = 1 < 2 == 3 < 4;"},
+		{"int x = -(1 + 2);", "-(1 + 2)"},
+		{"int x = - -3;", "-(-3)"},
+	}
+	for _, c := range cases {
+		f := parse(t, "int main() { "+c.in+" return 0; }")
+		out := ast.Print(f)
+		if !contains(out, c.want) {
+			t.Errorf("print of %q missing %q:\n%s", c.in, c.want, out)
+		}
+		// And the output reparses to the same canonical form.
+		if again := ast.Print(parse(t, out)); again != out {
+			t.Errorf("not a fixpoint for %q", c.in)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPrintFixpointOnGeneratedPrograms: the fixpoint property holds for
+// every random program the generator can produce.
+func TestPrintFixpointOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := krgen.Generate(seed, krgen.Default())
+		once := ast.Print(parse(t, src))
+		twice := ast.Print(parse(t, once))
+		if once != twice {
+			t.Fatalf("seed %d: printer not a fixpoint", seed)
+		}
+	}
+}

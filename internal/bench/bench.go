@@ -1,0 +1,189 @@
+// Package bench contains the evaluation workloads: structurally faithful
+// Kr re-implementations of the 8 NAS Parallel Benchmarks and the 3
+// C-language SPEC OMP2001 programs the paper evaluates (§6), plus the
+// SD-VBS feature-tracking example of Figures 2 and 3, together with the
+// MANUAL parallelization plans they are compared against.
+//
+// The programs are scaled down from the paper's W/train inputs so the
+// whole suite profiles in seconds under the IR interpreter, but each
+// preserves its original's loop-nest shapes and dependence structure —
+// which is what Kremlin's analysis and the paper's results are about.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kremlin"
+	"kremlin/internal/hcpa"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+)
+
+// ManualStyle describes how the third-party MANUAL parallelization chose
+// its regions.
+type ManualStyle int
+
+const (
+	// ManualCoarse: the manual version parallelized the profitable outer
+	// loops plus every smaller parallel loop in sight (no nesting) — the
+	// common, thorough hand-parallelization. Comparable to Kremlin but with
+	// many marginal extra regions.
+	ManualCoarse ManualStyle = iota
+	// ManualInner: the manual version stuck to the obvious inner loops and
+	// missed a coarse-grained opportunity — the paper's sp and is cases,
+	// where Kremlin's plan wins big.
+	ManualInner
+)
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	Name   string
+	Suite  string // "NPB" or "SPEC"
+	Source string
+	Style  ManualStyle
+	// Input names the nominal input class ("W" for NPB, "train" for SPEC).
+	Input string
+	// RefSource optionally holds a larger-input variant ("ref"), used by
+	// the input-sensitivity experiment. Empty means: same source.
+	RefSource string
+}
+
+// All returns the full suite in the paper's Figure-6 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		{Name: "ammp", Suite: "SPEC", Source: srcAmmp, Style: ManualCoarse, Input: "train", RefSource: refAmmp},
+		{Name: "art", Suite: "SPEC", Source: srcArt, Style: ManualCoarse, Input: "train", RefSource: refArt},
+		{Name: "equake", Suite: "SPEC", Source: srcEquake, Style: ManualCoarse, Input: "train", RefSource: refEquake},
+		{Name: "bt", Suite: "NPB", Source: srcBT, Style: ManualCoarse, Input: "W"},
+		{Name: "cg", Suite: "NPB", Source: srcCG, Style: ManualCoarse, Input: "W"},
+		{Name: "ep", Suite: "NPB", Source: srcEP, Style: ManualCoarse, Input: "W"},
+		{Name: "ft", Suite: "NPB", Source: srcFT, Style: ManualCoarse, Input: "W"},
+		{Name: "is", Suite: "NPB", Source: srcIS, Style: ManualInner, Input: "W"},
+		{Name: "lu", Suite: "NPB", Source: srcLU, Style: ManualCoarse, Input: "W"},
+		{Name: "mg", Suite: "NPB", Source: srcMG, Style: ManualCoarse, Input: "W"},
+		{Name: "sp", Suite: "NPB", Source: srcSP, Style: ManualInner, Input: "W"},
+	}
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Tracking returns the SD-VBS feature-tracking example program (Figures 2
+// and 3).
+func Tracking() *Benchmark {
+	return &Benchmark{Name: "tracking", Suite: "SD-VBS", Source: srcTracking, Style: ManualCoarse, Input: "data"}
+}
+
+// Compiled caches the expensive compile+profile pipeline per benchmark.
+type Compiled struct {
+	Bench   *Benchmark
+	Program *kremlin.Program
+	Profile *profile.Profile
+	Summary *hcpa.Summary
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Compiled{}
+)
+
+// Load compiles and profiles b (cached across callers in one process).
+func Load(b *Benchmark) (*Compiled, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[b.Name]; ok {
+		return c, nil
+	}
+	prog, err := kremlin.Compile(b.Name+".kr", b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: profile: %w", b.Name, err)
+	}
+	c := &Compiled{Bench: b, Program: prog, Profile: prof, Summary: prog.Summarize(prof)}
+	cache[b.Name] = c
+	return c, nil
+}
+
+// ManualPlan derives the MANUAL region set for a benchmark from its style,
+// applying the selection rules described on ManualStyle. Returns region IDs.
+func ManualPlan(b *Benchmark, sum *hcpa.Summary) []int {
+	// Thresholds model human judgment, not Kremlin's: a thorough manual
+	// parallelizer annotates any loop that looks somewhat parallel
+	// (ManualCoarse: low bars, so plans carry many marginal regions); an
+	// inner-loop-focused one also refuses loops with too few iterations or
+	// too little per-instance work to bother with.
+	minSP, minCov := 1.5, 0.00002
+	if b.Style == ManualInner {
+		minSP, minCov = 2.0, 0.0004
+	}
+	eligible := map[int]*hcpa.RegionStats{}
+	for _, st := range sum.Executed {
+		if st.Region.Kind != regions.LoopRegion {
+			continue
+		}
+		if st.SelfP < minSP || st.Coverage < minCov {
+			continue
+		}
+		if b.Style == ManualInner {
+			if st.AvgIters < 8 || st.Instances == 0 || st.TotalWork/uint64(st.Instances) < 400 {
+				continue
+			}
+		}
+		eligible[st.Region.ID] = st
+	}
+
+	// hasEligibleDescendant within the same function's loop tree.
+	var hasElig func(r *regions.Region) bool
+	hasElig = func(r *regions.Region) bool {
+		for _, c := range r.Children {
+			if _, ok := eligible[c.ID]; ok {
+				return true
+			}
+			if hasElig(c) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var ids []int
+	switch b.Style {
+	case ManualInner:
+		// Innermost selection: eligible loops with no eligible descendant.
+		for id, st := range eligible {
+			if !hasElig(st.Region) {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		// Outer-first greedy without nesting, then keep lone inner loops of
+		// unselected nests: walk each function's loop forest top-down.
+		var walk func(r *regions.Region)
+		walk = func(r *regions.Region) {
+			if _, ok := eligible[r.ID]; ok && r.Kind == regions.LoopRegion {
+				ids = append(ids, r.ID)
+				return // no nested parallel regions
+			}
+			for _, c := range r.Children {
+				walk(c)
+			}
+		}
+		for _, f := range sum.Prog.Module.Funcs {
+			walk(sum.Prog.PerFunc[f].Root)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}

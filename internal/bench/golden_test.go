@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"testing"
+
+	"kremlin/internal/planner"
+)
+
+// goldenPlans pins the exact OpenMP plan (labels, in order) for every
+// workload. The pipeline is deterministic, so any diff here is a real
+// behavior change in the front end, the HCPA runtime, the metrics, or the
+// planner — review it deliberately and regenerate with `go run
+// ./cmd/dumpplans` if the change is intended.
+var goldenPlans = map[string][]string{
+	"ammp": {
+		"ammp.kr:43 loop forces",
+		"ammp.kr:67 loop integrate",
+		"ammp.kr:30 loop buildNeighbors",
+		"ammp.kr:17 loop placeAtoms",
+	},
+	"art": {
+		"art.kr:37 loop computeActivations",
+		"art.kr:61 loop updateWinner",
+		"art.kr:12 loop initWeights",
+		"art.kr:28 loop loadWindow",
+		"art.kr:19 loop initImage",
+	},
+	"equake": {
+		"equake.kr:39 loop smvp",
+		"equake.kr:50 loop advance",
+		"equake.kr:14 loop buildMatrix",
+		"equake.kr:58 loop accumNorm",
+		"equake.kr:29 loop initState",
+	},
+	"bt": {
+		"bt.kr:79 loop ySolve",
+		"bt.kr:96 loop zSolve",
+		"bt.kr:62 loop xSolve",
+		"bt.kr:184 loop dissipZ",
+		"bt.kr:170 loop dissipY",
+		"bt.kr:157 loop dissipX",
+		"bt.kr:8 loop initU",
+		"bt.kr:22 loop rhsX",
+		"bt.kr:35 loop rhsY",
+		"bt.kr:48 loop rhsZ",
+		"bt.kr:113 loop addUpdate",
+		"bt.kr:199 loop norm",
+		"bt.kr:136 loop boundaryY",
+		"bt.kr:145 loop boundaryZ",
+		"bt.kr:127 loop boundaryX",
+	},
+	"cg": {
+		"cg.kr:34 loop matvec",
+		"cg.kr:17 loop makeMatrix",
+		"cg.kr:45 loop dot",
+		"cg.kr:61 loop axpyZ",
+		"cg.kr:67 loop axpyR",
+		"cg.kr:73 loop updateP",
+		"cg.kr:52 loop initVectors",
+	},
+	"ep": {
+		"ep.kr:24 loop epMain",
+	},
+	"ft": {
+		"ft.kr:35 loop dftRows",
+		"ft.kr:54 loop dftCols",
+		"ft.kr:83 loop evolve",
+		"ft.kr:24 loop initExponents",
+		"ft.kr:73 loop transpose",
+		"ft.kr:13 loop initField",
+	},
+	"is": {
+		"is.kr:25 loop countBlocks",
+		"is.kr:11 loop genKeys",
+		"is.kr:58 loop rankKeys",
+		"is.kr:41 loop mergeHist",
+	},
+	"lu": {
+		"lu.kr:22 loop computeRsd",
+		"lu.kr:48 loop blts",
+		"lu.kr:62 loop buts",
+		"lu.kr:9 loop initAll",
+		"lu.kr:37 loop jacld",
+		"lu.kr:76 loop update",
+		"lu.kr:87 loop norm",
+		"lu.kr:109 loop scaleRsd",
+	},
+	"mg": {
+		"mg.kr:35 loop resid",
+		"mg.kr:75 loop smooth",
+		"mg.kr:22 loop initSource",
+		"mg.kr:62 loop prolong",
+		"mg.kr:49 loop restrictGrid",
+		"mg.kr:102 loop gridNorm",
+		"mg.kr:12 loop zero3",
+		"mg.kr:92 loop comm3",
+		"mg.kr:86 loop comm3",
+	},
+	"sp": {
+		"sp.kr:24 loop computeRhs",
+		"sp.kr:9 loop initU",
+		"sp.kr:62 loop spYSolve",
+		"sp.kr:75 loop spZSolve",
+		"sp.kr:49 loop spXSolve",
+		"sp.kr:88 loop addUpdate",
+		"sp.kr:133 loop norm",
+		"sp.kr:38 loop lhsInit",
+		"sp.kr:120 loop tzetar",
+		"sp.kr:101 loop txinvr",
+		"sp.kr:110 loop pinvr",
+	},
+	"tracking": {
+		"tracking.kr:64 loop calcLambda",
+		"tracking.kr:91 loop fillFeatures",
+		"tracking.kr:106 loop getInterpPatch",
+		"tracking.kr:44 loop calcSobelDX",
+		"tracking.kr:54 loop calcSobelDY",
+		"tracking.kr:22 loop imageBlurX",
+		"tracking.kr:34 loop imageBlurY",
+		"tracking.kr:13 loop loadImage",
+	},
+}
+
+func TestGoldenPlans(t *testing.T) {
+	all := append(All(), Tracking())
+	for _, b := range all {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want, ok := goldenPlans[b.Name]
+			if !ok {
+				t.Fatalf("no golden plan for %s; regenerate with cmd/dumpplans", b.Name)
+			}
+			c, err := Load(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := c.Program.Plan(c.Profile, planner.OpenMP())
+			got := plan.Labels()
+			if len(got) != len(want) {
+				t.Fatalf("plan size %d, want %d:\ngot  %v\nwant %v", len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("rec %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"testing"
+
+	"kremlin/internal/planner"
+	"kremlin/internal/regions"
+)
+
+// These tests pin the per-benchmark properties the paper's narrative
+// depends on.
+
+func load(t *testing.T, name string) *Compiled {
+	t.Helper()
+	c, err := Load(ByName(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func planLabels(t *testing.T, c *Compiled) map[string]bool {
+	t.Helper()
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	out := map[string]bool{}
+	for _, r := range plan.Recs {
+		out[r.Stats.Region.Func.Name+"/"+r.Stats.Region.Kind.String()] = true
+	}
+	return out
+}
+
+// TestEPSingleRegionPlan: ep's plan is exactly one region — the
+// reduction-bearing main loop (the paper's Figure 6: MANUAL 1, Kremlin 1).
+func TestEPSingleRegionPlan(t *testing.T) {
+	c := load(t, "ep")
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	if len(plan.Recs) != 1 {
+		t.Fatalf("ep plan = %v, want exactly 1 region", plan.Labels())
+	}
+	r := plan.Recs[0].Stats.Region
+	if r.Func.Name != "epMain" || r.Kind != regions.LoopRegion {
+		t.Errorf("ep plan picked %s, want epMain's loop", plan.Recs[0].Label())
+	}
+	if !plan.Recs[0].Stats.HasReduction {
+		t.Error("epMain's loop should carry the reduction annotation")
+	}
+}
+
+// TestAmmpTinyReductionExcluded: ammp's per-step energy reduction is too
+// small to amortize OpenMP reduction overhead (§5.1).
+func TestAmmpTinyReductionExcluded(t *testing.T) {
+	c := load(t, "ammp")
+	labels := planLabels(t, c)
+	if labels["accumEnergy/loop"] {
+		t.Error("ammp: accumEnergy's tiny reduction loop must be rejected")
+	}
+	if !labels["forces/loop"] {
+		t.Error("ammp: the force loop must be planned")
+	}
+}
+
+// TestISCoarseRegionFound: Kremlin finds the block-level parallelism in
+// countBlocks even though its inner loop is a serial digest chain.
+func TestISCoarseRegionFound(t *testing.T) {
+	c := load(t, "is")
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	found := false
+	for _, r := range plan.Recs {
+		reg := r.Stats.Region
+		if reg.Func.Name == "countBlocks" && reg.Kind == regions.LoopRegion &&
+			reg.Parent.Kind == regions.FuncRegion {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("is: coarse countBlocks loop missing from plan %v", plan.Labels())
+	}
+	// The MANUAL (inner-loop) plan misses it.
+	manual := map[int]bool{}
+	for _, id := range ManualPlan(ByName("is"), c.Summary) {
+		manual[id] = true
+	}
+	for _, r := range plan.Recs {
+		reg := r.Stats.Region
+		if reg.Func.Name == "countBlocks" && reg.Parent.Kind == regions.FuncRegion && manual[reg.ID] {
+			t.Error("is: MANUAL-inner unexpectedly includes the coarse region")
+		}
+	}
+}
+
+// TestSPCoarsePlanDiffers: sp's Kremlin plan picks coarse solver loops the
+// inner-loop MANUAL style misses (the paper's 1.85x case).
+func TestSPCoarsePlanDiffers(t *testing.T) {
+	c := load(t, "sp")
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	kremlinIDs := map[int]bool{}
+	for _, r := range plan.Recs {
+		kremlinIDs[r.Stats.Region.ID] = true
+	}
+	manualIDs := ManualPlan(ByName("sp"), c.Summary)
+	overlap := 0
+	for _, id := range manualIDs {
+		if kremlinIDs[id] {
+			overlap++
+		}
+	}
+	if overlap == len(manualIDs) && len(manualIDs) == len(kremlinIDs) {
+		t.Error("sp: Kremlin and MANUAL plans identical; the coarse/fine split is gone")
+	}
+}
+
+// TestLUWavefrontIsDOACROSS: lu's triangular sweeps expose hyperplane
+// parallelism — SP well above 1, well below the iteration count, not
+// DOALL.
+func TestLUWavefrontIsDOACROSS(t *testing.T) {
+	c := load(t, "lu")
+	found := false
+	for _, st := range c.Summary.Executed {
+		if st.Region.Func.Name != "blts" || st.Region.Kind != regions.LoopRegion {
+			continue
+		}
+		if st.Region.Parent.Kind != regions.FuncRegion {
+			continue // outermost sweep loop only
+		}
+		found = true
+		if st.SelfP < 2 {
+			t.Errorf("blts outer SP = %.1f, want > 2 (wavefront)", st.SelfP)
+		}
+		if st.DOALL {
+			t.Error("blts sweep misclassified DOALL")
+		}
+	}
+	if !found {
+		t.Fatal("blts loop not found")
+	}
+}
+
+// TestCGReductionLoopsPlanned: cg's dot products clear the reduction-work
+// threshold and join the plan.
+func TestCGReductionsPlanned(t *testing.T) {
+	c := load(t, "cg")
+	labels := planLabels(t, c)
+	if !labels["dot/loop"] {
+		t.Error("cg: dot-product reduction loop missing from plan")
+	}
+	if !labels["matvec/loop"] {
+		t.Error("cg: sparse matvec row loop missing from plan")
+	}
+}
+
+// TestTrackingFigure2Localization: in fillFeatures only the innermost loop
+// carries high self-parallelism.
+func TestTrackingFigure2Localization(t *testing.T) {
+	c, err := Load(Tracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depths []float64 // SP by nesting depth 1,2,3
+	byDepth := map[int]float64{}
+	for _, st := range c.Summary.Executed {
+		if st.Region.Func.Name != "fillFeatures" || st.Region.Kind != regions.LoopRegion {
+			continue
+		}
+		depth := 0
+		for p := st.Region.Parent; p != nil; p = p.Parent {
+			if p.Kind == regions.LoopRegion {
+				depth++
+			}
+		}
+		byDepth[depth] = st.SelfP
+	}
+	if len(byDepth) != 3 {
+		t.Fatalf("loop depths found: %v", byDepth)
+	}
+	depths = []float64{byDepth[0], byDepth[1], byDepth[2]}
+	if depths[2] <= depths[0] {
+		t.Errorf("innermost SP %.1f should exceed outermost %.1f", depths[2], depths[0])
+	}
+	// Total parallelism fails to localize: the outer loop inherits it.
+	for _, st := range c.Summary.Executed {
+		if st.Region.Func.Name == "fillFeatures" && st.Region.Kind == regions.LoopRegion &&
+			st.Region.Parent.Kind == regions.FuncRegion {
+			if st.TotalP < depths[2] {
+				t.Errorf("outer TotalP %.1f should inherit inner parallelism %.1f", st.TotalP, depths[2])
+			}
+		}
+	}
+}
+
+// TestManualPlansNonNested: the coarse MANUAL selection never nests
+// pragmas within one function.
+func TestManualPlansNonNested(t *testing.T) {
+	for _, b := range All() {
+		if b.Style != ManualCoarse {
+			continue
+		}
+		c := load(t, b.Name)
+		ids := ManualPlan(b, c.Summary)
+		set := map[int]bool{}
+		for _, id := range ids {
+			set[id] = true
+		}
+		for _, id := range ids {
+			r := c.Summary.Prog.Regions[id]
+			for p := r.Parent; p != nil; p = p.Parent {
+				if set[p.ID] {
+					t.Errorf("%s: MANUAL nests %s inside %s", b.Name, r.Label(), p.Label())
+				}
+			}
+		}
+	}
+}
+
+// TestBenchmarksDeterministic: profiling twice produces identical profiles
+// (the whole pipeline is deterministic).
+func TestBenchmarksDeterministic(t *testing.T) {
+	b := ByName("mg")
+	c := load(t, "mg")
+	prog2, err := Load(&Benchmark{Name: "mg-again", Suite: b.Suite, Source: b.Source, Style: b.Style, Input: b.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Profile.TotalWork() != prog2.Profile.TotalWork() {
+		t.Errorf("work differs: %d vs %d", c.Profile.TotalWork(), prog2.Profile.TotalWork())
+	}
+	if len(c.Profile.Dict.Entries) != len(prog2.Profile.Dict.Entries) {
+		t.Errorf("alphabet differs: %d vs %d", len(c.Profile.Dict.Entries), len(prog2.Profile.Dict.Entries))
+	}
+}

@@ -1,0 +1,396 @@
+package bench
+
+// srcEP is the NPB EP (embarrassingly parallel) kernel: generate pairs of
+// pseudo-random deviates from independently computed per-index seeds (the
+// seed skip-ahead that makes real EP parallel), accept those inside the
+// unit circle, and accumulate Gaussian sums and per-annulus counts. The
+// main loop is one big reduction region with ample work — the paper's
+// example of a reduction that *should* be parallelized.
+const srcEP = `
+// NPB EP kernel (class W scale-down).
+float q[10];
+float sx;
+float sy;
+int accepted;
+
+// Per-index seed: a mixing hash standing in for EP's LCG skip-ahead.
+int seedFor(int k) {
+	int s = k * 2654435761 + 1013904223;
+	s = s - (s / 65536) * 65536;
+	if (s < 0) { s = -s; }
+	return s * 31 + 17;
+}
+
+float unitRand(int s) {
+	int t = s * 1103515245 + 12345;
+	t = t - (t / 32768) * 32768;
+	if (t < 0) { t = -t; }
+	return float(t) / 32768.0;
+}
+
+void epMain(int n) {
+	for (int k = 0; k < n; k++) {
+		int s = seedFor(k);
+		float x = 2.0 * unitRand(s) - 1.0;
+		float y = 2.0 * unitRand(s + 7919) - 1.0;
+		float t = x * x + y * y;
+		if (t <= 1.0) {
+			float f = sqrt(-2.0 * log(t + 0.0000001) / (t + 0.0000001));
+			float gx = x * f;
+			float gy = y * f;
+			float ax = fabs(gx);
+			float ay = fabs(gy);
+			int l = int(max(ax, ay));
+			if (l > 9) { l = 9; }
+			q[l] += 1.0;
+			sx = sx + gx;
+			sy = sy + gy;
+			accepted = accepted + 1;
+		}
+	}
+}
+
+int main() {
+	int n = 8192;
+	for (int i = 0; i < 10; i++) {
+		q[i] = 0.0;
+	}
+	epMain(n);
+	float qs = 0.0;
+	for (int i = 0; i < 10; i++) {
+		qs = qs + q[i];
+	}
+	print("ep", accepted, sx, sy, qs);
+	return 0;
+}
+`
+
+// srcIS is the NPB IS (integer sort) kernel: bucketed counting sort of
+// random keys, repeated over several ranking rounds. The block-local
+// counting phase is the coarse-grained DOALL opportunity the third-party
+// MANUAL version missed (it parallelized only the obvious fine-grained
+// loops), giving Kremlin its 1.46x win in the paper.
+const srcIS = `
+// NPB IS kernel (class W scale-down).
+int keys[8192];
+int hist[512];
+int blockHist[16][512];
+int blockSum[16];
+int ranks[8192];
+int checksum;
+
+void genKeys(int n) {
+	for (int i = 0; i < n; i++) {
+		int s = i * 1103515245 + 12345;
+		s = s - (s / 512) * 512;
+		if (s < 0) { s = -s; }
+		keys[i] = s;
+	}
+}
+
+// Coarse phase: each block counts its own slice and folds a sequential
+// digest over it. Blocks are independent (coarse DOALL), but within a
+// block the digest chain serializes the scan — the parallelism is only
+// exploitable at the block level, which is what the MANUAL version missed.
+void countBlocks(int n, int nblocks) {
+	int bsize = n / nblocks;
+	for (int b = 0; b < nblocks; b++) {
+		for (int v = 0; v < 512; v++) {
+			blockHist[b][v] = 0;
+		}
+		int lo = b * bsize;
+		int digest = b;
+		for (int i = 0; i < bsize; i++) {
+			int k = keys[lo + i];
+			digest = (digest * 13 + k) % 65536;
+			blockHist[b][k] += 1;
+		}
+		blockSum[b] = digest;
+	}
+}
+
+void mergeHist(int nblocks) {
+	for (int v = 0; v < 512; v++) {
+		int s = 0;
+		for (int b = 0; b < nblocks; b++) {
+			s = s + blockHist[b][v];
+		}
+		hist[v] = s;
+	}
+}
+
+// Serial prefix sum over buckets.
+void prefixSum() {
+	for (int v = 1; v < 512; v++) {
+		hist[v] = hist[v] + hist[v-1];
+	}
+}
+
+void rankKeys(int n) {
+	for (int i = 0; i < n; i++) {
+		int k = keys[i];
+		hist[k] = hist[k] - 1;
+		ranks[i] = hist[k];
+	}
+}
+
+int main() {
+	int n = 8192;
+	int rounds = 3;
+	for (int r = 0; r < rounds; r++) {
+		genKeys(n);
+		countBlocks(n, 16);
+		mergeHist(16);
+		prefixSum();
+		rankKeys(n);
+		checksum = checksum + ranks[n / 2] + hist[0] + blockSum[r % 16];
+	}
+	print("is", checksum);
+	return 0;
+}
+`
+
+// srcCG is the NPB CG kernel: conjugate gradient with a sparse
+// matrix-vector product (rows DOALL, per-row dot-product reduction),
+// vector dot products, and axpy updates; the outer CG iteration is a
+// serial dependence chain.
+const srcCG = `
+// NPB CG kernel (class W scale-down).
+float aval[3360];
+int colidx[3360];
+int rowstart[421];
+float x[420];
+float z[420];
+float p[420];
+float q[420];
+float r[420];
+float rho;
+float alpha;
+float beta;
+float dnorm;
+
+void makeMatrix(int n, int nzper) {
+	for (int i = 0; i < n; i++) {
+		rowstart[i] = i * nzper;
+		for (int j = 0; j < nzper; j++) {
+			int t = i * 7 + j * 131 + 1;
+			t = t - (t / n) * n;
+			if (t < 0) { t = -t; }
+			colidx[i * nzper + j] = t;
+			aval[i * nzper + j] = 1.0 / float(j + 1);
+		}
+		// Diagonal dominance.
+		colidx[i * nzper] = i;
+		aval[i * nzper] = float(nzper) + 2.0;
+	}
+	rowstart[n] = n * nzper;
+}
+
+void matvec(int n) {
+	for (int i = 0; i < n; i++) {
+		float s = 0.0;
+		for (int k = rowstart[i]; k < rowstart[i+1]; k++) {
+			s = s + aval[k] * p[colidx[k]];
+		}
+		q[i] = s;
+	}
+}
+
+float dot(float a[], float b[], int n) {
+	float s = 0.0;
+	for (int i = 0; i < n; i++) {
+		s = s + a[i] * b[i];
+	}
+	return s;
+}
+
+void initVectors(int n) {
+	for (int i = 0; i < n; i++) {
+		x[i] = 1.0;
+		z[i] = 0.0;
+		r[i] = 1.0;
+		p[i] = 1.0;
+	}
+}
+
+void axpyZ(int n) {
+	for (int i = 0; i < n; i++) {
+		z[i] = z[i] + alpha * p[i];
+	}
+}
+
+void axpyR(int n) {
+	for (int i = 0; i < n; i++) {
+		r[i] = r[i] - alpha * q[i];
+	}
+}
+
+void updateP(int n) {
+	for (int i = 0; i < n; i++) {
+		p[i] = r[i] + beta * p[i];
+	}
+}
+
+int main() {
+	int n = 420;
+	int nzper = 8;
+	int iters = 6;
+	makeMatrix(n, nzper);
+	initVectors(n);
+	rho = dot(r, r, n);
+	for (int it = 0; it < iters; it++) {
+		matvec(n);
+		float pq = dot(p, q, n);
+		alpha = rho / pq;
+		axpyZ(n);
+		axpyR(n);
+		float rho0 = rho;
+		rho = dot(r, r, n);
+		beta = rho / rho0;
+		updateP(n);
+	}
+	dnorm = sqrt(dot(z, z, n));
+	print("cg", dnorm, rho);
+	return 0;
+}
+`
+
+// srcMG is the NPB MG kernel: V-cycle multigrid on a 3-D grid — residual,
+// restriction, prolongation, and smoothing stencils, each a DOALL triple
+// nest, applied across three grid levels.
+const srcMG = `
+// NPB MG kernel (class W scale-down).
+float u1[18][18][18];
+float v1[18][18][18];
+float r1[18][18][18];
+float u2[10][10][10];
+float r2[10][10][10];
+float u3[6][6][6];
+float r3[6][6][6];
+
+void zero3(float a[][][], int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				a[i][j][k] = 0.0;
+			}
+		}
+	}
+}
+
+void initSource(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				int t = i * 31 + j * 17 + k * 7;
+				t = t - (t / 97) * 97;
+				v1[i][j][k] = float(t) / 97.0 - 0.5;
+			}
+		}
+	}
+}
+
+// r = v - A u (7-point stencil residual).
+void resid(float u[][][], float v[][][], float r[][][], int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				r[i][j][k] = v[i][j][k] - 6.0 * u[i][j][k]
+					+ u[i-1][j][k] + u[i+1][j][k]
+					+ u[i][j-1][k] + u[i][j+1][k]
+					+ u[i][j][k-1] + u[i][j][k+1];
+			}
+		}
+	}
+}
+
+// Restrict fine residual to the coarse grid.
+void restrictGrid(float fine[][][], float coarse[][][], int cn) {
+	for (int i = 1; i < cn-1; i++) {
+		for (int j = 1; j < cn-1; j++) {
+			for (int k = 1; k < cn-1; k++) {
+				coarse[i][j][k] = 0.5 * fine[2*i][2*j][2*k]
+					+ 0.25 * (fine[2*i-1][2*j][2*k] + fine[2*i+1][2*j][2*k])
+					+ 0.125 * (fine[2*i][2*j-1][2*k] + fine[2*i][2*j+1][2*k]);
+			}
+		}
+	}
+}
+
+// Prolongate the coarse correction onto the fine grid.
+void prolong(float coarse[][][], float fine[][][], int cn) {
+	for (int i = 1; i < cn-1; i++) {
+		for (int j = 1; j < cn-1; j++) {
+			for (int k = 1; k < cn-1; k++) {
+				fine[2*i][2*j][2*k] = fine[2*i][2*j][2*k] + coarse[i][j][k];
+				fine[2*i-1][2*j][2*k] = fine[2*i-1][2*j][2*k] + 0.5 * coarse[i][j][k];
+				fine[2*i][2*j-1][2*k] = fine[2*i][2*j-1][2*k] + 0.5 * coarse[i][j][k];
+			}
+		}
+	}
+}
+
+// Jacobi smoothing step (reads r, writes u: DOALL).
+void smooth(float u[][][], float r[][][], int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				u[i][j][k] = u[i][j][k] + 0.8 * r[i][j][k] / 6.0;
+			}
+		}
+	}
+}
+
+// comm3-like periodic boundary exchange: small DOALL face loops.
+void comm3(float a[][][], int n) {
+	for (int j = 0; j < n; j++) {
+		for (int k = 0; k < n; k++) {
+			a[0][j][k] = a[n-2][j][k];
+			a[n-1][j][k] = a[1][j][k];
+		}
+	}
+	for (int i = 0; i < n; i++) {
+		for (int k = 0; k < n; k++) {
+			a[i][0][k] = a[i][n-2][k];
+			a[i][n-1][k] = a[i][1][k];
+		}
+	}
+}
+
+float gridNorm(float a[][][], int n) {
+	float s = 0.0;
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				s = s + a[i][j][k] * a[i][j][k];
+			}
+		}
+	}
+	return sqrt(s / float(n*n*n));
+}
+
+int main() {
+	int cycles = 2;
+	zero3(u1, 18);
+	zero3(u2, 10);
+	zero3(u3, 6);
+	initSource(18);
+	for (int c = 0; c < cycles; c++) {
+		resid(u1, v1, r1, 18);
+		restrictGrid(r1, r2, 10);
+		zero3(u2, 10);
+		smooth(u2, r2, 10);
+		restrictGrid(r2, r3, 6);
+		zero3(u3, 6);
+		smooth(u3, r3, 6);
+		prolong(u3, u2, 6);
+		smooth(u2, r2, 10);
+		prolong(u2, u1, 10);
+		comm3(u1, 18);
+		smooth(u1, r1, 18);
+	}
+	resid(u1, v1, r1, 18);
+	print("mg", gridNorm(r1, 18));
+	return 0;
+}
+`

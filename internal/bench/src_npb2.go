@@ -1,0 +1,707 @@
+package bench
+
+// srcFT is the NPB FT kernel: spectral method — forward transform (row and
+// column DFT passes, each DOALL over lines), evolution in frequency space
+// (DOALL over cells), inverse transform, and a checksum reduction, iterated
+// over several time steps. The per-line transforms give the nested
+// structure where the paper observed a parent-vs-children planning choice.
+const srcFT = `
+// NPB FT kernel (class W scale-down).
+float re[24][24];
+float im[24][24];
+float wre[24][24];
+float wim[24][24];
+float expRe[24][24];
+float expIm[24][24];
+float ckRe;
+float ckIm;
+
+void initField(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			int t = i * 37 + j * 11;
+			t = t % 53;
+			re[i][j] = float(t) / 53.0 - 0.5;
+			im[i][j] = 0.0;
+		}
+	}
+}
+
+void initExponents(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			float ang = -0.05 * float(i*i + j*j);
+			expRe[i][j] = cos(ang);
+			expIm[i][j] = sin(ang);
+		}
+	}
+}
+
+// DFT each row of (re,im) into (wre,wim). DOALL over rows.
+void dftRows(int n, float sign) {
+	for (int r = 0; r < n; r++) {
+		for (int k = 0; k < n; k++) {
+			float sr = 0.0;
+			float si = 0.0;
+			for (int t = 0; t < n; t++) {
+				float ang = sign * 6.28318530718 * float(k * t) / float(n);
+				float c = cos(ang);
+				float s = sin(ang);
+				sr = sr + re[r][t] * c - im[r][t] * s;
+				si = si + re[r][t] * s + im[r][t] * c;
+			}
+			wre[r][k] = sr;
+			wim[r][k] = si;
+		}
+	}
+}
+
+// DFT each column of (wre,wim) back into (re,im). DOALL over columns.
+void dftCols(int n, float sign) {
+	for (int c = 0; c < n; c++) {
+		for (int k = 0; k < n; k++) {
+			float sr = 0.0;
+			float si = 0.0;
+			for (int t = 0; t < n; t++) {
+				float ang = sign * 6.28318530718 * float(k * t) / float(n);
+				float cc = cos(ang);
+				float ss = sin(ang);
+				sr = sr + wre[t][c] * cc - wim[t][c] * ss;
+				si = si + wre[t][c] * ss + wim[t][c] * cc;
+			}
+			re[k][c] = sr;
+			im[k][c] = si;
+		}
+	}
+}
+
+// Transpose for the column pass (real FT's inter-processor transpose).
+void transpose(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			wre[j][i] = re[i][j];
+			wim[j][i] = im[i][j];
+		}
+	}
+}
+
+// Evolve the spectrum: pointwise complex multiply. DOALL.
+void evolve(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			float a = re[i][j];
+			float b = im[i][j];
+			re[i][j] = a * expRe[i][j] - b * expIm[i][j];
+			im[i][j] = a * expIm[i][j] + b * expRe[i][j];
+		}
+	}
+}
+
+void checksum(int n) {
+	float sr = 0.0;
+	float si = 0.0;
+	for (int q = 0; q < n; q++) {
+		int i = (5 * q) % n;
+		int j = (3 * q) % n;
+		sr = sr + re[i][j];
+		si = si + im[i][j];
+	}
+	ckRe = ckRe + sr;
+	ckIm = ckIm + si;
+}
+
+int main() {
+	int n = 20;
+	int steps = 2;
+	initField(n);
+	initExponents(n);
+	for (int s = 0; s < steps; s++) {
+		dftRows(n, -1.0);
+		dftCols(n, -1.0);
+		evolve(n);
+		transpose(n);
+		dftRows(n, 1.0);
+		dftCols(n, 1.0);
+		checksum(n);
+	}
+	print("ft", ckRe, ckIm);
+	return 0;
+}
+`
+
+// srcBT is the NPB BT kernel: an ADI solver on a 3-D structured grid with
+// a 5-component state vector. Each time step computes right-hand sides
+// along the three directions (DOALL triple nests) and performs
+// line-solves along x, y, and z — serial along the solve axis, DOALL
+// across the other two. Many loop nests, like the original (whose MANUAL
+// version parallelized 54 regions).
+const srcBT = `
+// NPB BT kernel (class W scale-down).
+float u[10][10][10][5];
+float rhs[10][10][10][5];
+float forcing[10][10][10][5];
+
+void initU(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				for (int m = 0; m < 5; m++) {
+					int t = (i * 13 + j * 7 + k * 3 + m) % 23;
+					u[i][j][k][m] = 1.0 + float(t) / 23.0;
+					forcing[i][j][k][m] = 0.01 * float(m + 1);
+				}
+			}
+		}
+	}
+}
+
+void rhsX(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = forcing[i][j][k][m]
+						+ 0.1 * (u[i+1][j][k][m] - 2.0 * u[i][j][k][m] + u[i-1][j][k][m]);
+				}
+			}
+		}
+	}
+}
+
+void rhsY(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m]
+						+ 0.1 * (u[i][j+1][k][m] - 2.0 * u[i][j][k][m] + u[i][j-1][k][m]);
+				}
+			}
+		}
+	}
+}
+
+void rhsZ(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m]
+						+ 0.1 * (u[i][j][k+1][m] - 2.0 * u[i][j][k][m] + u[i][j][k-1][m]);
+				}
+			}
+		}
+	}
+}
+
+// Thomas-like line solve along x: DOALL over (j,k) planes, serial in i.
+void xSolve(int n) {
+	for (int j = 1; j < n-1; j++) {
+		for (int k = 1; k < n-1; k++) {
+			for (int i = 1; i < n-1; i++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m] + 0.2 * rhs[i-1][j][k][m]) / 1.2;
+				}
+			}
+			for (int i = n-3; i > 0; i--) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.2 * rhs[i+1][j][k][m] / 1.2;
+				}
+			}
+		}
+	}
+}
+
+void ySolve(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int k = 1; k < n-1; k++) {
+			for (int j = 1; j < n-1; j++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m] + 0.2 * rhs[i][j-1][k][m]) / 1.2;
+				}
+			}
+			for (int j = n-3; j > 0; j--) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.2 * rhs[i][j+1][k][m] / 1.2;
+				}
+			}
+		}
+	}
+}
+
+void zSolve(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m] + 0.2 * rhs[i][j][k-1][m]) / 1.2;
+				}
+			}
+			for (int k = n-3; k > 0; k--) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.2 * rhs[i][j][k+1][m] / 1.2;
+				}
+			}
+		}
+	}
+}
+
+void addUpdate(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					u[i][j][k][m] = u[i][j][k][m] + rhs[i][j][k][m];
+				}
+			}
+		}
+	}
+}
+
+// Face boundary conditions: small DOALL loops a thorough manual port
+// annotates even though the benefit is negligible.
+void boundaryX(int n) {
+	for (int j = 0; j < n; j++) {
+		for (int k = 0; k < n; k++) {
+			u[0][j][k][0] = u[1][j][k][0];
+			u[n-1][j][k][0] = u[n-2][j][k][0];
+		}
+	}
+}
+
+void boundaryY(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int k = 0; k < n; k++) {
+			u[i][0][k][1] = u[i][1][k][1];
+			u[i][n-1][k][1] = u[i][n-2][k][1];
+		}
+	}
+}
+
+void boundaryZ(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			u[i][j][0][2] = u[i][j][1][2];
+			u[i][j][n-1][2] = u[i][j][n-2][2];
+		}
+	}
+}
+
+// Fourth-order artificial dissipation along x (one of three in real BT;
+// the y/z analogues below complete the stage).
+void dissipX(int n) {
+	for (int i = 2; i < n-2; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.01 *
+						(u[i-2][j][k][m] - 4.0 * u[i-1][j][k][m] + 6.0 * u[i][j][k][m]
+						- 4.0 * u[i+1][j][k][m] + u[i+2][j][k][m]);
+				}
+			}
+		}
+	}
+}
+
+void dissipY(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 2; j < n-2; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.01 *
+						(u[i][j-2][k][m] - 4.0 * u[i][j-1][k][m] + 6.0 * u[i][j][k][m]
+						- 4.0 * u[i][j+1][k][m] + u[i][j+2][k][m]);
+				}
+			}
+		}
+	}
+}
+
+void dissipZ(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 2; k < n-2; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = rhs[i][j][k][m] - 0.01 *
+						(u[i][j][k-2][m] - 4.0 * u[i][j][k-1][m] + 6.0 * u[i][j][k][m]
+						- 4.0 * u[i][j][k+1][m] + u[i][j][k+2][m]);
+				}
+			}
+		}
+	}
+}
+
+float norm(int n) {
+	float s = 0.0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				for (int m = 0; m < 5; m++) {
+					s = s + u[i][j][k][m] * u[i][j][k][m];
+				}
+			}
+		}
+	}
+	return sqrt(s);
+}
+
+// Per-component rhs error norm: small diagnostic loops a manual port also
+// annotates.
+float rhsNorm(int n, int m) {
+	float s = 0.0;
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			s = s + rhs[i][j][n/2][m] * rhs[i][j][n/2][m];
+		}
+	}
+	return s;
+}
+
+int main() {
+	int n = 10;
+	int steps = 2;
+	float diag = 0.0;
+	initU(n);
+	for (int s = 0; s < steps; s++) {
+		rhsX(n);
+		rhsY(n);
+		rhsZ(n);
+		dissipX(n);
+		dissipY(n);
+		dissipZ(n);
+		xSolve(n);
+		ySolve(n);
+		zSolve(n);
+		addUpdate(n);
+		boundaryX(n);
+		boundaryY(n);
+		boundaryZ(n);
+		diag = diag + rhsNorm(n, 0) + rhsNorm(n, 4);
+	}
+	print("bt", norm(n), diag);
+	return 0;
+}
+`
+
+// srcSP is the NPB SP kernel: structurally a sibling of BT (same grid,
+// scalar pentadiagonal solves). The interesting property from the paper:
+// the MANUAL version parallelized only the fine-grained inner loops, while
+// Kremlin recommended the coarse (j,k)-plane parallelization that needs
+// privatization to express — giving the 1.85x win.
+const srcSP = `
+// NPB SP kernel (class W scale-down).
+float u[10][10][10][5];
+float rhs[10][10][10][5];
+float lhsCoef[10][10][10];
+float speed[10][10][10];
+
+void initU(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				for (int m = 0; m < 5; m++) {
+					int t = (i * 11 + j * 5 + k * 3 + m) % 19;
+					u[i][j][k][m] = 1.0 + float(t) / 19.0;
+				}
+				speed[i][j][k] = 0.5 + 0.01 * float((i + j + k) % 7);
+			}
+		}
+	}
+}
+
+void computeRhs(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = 0.05 * (u[i+1][j][k][m] + u[i-1][j][k][m]
+						+ u[i][j+1][k][m] + u[i][j-1][k][m]
+						+ u[i][j][k+1][m] + u[i][j][k-1][m]
+						- 6.0 * u[i][j][k][m]);
+				}
+			}
+		}
+	}
+}
+
+void lhsInit(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				lhsCoef[i][j][k] = 1.0 / (1.0 + 0.4 * speed[i][j][k]);
+			}
+		}
+	}
+}
+
+// Pentadiagonal-ish sweep along x: coarse parallelism across (j,k).
+void spXSolve(int n) {
+	for (int j = 1; j < n-1; j++) {
+		for (int k = 1; k < n-1; k++) {
+			for (int i = 2; i < n-1; i++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m]
+						+ 0.15 * rhs[i-1][j][k][m] + 0.05 * rhs[i-2][j][k][m]) * lhsCoef[i][j][k];
+				}
+			}
+		}
+	}
+}
+
+void spYSolve(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int k = 1; k < n-1; k++) {
+			for (int j = 2; j < n-1; j++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m]
+						+ 0.15 * rhs[i][j-1][k][m] + 0.05 * rhs[i][j-2][k][m]) * lhsCoef[i][j][k];
+				}
+			}
+		}
+	}
+}
+
+void spZSolve(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 2; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					rhs[i][j][k][m] = (rhs[i][j][k][m]
+						+ 0.15 * rhs[i][j][k-1][m] + 0.05 * rhs[i][j][k-2][m]) * lhsCoef[i][j][k];
+				}
+			}
+		}
+	}
+}
+
+void addUpdate(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				for (int m = 0; m < 5; m++) {
+					u[i][j][k][m] = u[i][j][k][m] + rhs[i][j][k][m];
+				}
+			}
+		}
+	}
+}
+
+// txinvr-like per-plane scaling: small, annotated by the manual port.
+void txinvr(int n) {
+	for (int j = 1; j < n-1; j++) {
+		for (int k = 1; k < n-1; k++) {
+			rhs[1][j][k][0] = rhs[1][j][k][0] * speed[1][j][k];
+			rhs[n-2][j][k][0] = rhs[n-2][j][k][0] * speed[n-2][j][k];
+		}
+	}
+}
+
+void pinvr(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int k = 1; k < n-1; k++) {
+			rhs[i][1][k][1] = rhs[i][1][k][1] * 0.98;
+			rhs[i][n-2][k][1] = rhs[i][n-2][k][1] * 0.98;
+		}
+	}
+}
+
+// tzetar-like block back-substitution scaling: DOALL triple nest.
+void tzetar(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				float sp0 = speed[i][j][k];
+				rhs[i][j][k][3] = rhs[i][j][k][3] * sp0;
+				rhs[i][j][k][4] = rhs[i][j][k][4] * sp0 + 0.1 * rhs[i][j][k][0];
+			}
+		}
+	}
+}
+
+float norm(int n) {
+	float s = 0.0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				for (int m = 0; m < 5; m++) {
+					s = s + u[i][j][k][m] * u[i][j][k][m];
+				}
+			}
+		}
+	}
+	return sqrt(s);
+}
+
+// Small per-plane diagnostic a manual port also annotates.
+float planeErr(int n, int j) {
+	float s = 0.0;
+	for (int i = 0; i < n; i++) {
+		for (int k = 0; k < n; k++) {
+			s = s + rhs[i][j][k][0] * rhs[i][j][k][0];
+		}
+	}
+	return s;
+}
+
+int main() {
+	int n = 10;
+	int steps = 2;
+	float diag = 0.0;
+	initU(n);
+	for (int s = 0; s < steps; s++) {
+		computeRhs(n);
+		lhsInit(n);
+		txinvr(n);
+		spXSolve(n);
+		spYSolve(n);
+		pinvr(n);
+		spZSolve(n);
+		tzetar(n);
+		addUpdate(n);
+		diag = diag + planeErr(n, n / 2);
+	}
+	print("sp", norm(n), diag);
+	return 0;
+}
+`
+
+// srcLU is the NPB LU kernel: SSOR with lower/upper triangular wavefront
+// sweeps. The sweep loops carry dependences along every axis, but the
+// wavefront (hyperplane) parallelism is visible to HCPA as high
+// self-parallelism with SP well below the iteration count — a DOACROSS
+// region requiring restructuring, exactly the paper's "non-intuitive
+// restructuring" case.
+const srcLU = `
+// NPB LU kernel (class W scale-down).
+float v[12][12][12];
+float rsd[12][12][12];
+float frct[12][12][12];
+float coef[12][12][12];
+
+void initAll(int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			for (int k = 0; k < n; k++) {
+				int t = (i * 29 + j * 13 + k * 5) % 41;
+				v[i][j][k] = float(t) / 41.0;
+				frct[i][j][k] = 0.02 * float((i + 2*j + 3*k) % 11);
+			}
+		}
+	}
+}
+
+// Residual: DOALL stencil.
+void computeRsd(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				rsd[i][j][k] = frct[i][j][k]
+					+ 0.1 * (v[i+1][j][k] + v[i-1][j][k]
+					+ v[i][j+1][k] + v[i][j-1][k]
+					+ v[i][j][k+1] + v[i][j][k-1]
+					- 6.0 * v[i][j][k]);
+			}
+		}
+	}
+}
+
+// jacld-like coefficient preparation: DOALL, feeds the lower sweep.
+void jacld(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				coef[i][j][k] = 1.0 / (1.36 + 0.02 * v[i][j][k]);
+			}
+		}
+	}
+}
+
+// Lower-triangular sweep: wavefront dependences on (i-1, j-1, k-1).
+void blts(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				rsd[i][j][k] = (rsd[i][j][k]
+					+ 0.12 * rsd[i-1][j][k]
+					+ 0.12 * rsd[i][j-1][k]
+					+ 0.12 * rsd[i][j][k-1]) * coef[i][j][k];
+			}
+		}
+	}
+}
+
+// Upper-triangular sweep: wavefront dependences on (i+1, j+1, k+1).
+void buts(int n) {
+	for (int i = n-2; i > 0; i--) {
+		for (int j = n-2; j > 0; j--) {
+			for (int k = n-2; k > 0; k--) {
+				rsd[i][j][k] = (rsd[i][j][k]
+					+ 0.12 * rsd[i+1][j][k]
+					+ 0.12 * rsd[i][j+1][k]
+					+ 0.12 * rsd[i][j][k+1]) / 1.36;
+			}
+		}
+	}
+}
+
+// Apply the update: DOALL.
+void update(int n) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				v[i][j][k] = v[i][j][k] + 0.9 * rsd[i][j][k];
+			}
+		}
+	}
+}
+
+float norm(int n) {
+	float s = 0.0;
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			for (int k = 1; k < n-1; k++) {
+				s = s + rsd[i][j][k] * rsd[i][j][k];
+			}
+		}
+	}
+	return sqrt(s);
+}
+
+// Small per-plane diagnostics a manual port also annotates.
+float planeNorm(int n, int i) {
+	float s = 0.0;
+	for (int j = 0; j < n; j++) {
+		for (int k = 0; k < n; k++) {
+			s = s + rsd[i][j][k] * rsd[i][j][k];
+		}
+	}
+	return s;
+}
+
+void scaleRsd(int n, float a) {
+	for (int i = 1; i < n-1; i++) {
+		for (int j = 1; j < n-1; j++) {
+			rsd[i][j][1] = rsd[i][j][1] * a;
+			rsd[i][j][n-2] = rsd[i][j][n-2] * a;
+		}
+	}
+}
+
+int main() {
+	int n = 12;
+	int steps = 3;
+	float diag = 0.0;
+	initAll(n);
+	for (int s = 0; s < steps; s++) {
+		computeRsd(n);
+		scaleRsd(n, 0.995);
+		jacld(n);
+		blts(n);
+		buts(n);
+		update(n);
+		diag = diag + planeNorm(n, n / 2);
+	}
+	print("lu", norm(n), diag);
+	return 0;
+}
+`

@@ -1,0 +1,294 @@
+package bench
+
+import "strings"
+
+// srcAmmp is the SPEC ammp kernel: molecular dynamics — per-atom force
+// accumulation over a precomputed neighbor list (DOALL over atoms), leapfrog
+// integration updates (DOALL), and a per-step energy reduction whose work is
+// too small to amortize OpenMP reduction overhead (the paper's example of a
+// reduction the planner must reject).
+const srcAmmp = `
+// SPEC ammp kernel (train scale-down).
+float px[200];
+float py[200];
+float pz[200];
+float vx[200];
+float vy[200];
+float vz[200];
+float fx[200];
+float fy[200];
+float fz[200];
+int nbStart[201];
+int nbList[3200];
+float energy;
+
+void placeAtoms(int n) {
+	for (int i = 0; i < n; i++) {
+		int t = i * 97 % 125;
+		px[i] = float(t % 5);
+		py[i] = float((t / 5) % 5);
+		pz[i] = float(t / 25);
+		vx[i] = 0.0;
+		vy[i] = 0.0;
+		vz[i] = 0.0;
+	}
+}
+
+// Static neighbor list: 16 pseudo-random neighbors per atom.
+void buildNeighbors(int n) {
+	for (int i = 0; i < n; i++) {
+		nbStart[i] = i * 16;
+		for (int k = 0; k < 16; k++) {
+			int j = (i * 31 + k * 67 + 5) % n;
+			if (j == i) { j = (j + 1) % n; }
+			nbList[i * 16 + k] = j;
+		}
+	}
+	nbStart[n] = n * 16;
+}
+
+// Lennard-Jones-ish forces: DOALL over atoms (each writes only its own f).
+void forces(int n) {
+	for (int i = 0; i < n; i++) {
+		float ax = 0.0;
+		float ay = 0.0;
+		float az = 0.0;
+		for (int k = nbStart[i]; k < nbStart[i+1]; k++) {
+			int j = nbList[k];
+			float dx = px[i] - px[j];
+			float dy = py[i] - py[j];
+			float dz = pz[i] - pz[j];
+			float r2 = dx*dx + dy*dy + dz*dz + 0.1;
+			float inv = 1.0 / r2;
+			float s = (inv * inv * inv - 0.5 * inv) * inv;
+			ax = ax + s * dx;
+			ay = ay + s * dy;
+			az = az + s * dz;
+		}
+		fx[i] = ax;
+		fy[i] = ay;
+		fz[i] = az;
+	}
+}
+
+// Integrate: DOALL over atoms.
+void integrate(int n, float dt) {
+	for (int i = 0; i < n; i++) {
+		vx[i] = vx[i] + dt * fx[i];
+		vy[i] = vy[i] + dt * fy[i];
+		vz[i] = vz[i] + dt * fz[i];
+		px[i] = px[i] + dt * vx[i];
+		py[i] = py[i] + dt * vy[i];
+		pz[i] = pz[i] + dt * vz[i];
+	}
+}
+
+// Tiny per-step energy reduction: not worth parallelizing (OpenMP
+// reduction overhead dominates).
+void accumEnergy(int n) {
+	for (int i = 0; i < n; i++) {
+		energy = energy + vx[i] * vx[i];
+	}
+}
+
+int main() {
+	int n = 200;
+	int steps = 8;
+	placeAtoms(n);
+	buildNeighbors(n);
+	for (int s = 0; s < steps; s++) {
+		forces(n);
+		integrate(n, 0.001);
+		accumEnergy(n);
+	}
+	print("ammp", energy);
+	return 0;
+}
+`
+
+// srcArt is the SPEC art kernel: an ART neural network scanning an image —
+// per-neuron activation (DOALL over neurons with an inner dot-product
+// reduction), winner-take-all search, weight update for the winner, and a
+// coarse scan loop over image windows.
+const srcArt = `
+// SPEC art kernel (train scale-down).
+float w[64][100];
+float input[100];
+float act[64];
+float image[40][40];
+int winners[36];
+float matchSum;
+
+void initWeights() {
+	for (int j = 0; j < 64; j++) {
+		for (int i = 0; i < 100; i++) {
+			w[j][i] = float((j * 17 + i * 3) % 13) / 13.0;
+		}
+	}
+}
+
+void initImage() {
+	for (int y = 0; y < 40; y++) {
+		for (int x = 0; x < 40; x++) {
+			image[y][x] = float((x * y + 3 * x + y) % 29) / 29.0;
+		}
+	}
+}
+
+// Extract a 10x10 window into the input vector.
+void loadWindow(int wy, int wx) {
+	for (int y = 0; y < 10; y++) {
+		for (int x = 0; x < 10; x++) {
+			input[y * 10 + x] = image[wy + y][wx + x];
+		}
+	}
+}
+
+// Per-neuron activation: DOALL over neurons.
+void computeActivations() {
+	for (int j = 0; j < 64; j++) {
+		float s = 0.0;
+		for (int i = 0; i < 100; i++) {
+			s = s + w[j][i] * input[i];
+		}
+		act[j] = s;
+	}
+}
+
+// Winner-take-all: small serial max scan.
+int findWinner() {
+	int best = 0;
+	float bestVal = act[0];
+	for (int j = 1; j < 64; j++) {
+		if (act[j] > bestVal) {
+			bestVal = act[j];
+			best = j;
+		}
+	}
+	return best;
+}
+
+// Update the winner's weights toward the input.
+void updateWinner(int j) {
+	for (int i = 0; i < 100; i++) {
+		w[j][i] = w[j][i] + 0.05 * (input[i] - w[j][i]);
+	}
+}
+
+// Scan all windows: the coarse outer match loop.
+void scanImage() {
+	for (int wy = 0; wy < 6; wy++) {
+		for (int wx = 0; wx < 6; wx++) {
+			loadWindow(wy * 5, wx * 5);
+			computeActivations();
+			int win = findWinner();
+			winners[wy * 6 + wx] = win;
+			matchSum = matchSum + act[win];
+			updateWinner(win);
+		}
+	}
+}
+
+int main() {
+	int epochs = 3;
+	initWeights();
+	initImage();
+	for (int e = 0; e < epochs; e++) {
+		scanImage();
+	}
+	print("art", matchSum, winners[0], winners[35]);
+	return 0;
+}
+`
+
+// srcEquake is the SPEC equake kernel: seismic wave propagation — a sparse
+// matrix-vector product over the stiffness matrix (DOALL over rows) inside
+// a serial time-integration loop, plus per-node displacement/velocity
+// updates (DOALL).
+const srcEquake = `
+// SPEC equake kernel (train scale-down).
+float kval[4800];
+int kcol[4800];
+int krow[601];
+float disp[600];
+float dispt[600];
+float vel[600];
+float mass[600];
+float src[600];
+float sumNorm;
+
+void buildMatrix(int n, int nz) {
+	for (int i = 0; i < n; i++) {
+		krow[i] = i * nz;
+		for (int k = 0; k < nz; k++) {
+			int j = (i * 53 + k * 179 + 11) % n;
+			kcol[i * nz + k] = j;
+			kval[i * nz + k] = 0.01 + float((i + k) % 7) * 0.003;
+		}
+		kcol[i * nz] = i;
+		kval[i * nz] = 1.5;
+		mass[i] = 1.0 + float(i % 5) * 0.1;
+	}
+	krow[n] = n * nz;
+}
+
+void initState(int n) {
+	for (int i = 0; i < n; i++) {
+		disp[i] = 0.0;
+		vel[i] = 0.0;
+		src[i] = 0.0;
+	}
+	src[n / 2] = 1.0;
+}
+
+// Sparse matvec: dispt = K * disp. DOALL over rows.
+void smvp(int n) {
+	for (int i = 0; i < n; i++) {
+		float s = 0.0;
+		for (int k = krow[i]; k < krow[i+1]; k++) {
+			s = s + kval[k] * disp[kcol[k]];
+		}
+		dispt[i] = s;
+	}
+}
+
+// Node update: DOALL over nodes.
+void advance(int n, float dt, float excite) {
+	for (int i = 0; i < n; i++) {
+		float acc = (excite * src[i] - dispt[i]) / mass[i];
+		vel[i] = 0.99 * (vel[i] + dt * acc);
+		disp[i] = disp[i] + dt * vel[i];
+	}
+}
+
+void accumNorm(int n) {
+	for (int i = 0; i < n; i++) {
+		sumNorm = sumNorm + disp[i] * disp[i];
+	}
+}
+
+int main() {
+	int n = 600;
+	int nz = 8;
+	int steps = 8;
+	buildMatrix(n, nz);
+	initState(n);
+	for (int t = 0; t < steps; t++) {
+		float excite = sin(0.3 * float(t));
+		smvp(n);
+		advance(n, 0.01, excite);
+		accumNorm(n);
+	}
+	print("equake", sqrt(sumNorm));
+	return 0;
+}
+`
+
+// Ref-input variants for the input-sensitivity experiment (§6.1): same
+// code, more time steps — SPEC's train→ref change scaled the workload, not
+// the program structure.
+var (
+	refAmmp   = strings.Replace(srcAmmp, "int steps = 8;", "int steps = 24;", 1)
+	refArt    = strings.Replace(srcArt, "int epochs = 3;", "int epochs = 18;", 1)
+	refEquake = strings.Replace(srcEquake, "int steps = 8;", "int steps = 28;", 1)
+)

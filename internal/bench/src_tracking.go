@@ -1,0 +1,152 @@
+package bench
+
+// srcTracking is the feature-tracking benchmark from the San Diego Vision
+// Benchmark Suite, the running example of the paper's Figures 2 and 3:
+// separable Gaussian blur (two loop nests), Sobel gradients, a per-pixel
+// corner ("lambda") computation, the fillFeatures nest of Figure 2 — where
+// only the innermost loop over features is parallel — and per-feature
+// patch interpolation.
+const srcTracking = `
+// SD-VBS feature tracking (scaled input).
+float img[34][34];
+float blurX[34][34];
+float blur[34][34];
+float dX[34][34];
+float dY[34][34];
+float lambda[34][34];
+float features[3][32];
+float patches[32][49];
+
+void loadImage(int rows, int cols) {
+	for (int i = 0; i < rows; i++) {
+		for (int j = 0; j < cols; j++) {
+			img[i][j] = float((i * j + 7 * i + 3 * j) % 61) / 61.0;
+		}
+	}
+}
+
+// Horizontal blur pass (paper lines 37-45).
+void imageBlurX(int rows, int cols) {
+	for (int i = 0; i < rows; i++) {
+		for (int j = 2; j < cols - 2; j++) {
+			blurX[i][j] = 0.0625 * img[i][j-2] + 0.25 * img[i][j-1]
+				+ 0.375 * img[i][j]
+				+ 0.25 * img[i][j+1] + 0.0625 * img[i][j+2];
+		}
+	}
+}
+
+// Vertical blur pass (paper lines 49-58).
+void imageBlurY(int rows, int cols) {
+	for (int i = 2; i < rows - 2; i++) {
+		for (int j = 0; j < cols; j++) {
+			blur[i][j] = 0.0625 * blurX[i-2][j] + 0.25 * blurX[i-1][j]
+				+ 0.375 * blurX[i][j]
+				+ 0.25 * blurX[i+1][j] + 0.0625 * blurX[i+2][j];
+		}
+	}
+}
+
+// Sobel derivative in x (paper calcSobel_dX).
+void calcSobelDX(int rows, int cols) {
+	for (int i = 1; i < rows - 1; i++) {
+		for (int j = 1; j < cols - 1; j++) {
+			dX[i][j] = blur[i-1][j+1] + 2.0 * blur[i][j+1] + blur[i+1][j+1]
+				- blur[i-1][j-1] - 2.0 * blur[i][j-1] - blur[i+1][j-1];
+		}
+	}
+}
+
+// Sobel derivative in y (paper calcSobel_dY).
+void calcSobelDY(int rows, int cols) {
+	for (int i = 1; i < rows - 1; i++) {
+		for (int j = 1; j < cols - 1; j++) {
+			dY[i][j] = blur[i+1][j-1] + 2.0 * blur[i+1][j] + blur[i+1][j+1]
+				- blur[i-1][j-1] - 2.0 * blur[i-1][j] - blur[i-1][j+1];
+		}
+	}
+}
+
+// Minimum eigenvalue of the structure tensor, per pixel.
+void calcLambda(int rows, int cols, int win) {
+	for (int i = win; i < rows - win; i++) {
+		for (int j = win; j < cols - win; j++) {
+			float gxx = 0.0;
+			float gxy = 0.0;
+			float gyy = 0.0;
+			for (int a = -2; a <= 2; a++) {
+				for (int b = -2; b <= 2; b++) {
+					float gx = dX[i+a][j+b];
+					float gy = dY[i+a][j+b];
+					gxx = gxx + gx * gx;
+					gxy = gxy + gx * gy;
+					gyy = gyy + gy * gy;
+				}
+			}
+			float tr = gxx + gyy;
+			float det = gxx * gyy - gxy * gxy;
+			float disc = sqrt(tr * tr - 4.0 * det + 0.0001);
+			lambda[i][j] = 0.5 * (tr - disc);
+		}
+	}
+}
+
+// The Figure-2 nest: scan pixels, keep the best nFeatures corners. The i/j
+// loops carry dependences through the features arrays; only the innermost
+// loop over k is parallel.
+void fillFeatures(int rows, int cols, int win, int nFeatures) {
+	for (int i = win; i < rows - win; i++) {
+		for (int j = win; j < cols - win; j++) {
+			float currLambda = lambda[i][j];
+			for (int k = 0; k < nFeatures; k++) {
+				if (features[2][k] < currLambda) {
+					features[0][k] = float(j);
+					features[1][k] = float(i);
+					features[2][k] = currLambda;
+				}
+			}
+		}
+	}
+}
+
+// Bilinear patch interpolation around each feature (paper getInterpPatch).
+void getInterpPatch(int nFeatures) {
+	for (int k = 0; k < nFeatures; k++) {
+		int fx = int(features[0][k]);
+		int fy = int(features[1][k]);
+		if (fx < 3) { fx = 3; }
+		if (fx > 30) { fx = 30; }
+		if (fy < 3) { fy = 3; }
+		if (fy > 30) { fy = 30; }
+		for (int a = 0; a < 7; a++) {
+			for (int b = 0; b < 7; b++) {
+				float p00 = blur[fy + a - 3][fx + b - 3];
+				float p01 = blur[fy + a - 3][fx + b - 2];
+				float p10 = blur[fy + a - 2][fx + b - 3];
+				float p11 = blur[fy + a - 2][fx + b - 2];
+				patches[k][a * 7 + b] = 0.25 * (p00 + p01 + p10 + p11);
+			}
+		}
+	}
+}
+
+int main() {
+	int rows = 34;
+	int cols = 34;
+	int frames = 3;
+	float sum = 0.0;
+	for (int f = 0; f < frames; f++) {
+		loadImage(rows, cols);
+		imageBlurX(rows, cols);
+		imageBlurY(rows, cols);
+		calcSobelDX(rows, cols);
+		calcSobelDY(rows, cols);
+		calcLambda(rows, cols, 3);
+		fillFeatures(rows, cols, 3, 32);
+		getInterpPatch(32);
+		sum = sum + features[2][0] + patches[0][24];
+	}
+	print("tracking", sum);
+	return 0;
+}
+`

@@ -1,0 +1,345 @@
+// Package cfg provides control-flow-graph analyses over IR functions:
+// reverse postorder, dominators and postdominators (Cooper-Harvey-Kennedy),
+// dominance frontiers, natural-loop detection, and control dependence.
+package cfg
+
+import (
+	"kremlin/internal/ir"
+)
+
+// Graph is an index-based view of a function's CFG. Node i corresponds to
+// Blocks[i]; the virtual exit node (for postdominance) is node N, present
+// only in the reverse analyses.
+type Graph struct {
+	Blocks []*ir.Block
+	index  map[*ir.Block]int
+	Succs  [][]int
+	Preds  [][]int
+}
+
+// New builds the index-based CFG of f. Blocks must all be reachable
+// (run irbuild's RemoveUnreachable first).
+func New(f *ir.Func) *Graph {
+	g := &Graph{Blocks: f.Blocks, index: make(map[*ir.Block]int, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		g.index[b] = i
+	}
+	g.Succs = make([][]int, len(f.Blocks))
+	g.Preds = make([][]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs {
+			g.Succs[i] = append(g.Succs[i], g.index[s])
+		}
+		for _, p := range b.Preds {
+			g.Preds[i] = append(g.Preds[i], g.index[p])
+		}
+	}
+	return g
+}
+
+// Index returns the node index of block b.
+func (g *Graph) Index(b *ir.Block) int { return g.index[b] }
+
+// RPO returns the reverse postorder of nodes reachable from entry (node 0).
+func (g *Graph) RPO() []int {
+	return rpoFrom(len(g.Blocks), 0, g.Succs)
+}
+
+func rpoFrom(n, root int, succs [][]int) []int {
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, v := range succs[u] {
+			if !visited[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(root)
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator array: idom[i] is the
+// immediate dominator of node i (idom[entry] == entry). Unreachable nodes
+// get idom -1.
+func (g *Graph) Dominators() []int {
+	return dominators(len(g.Blocks), 0, g.Succs, g.Preds)
+}
+
+// dominators is the Cooper-Harvey-Kennedy iterative algorithm.
+func dominators(n, entry int, succs, preds [][]int) []int {
+	rpo := rpoFrom(n, entry, succs)
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range rpo {
+		rpoNum[u] = i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo {
+			if u == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[u] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether node a dominates node b under idom.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == idom[b] || idom[b] == -1 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// DomTree returns the children lists of the dominator tree given idom.
+func DomTree(idom []int) [][]int {
+	children := make([][]int, len(idom))
+	for i, d := range idom {
+		if d != -1 && d != i {
+			children[d] = append(children[d], i)
+		}
+	}
+	return children
+}
+
+// DominanceFrontiers computes DF for every node (Cytron et al.).
+func (g *Graph) DominanceFrontiers(idom []int) [][]int {
+	n := len(g.Blocks)
+	df := make([]map[int]bool, n)
+	for i := range df {
+		df[i] = make(map[int]bool)
+	}
+	for b := 0; b < n; b++ {
+		if len(g.Preds[b]) < 2 {
+			continue
+		}
+		for _, p := range g.Preds[b] {
+			runner := p
+			for runner != -1 && runner != idom[b] {
+				df[runner][b] = true
+				if runner == idom[runner] {
+					break
+				}
+				runner = idom[runner]
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range df {
+		for b := range m {
+			out[i] = append(out[i], b)
+		}
+	}
+	return out
+}
+
+// Postdominators computes the immediate postdominator of every node.
+// A virtual exit (node index N == len(Blocks)) is wired after every return
+// block and, to handle infinite loops, after any block with no successors.
+// ipdom[i] == N means the node is postdominated only by the virtual exit.
+func (g *Graph) Postdominators() []int {
+	n := len(g.Blocks)
+	// Reverse graph with virtual exit node n.
+	rsuccs := make([][]int, n+1) // successors in reverse graph = preds in forward
+	rpreds := make([][]int, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Succs[u] {
+			rsuccs[v] = append(rsuccs[v], u)
+			rpreds[u] = append(rpreds[u], v)
+		}
+	}
+	exits := []int{}
+	for u := 0; u < n; u++ {
+		if len(g.Succs[u]) == 0 {
+			exits = append(exits, u)
+		}
+	}
+	if len(exits) == 0 {
+		// Infinite loop: anchor the virtual exit at the entry's last RPO node
+		// so the analysis still terminates; control dependence then treats
+		// everything as dependent, which is conservative and safe.
+		exits = append(exits, 0)
+	}
+	for _, e := range exits {
+		rsuccs[n] = append(rsuccs[n], e)
+		rpreds[e] = append(rpreds[e], n)
+	}
+	return dominators(n+1, n, rsuccs, rpreds)
+}
+
+// ControlDeps computes, for every node b, the set of branch nodes that b is
+// control dependent on (Ferrante et al., via the postdominance frontier).
+func (g *Graph) ControlDeps(ipdom []int) [][]int {
+	n := len(g.Blocks)
+	cd := make([]map[int]bool, n)
+	for i := range cd {
+		cd[i] = make(map[int]bool)
+	}
+	for a := 0; a < n; a++ {
+		if len(g.Succs[a]) < 2 {
+			continue
+		}
+		for _, s := range g.Succs[a] {
+			// Walk the postdominator tree from s up to (not including) ipdom(a).
+			runner := s
+			for runner != ipdom[a] && runner < n {
+				cd[runner][a] = true
+				if ipdom[runner] == runner || ipdom[runner] == -1 {
+					break
+				}
+				runner = ipdom[runner]
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range cd {
+		for b := range m {
+			out[i] = append(out[i], b)
+		}
+	}
+	return out
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	ID     int
+	Header *ir.Block
+	Blocks []*ir.Block // includes header
+	Parent *Loop       // innermost enclosing loop, or nil
+	Depth  int         // 1 for outermost
+	Exits  []*ir.Block // blocks outside the loop targeted from inside
+	// HeaderPos is the source offset of the loop statement, recorded by
+	// irbuild on the header block's first instruction.
+	inBody map[*ir.Block]bool
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool { return l.inBody[b] }
+
+// Loops finds the natural loops of g given the dominator array, merging
+// loops that share a header and computing the nesting forest. Loops are
+// returned outermost-first in each nest.
+func (g *Graph) Loops(idom []int) []*Loop {
+	n := len(g.Blocks)
+	byHeader := map[int][]int{} // header -> union of body node sets (as list w/ dedupe below)
+	for u := 0; u < n; u++ {
+		for _, h := range g.Succs[u] {
+			if Dominates(idom, h, u) {
+				// Back edge u->h: natural loop = h plus all nodes reaching u
+				// without passing h.
+				body := map[int]bool{h: true, u: true}
+				stack := []int{u}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range g.Preds[x] {
+						if !body[p] {
+							body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+				for b := range body {
+					byHeader[h] = append(byHeader[h], b)
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for h, rawBody := range byHeader {
+		set := map[int]bool{}
+		for _, b := range rawBody {
+			set[b] = true
+		}
+		l := &Loop{Header: g.Blocks[h], inBody: make(map[*ir.Block]bool)}
+		for b := range set {
+			l.Blocks = append(l.Blocks, g.Blocks[b])
+			l.inBody[g.Blocks[b]] = true
+		}
+		// Exits: successors outside the body.
+		seenExit := map[int]bool{}
+		for b := range set {
+			for _, s := range g.Succs[b] {
+				if !set[s] && !seenExit[s] {
+					seenExit[s] = true
+					l.Exits = append(l.Exits, g.Blocks[s])
+				}
+			}
+		}
+		loops = append(loops, l)
+	}
+	// Nesting: loop A is inside loop B if B contains A's header and A != B.
+	// Sort by body size descending so parents come first.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if len(loops[j].Blocks) > len(loops[i].Blocks) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	for i, l := range loops {
+		l.ID = i
+		// The innermost enclosing loop is the smallest loop containing the
+		// header that is not l itself; since loops are sorted by size
+		// descending, scan later (smaller) loops... but the parent must be
+		// larger, so scan earlier loops and keep the smallest match.
+		for j := i - 1; j >= 0; j-- {
+			if loops[j].Contains(l.Header) && loops[j] != l {
+				l.Parent = loops[j]
+				break // loops are size-descending, the closest previous match is the smallest enclosing
+			}
+		}
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+	}
+	return loops
+}

@@ -1,0 +1,334 @@
+package cfg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kremlin/internal/ir"
+)
+
+// buildFunc constructs an IR function with the given block count and edges
+// (no instructions needed for graph analyses except terminators implied by
+// edges; the cfg package only reads Preds/Succs).
+func buildFunc(n int, edges [][2]int) *ir.Func {
+	f := &ir.Func{Name: "g"}
+	blocks := make([]*ir.Block, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = f.NewBlock("b")
+	}
+	for _, e := range edges {
+		ir.AddEdge(blocks[e[0]], blocks[e[1]])
+	}
+	return f
+}
+
+// diamond: 0 -> 1,2 -> 3
+func diamond() *ir.Func {
+	return buildFunc(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+}
+
+// loopCFG: 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit)
+func loopCFG() *ir.Func {
+	return buildFunc(4, [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 3}})
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := New(diamond())
+	rpo := g.RPO()
+	if rpo[0] != 0 {
+		t.Errorf("rpo[0] = %d, want entry", rpo[0])
+	}
+	if len(rpo) != 4 {
+		t.Errorf("rpo covers %d nodes, want 4", len(rpo))
+	}
+	// In RPO, a node precedes its successors unless there is a back edge.
+	pos := make([]int, 4)
+	for i, u := range rpo {
+		pos[u] = i
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] {
+		t.Errorf("rpo order wrong: %v", rpo)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := New(diamond())
+	idom := g.Dominators()
+	want := []int{0, 0, 0, 0}
+	for i, w := range want {
+		if idom[i] != w {
+			t.Errorf("idom[%d] = %d, want %d", i, idom[i], w)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	g := New(loopCFG())
+	idom := g.Dominators()
+	if idom[1] != 0 || idom[2] != 1 || idom[3] != 1 {
+		t.Errorf("idom = %v", idom)
+	}
+	if !Dominates(idom, 1, 2) || Dominates(idom, 2, 3) {
+		t.Error("Dominates relation wrong")
+	}
+	if !Dominates(idom, 0, 3) {
+		t.Error("entry dominates everything")
+	}
+}
+
+func TestDomTreeChildren(t *testing.T) {
+	g := New(loopCFG())
+	children := DomTree(g.Dominators())
+	sort.Ints(children[1])
+	if len(children[0]) != 1 || children[0][0] != 1 {
+		t.Errorf("children[0] = %v", children[0])
+	}
+	if len(children[1]) != 2 {
+		t.Errorf("children[1] = %v", children[1])
+	}
+}
+
+func TestDominanceFrontierDiamond(t *testing.T) {
+	g := New(diamond())
+	df := g.DominanceFrontiers(g.Dominators())
+	if len(df[1]) != 1 || df[1][0] != 3 {
+		t.Errorf("DF(1) = %v, want [3]", df[1])
+	}
+	if len(df[2]) != 1 || df[2][0] != 3 {
+		t.Errorf("DF(2) = %v, want [3]", df[2])
+	}
+	if len(df[0]) != 0 {
+		t.Errorf("DF(0) = %v, want empty", df[0])
+	}
+}
+
+func TestDominanceFrontierLoopHeader(t *testing.T) {
+	g := New(loopCFG())
+	df := g.DominanceFrontiers(g.Dominators())
+	// The header is in its own dominance frontier (back edge).
+	found := false
+	for _, x := range df[2] {
+		if x == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DF(2) = %v should contain the header", df[2])
+	}
+}
+
+func TestPostdominators(t *testing.T) {
+	g := New(diamond())
+	ipdom := g.Postdominators()
+	if ipdom[1] != 3 || ipdom[2] != 3 || ipdom[0] != 3 {
+		t.Errorf("ipdom = %v", ipdom)
+	}
+	// Node 3's postdominator is the virtual exit (index 4).
+	if ipdom[3] != 4 {
+		t.Errorf("ipdom[3] = %d, want virtual exit 4", ipdom[3])
+	}
+}
+
+func TestControlDeps(t *testing.T) {
+	g := New(diamond())
+	cd := g.ControlDeps(g.Postdominators())
+	if len(cd[1]) != 1 || cd[1][0] != 0 {
+		t.Errorf("cd[1] = %v, want [0]", cd[1])
+	}
+	if len(cd[2]) != 1 || cd[2][0] != 0 {
+		t.Errorf("cd[2] = %v, want [0]", cd[2])
+	}
+	if len(cd[3]) != 0 {
+		t.Errorf("cd[3] = %v, want none (join postdominates branch)", cd[3])
+	}
+}
+
+func TestControlDepsLoop(t *testing.T) {
+	g := New(loopCFG())
+	cd := g.ControlDeps(g.Postdominators())
+	// The body (2) and the header itself (1) are control dependent on the
+	// header's branch.
+	has := func(deps []int, v int) bool {
+		for _, d := range deps {
+			if d == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(cd[2], 1) {
+		t.Errorf("body deps = %v, want header", cd[2])
+	}
+	if !has(cd[1], 1) {
+		t.Errorf("header deps = %v, want itself (loop)", cd[1])
+	}
+}
+
+func TestNaturalLoopDetection(t *testing.T) {
+	f := loopCFG()
+	g := New(f)
+	loops := g.Loops(g.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != f.Blocks[1] {
+		t.Errorf("header = %v", l.Header)
+	}
+	if len(l.Blocks) != 2 {
+		t.Errorf("body size = %d, want 2", len(l.Blocks))
+	}
+	if !l.Contains(f.Blocks[2]) || l.Contains(f.Blocks[3]) {
+		t.Error("Contains wrong")
+	}
+	if len(l.Exits) != 1 || l.Exits[0] != f.Blocks[3] {
+		t.Errorf("exits = %v", l.Exits)
+	}
+	if l.Depth != 1 || l.Parent != nil {
+		t.Errorf("depth=%d parent=%v", l.Depth, l.Parent)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner body) -> 2; 2 -> 4(latch) -> 1; 1 -> 5
+	f := buildFunc(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 2}, {2, 4}, {4, 1}, {1, 5}})
+	g := New(f)
+	loops := g.Loops(g.Dominators())
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	var outer, inner *Loop
+	for _, l := range loops {
+		if l.Header == f.Blocks[1] {
+			outer = l
+		}
+		if l.Header == f.Blocks[2] {
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing loop")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths = %d,%d", inner.Depth, outer.Depth)
+	}
+	if !outer.Contains(f.Blocks[3]) {
+		t.Error("outer loop should contain inner body")
+	}
+}
+
+func TestSharedHeaderLoopsMerge(t *testing.T) {
+	// Two back edges to the same header merge into one loop.
+	f := buildFunc(5, [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 3}, {3, 1}, {1, 4}})
+	g := New(f)
+	loops := g.Loops(g.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1 (merged)", len(loops))
+	}
+	if len(loops[0].Blocks) != 3 {
+		t.Errorf("merged body = %d blocks, want 3", len(loops[0].Blocks))
+	}
+}
+
+// randomCFG builds a connected random graph for property tests.
+func randomCFG(seedEdges []uint16, n int) *ir.Func {
+	f := &ir.Func{Name: "r"}
+	blocks := make([]*ir.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock("b")
+	}
+	// Spanning chain guarantees reachability.
+	for i := 1; i < n; i++ {
+		ir.AddEdge(blocks[i-1], blocks[i])
+	}
+	for _, e := range seedEdges {
+		from := int(e>>8) % n
+		to := int(e&0xff) % n
+		ir.AddEdge(blocks[from], blocks[to])
+	}
+	return f
+}
+
+// TestDominatorProperties: on random CFGs, (a) the entry dominates every
+// node, (b) idom(v) strictly dominates v, (c) every DF(u) member has a
+// predecessor dominated by u.
+func TestDominatorProperties(t *testing.T) {
+	check := func(seedEdges []uint16) bool {
+		n := 8
+		f := randomCFG(seedEdges, n)
+		g := New(f)
+		idom := g.Dominators()
+		for v := 0; v < n; v++ {
+			if !Dominates(idom, 0, v) {
+				return false
+			}
+			if v != 0 && (idom[v] == v || !Dominates(idom, idom[v], v)) {
+				return false
+			}
+		}
+		df := g.DominanceFrontiers(idom)
+		for u := 0; u < n; u++ {
+			for _, w := range df[u] {
+				ok := false
+				for _, p := range g.Preds[w] {
+					if Dominates(idom, u, p) {
+						ok = true
+					}
+				}
+				// u must dominate a predecessor of w but not strictly dominate w.
+				if !ok || (Dominates(idom, u, w) && u != w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoopProperties: every detected loop contains a back edge to its
+// header, the header dominates every back-edge source, exits are outside
+// the body, and the header is in the body. (Full header-dominates-body
+// only holds for reducible CFGs; random graphs here may be irreducible,
+// while CFGs built from Kr's structured control flow always are — see
+// TestStructuredLoopsHeaderDominated in irbuild.)
+func TestLoopProperties(t *testing.T) {
+	check := func(seedEdges []uint16) bool {
+		n := 8
+		f := randomCFG(seedEdges, n)
+		g := New(f)
+		idom := g.Dominators()
+		for _, l := range g.Loops(idom) {
+			if !l.Contains(l.Header) {
+				return false
+			}
+			h := g.Index(l.Header)
+			backEdge := false
+			for _, b := range l.Blocks {
+				for _, s := range b.Succs {
+					if s == l.Header && Dominates(idom, h, g.Index(b)) {
+						backEdge = true
+					}
+				}
+			}
+			if !backEdge {
+				return false
+			}
+			for _, e := range l.Exits {
+				if l.Contains(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package eval regenerates the paper's evaluation: every figure and table
+// of §6 plus the compression and overhead numbers of §4.4. Each experiment
+// returns plain data; cmd/kremlin-bench and the top-level benchmarks format
+// it.
+package eval
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"kremlin/internal/bench"
+	"kremlin/internal/exec"
+	"kremlin/internal/hcpa"
+	"kremlin/internal/planner"
+)
+
+// Machine returns the simulated target used by all experiments.
+func Machine() exec.Machine { return exec.Default32() }
+
+// PlanIDs extracts the region IDs of a plan.
+func PlanIDs(p *planner.Plan) []int {
+	ids := make([]int, len(p.Recs))
+	for i, r := range p.Recs {
+		ids[i] = r.Stats.Region.ID
+	}
+	return ids
+}
+
+func toSet(ids []int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Fig6Row is one row of the paper's Figure 6: plan sizes and performance
+// of Kremlin-planned vs MANUAL parallelization.
+type Fig6Row struct {
+	Name           string
+	ManualSize     int
+	KremlinSize    int
+	Overlap        int
+	SizeReduction  float64 // ManualSize / KremlinSize
+	ManualSpeedup  float64
+	KremlinSpeedup float64
+	Relative       float64 // Kremlin / Manual
+}
+
+// Fig6 computes plan-size and speedup comparisons for every benchmark.
+func Fig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		plan := c.Program.Plan(c.Profile, planner.OpenMP())
+		kIDs := PlanIDs(plan)
+		mIDs := bench.ManualPlan(b, c.Summary)
+
+		kSet, mSet := toSet(kIDs), toSet(mIDs)
+		overlap := 0
+		for id := range kSet {
+			if mSet[id] {
+				overlap++
+			}
+		}
+		m := Machine()
+		kRes := exec.BestConfig(c.Summary, kSet, m)
+		mRes := exec.BestConfig(c.Summary, mSet, m)
+
+		row := Fig6Row{
+			Name:           b.Name,
+			ManualSize:     len(mIDs),
+			KremlinSize:    len(kIDs),
+			Overlap:        overlap,
+			ManualSpeedup:  mRes.Speedup,
+			KremlinSpeedup: kRes.Speedup,
+		}
+		if row.KremlinSize > 0 {
+			row.SizeReduction = float64(row.ManualSize) / float64(row.KremlinSize)
+		}
+		if mRes.Speedup > 0 {
+			row.Relative = kRes.Speedup / mRes.Speedup
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Totals aggregates Figure 6(a)'s bottom row.
+func Fig6Totals(rows []Fig6Row) (manual, kremlin, overlap int, reduction, geomeanRel float64) {
+	prod := 1.0
+	n := 0
+	for _, r := range rows {
+		manual += r.ManualSize
+		kremlin += r.KremlinSize
+		overlap += r.Overlap
+		if r.Relative > 0 {
+			prod *= r.Relative
+			n++
+		}
+	}
+	if kremlin > 0 {
+		reduction = float64(manual) / float64(kremlin)
+	}
+	if n > 0 {
+		geomeanRel = pow(prod, 1/float64(n))
+	}
+	return
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+// Fig7Series is the marginal-benefit curve of one benchmark: cumulative
+// time reduction (%) as plan entries are applied in order; entries past
+// CutIndex are MANUAL-only regions (right of the paper's dotted line).
+type Fig7Series struct {
+	Name      string
+	Reduction []float64
+	CutIndex  int // number of Kremlin-recommended entries
+}
+
+// Fig7 computes the marginal-benefit curves.
+func Fig7() ([]Fig7Series, error) {
+	var out []Fig7Series
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		plan := c.Program.Plan(c.Profile, planner.OpenMP())
+		kIDs := PlanIDs(plan)
+		kSet := toSet(kIDs)
+
+		// MANUAL-only regions, largest coverage first.
+		mIDs := bench.ManualPlan(b, c.Summary)
+		var extra []int
+		for _, id := range mIDs {
+			if !kSet[id] {
+				extra = append(extra, id)
+			}
+		}
+		sort.Slice(extra, func(i, j int) bool {
+			return cov(c.Summary, extra[i]) > cov(c.Summary, extra[j])
+		})
+		order := append(append([]int{}, kIDs...), extra...)
+		out = append(out, Fig7Series{
+			Name:      b.Name,
+			Reduction: exec.MarginalSeries(c.Summary, order, Machine()),
+			CutIndex:  len(kIDs),
+		})
+	}
+	return out, nil
+}
+
+func cov(sum *hcpa.Summary, id int) float64 {
+	if st := sum.ByID(id); st != nil {
+		return st.Coverage
+	}
+	return 0
+}
+
+// Fig8Row is one benchmark's share of total realized benefit at 25%
+// increments of its plan.
+type Fig8Row struct {
+	Name     string
+	Fraction [4]float64 // benefit share after 25/50/75/100% of the plan
+}
+
+// Fig8 computes region-prioritization effectiveness.
+func Fig8() ([]Fig8Row, [4]float64, [4]float64, error) {
+	var rows []Fig8Row
+	var avg [4]float64
+	counted := 0
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, avg, avg, err
+		}
+		plan := c.Program.Plan(c.Profile, planner.OpenMP())
+		ids := PlanIDs(plan)
+		if len(ids) == 0 {
+			continue
+		}
+		series := exec.MarginalSeries(c.Summary, ids, Machine())
+		final := series[len(series)-1]
+		var row Fig8Row
+		row.Name = b.Name
+		for q := 0; q < 4; q++ {
+			idx := (len(ids)*(q+1) + 3) / 4 // ceil of quarter boundary
+			if idx > len(ids) {
+				idx = len(ids)
+			}
+			v := series[idx-1]
+			if final > 0 {
+				row.Fraction[q] = 100 * v / final
+			}
+		}
+		rows = append(rows, row)
+		for q := 0; q < 4; q++ {
+			avg[q] += row.Fraction[q]
+		}
+		counted++
+	}
+	var marginal [4]float64
+	if counted > 0 {
+		for q := 0; q < 4; q++ {
+			avg[q] /= float64(counted)
+		}
+		marginal[0] = avg[0]
+		for q := 1; q < 4; q++ {
+			marginal[q] = avg[q] - avg[q-1]
+		}
+	}
+	return rows, avg, marginal, nil
+}
+
+// Fig9Row is one benchmark's plan size under the three planner
+// configurations, as a percentage of its considered regions.
+type Fig9Row struct {
+	Name                        string
+	Total                       int // executed loop+func regions
+	Work                        int
+	WorkSP                      int
+	Full                        int
+	WorkPct, WorkSPPct, FullPct float64
+}
+
+// Fig9 evaluates plan-size reduction due to each planning component.
+func Fig9() ([]Fig9Row, [3]float64, error) {
+	var rows []Fig9Row
+	var avg [3]float64
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, avg, err
+		}
+		w := c.Program.Plan(c.Profile, planner.WorkOnly())
+		ws := c.Program.Plan(c.Profile, planner.WorkSP())
+		full := c.Program.Plan(c.Profile, planner.OpenMP())
+		row := Fig9Row{
+			Name:   b.Name,
+			Total:  full.Considered,
+			Work:   len(w.Recs),
+			WorkSP: len(ws.Recs),
+			Full:   len(full.Recs),
+		}
+		if row.Total > 0 {
+			row.WorkPct = 100 * float64(row.Work) / float64(row.Total)
+			row.WorkSPPct = 100 * float64(row.WorkSP) / float64(row.Total)
+			row.FullPct = 100 * float64(row.Full) / float64(row.Total)
+		}
+		rows = append(rows, row)
+		avg[0] += row.WorkPct
+		avg[1] += row.WorkSPPct
+		avg[2] += row.FullPct
+	}
+	for i := range avg {
+		avg[i] /= float64(len(rows))
+	}
+	return rows, avg, nil
+}
+
+// CompressionRow reports trace compression for one benchmark (§4.4).
+type CompressionRow struct {
+	Name       string
+	RawRecords uint64
+	RawBytes   uint64
+	Compressed uint64
+	Ratio      float64
+}
+
+// Compression measures raw-vs-compressed parallelism-profile sizes.
+func Compression() ([]CompressionRow, float64, error) {
+	var rows []CompressionRow
+	var totalRatio float64
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		raw := c.Profile.RawBytes()
+		comp := c.Profile.MarshalSize()
+		row := CompressionRow{
+			Name:       b.Name,
+			RawRecords: c.Profile.Dict.RawCount,
+			RawBytes:   raw,
+			Compressed: comp,
+		}
+		if comp > 0 {
+			row.Ratio = float64(raw) / float64(comp)
+		}
+		rows = append(rows, row)
+		totalRatio += row.Ratio
+	}
+	return rows, totalRatio / float64(len(rows)), nil
+}
+
+// OverheadRow reports instrumentation slowdown for one benchmark (§4.4:
+// HCPA instrumentation ≈ 50x over gprof-style instrumentation).
+type OverheadRow struct {
+	Name               string
+	Plain, Gprof, HCPA time.Duration
+	GprofSlowdown      float64 // gprof / plain
+	HCPASlowdown       float64 // hcpa / plain
+	VsGprof            float64 // hcpa / gprof
+}
+
+// Overhead times the three execution modes.
+func Overhead() ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		timeMode := func(run func() error) (time.Duration, error) {
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+		plain, err := timeMode(func() error { _, err := c.Program.Run(nil); return err })
+		if err != nil {
+			return nil, err
+		}
+		gp, err := timeMode(func() error { _, err := c.Program.RunGprof(nil); return err })
+		if err != nil {
+			return nil, err
+		}
+		hc, err := timeMode(func() error { _, _, err := c.Program.Profile(nil); return err })
+		if err != nil {
+			return nil, err
+		}
+		row := OverheadRow{Name: b.Name, Plain: plain, Gprof: gp, HCPA: hc}
+		if plain > 0 {
+			row.GprofSlowdown = float64(gp) / float64(plain)
+			row.HCPASlowdown = float64(hc) / float64(plain)
+		}
+		if gp > 0 {
+			row.VsGprof = float64(hc) / float64(gp)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SPClassification reproduces §6.2's false-positive comparison: the share
+// of regions classified low-parallelism by self-P vs total-P at the given
+// threshold, pooled over all benchmarks.
+func SPClassification(threshold float64) (selfLow, totalLow float64, regions int, err error) {
+	var sl, tl, n float64
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		s, t, k := c.Summary.LowParallelismShare(threshold)
+		sl += s * float64(k)
+		tl += t * float64(k)
+		n += float64(k)
+	}
+	if n == 0 {
+		return 0, 0, 0, nil
+	}
+	return sl / n, tl / n, int(n), nil
+}
+
+// SensitivityRow compares a train-input plan applied to the ref input.
+type SensitivityRow struct {
+	Name         string
+	TrainSpeedup float64
+	RefSpeedup   float64
+	PlanSize     int
+}
+
+// InputSensitivity reuses each SPEC benchmark's train-input plan on its
+// ref input (§6.1).
+func InputSensitivity() ([]SensitivityRow, error) {
+	var rows []SensitivityRow
+	for _, b := range bench.All() {
+		if b.RefSource == "" {
+			continue
+		}
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		plan := c.Program.Plan(c.Profile, planner.OpenMP())
+		ids := toSet(PlanIDs(plan))
+
+		refBench := &bench.Benchmark{Name: b.Name + "-ref", Suite: b.Suite, Source: b.RefSource, Style: b.Style, Input: "ref"}
+		rc, err := bench.Load(refBench)
+		if err != nil {
+			return nil, err
+		}
+		m := Machine()
+		trainRes := exec.BestConfig(c.Summary, ids, m)
+		refRes := exec.BestConfig(rc.Summary, ids, m)
+		rows = append(rows, SensitivityRow{
+			Name:         b.Name,
+			TrainSpeedup: trainRes.Speedup,
+			RefSpeedup:   refRes.Speedup,
+			PlanSize:     len(plan.Recs),
+		})
+	}
+	return rows, nil
+}
+
+// Fig3 renders the tracking benchmark's plan in the paper's UI format.
+func Fig3() (string, error) {
+	c, err := bench.Load(bench.Tracking())
+	if err != nil {
+		return "", err
+	}
+	plan := c.Program.Plan(c.Profile, planner.OpenMP())
+	var sb strings.Builder
+	sb.WriteString("$> make CC=kremlin-cc\n$> ./tracking data\n$> kremlin tracking --personality=openmp\n\n")
+	sb.WriteString(plan.Render())
+	return sb.String(), nil
+}
+
+// ScalingRow is one benchmark's simulated speedup at each core count under
+// its Kremlin plan — the absolute-speedup data annotated on the paper's
+// Figure 6(b) bars (their programs ranged 1.5x–25.89x at the best
+// configuration).
+type ScalingRow struct {
+	Name     string
+	Speedups []float64 // cores 1,2,4,8,16,32
+	Best     float64
+}
+
+// Scaling sweeps core counts for every benchmark.
+func Scaling() ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, b := range bench.All() {
+		c, err := bench.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		plan := toSet(PlanIDs(c.Program.Plan(c.Profile, planner.OpenMP())))
+		row := ScalingRow{Name: b.Name}
+		m := Machine()
+		for p := 1; p <= 32; p *= 2 {
+			r := exec.Simulate(c.Summary, plan, m.WithCores(p))
+			row.Speedups = append(row.Speedups, r.Speedup)
+			if r.Speedup > row.Best {
+				row.Best = r.Speedup
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,245 @@
+// Package exec simulates the parallel execution of a profiled program
+// under a parallelization plan — the stand-in for the paper's 32-core AMD
+// 8380 testbed. The simulator walks the compressed profile (children
+// before parents, so one ascending pass over the alphabet suffices) and
+// applies an OpenMP-like cost model: a parallelized region's instances run
+// in max(cp, work/min(SP, P)) time plus fork/join, per-iteration
+// scheduling, reduction, and DOACROSS-synchronization overheads, and a
+// NUMA data-migration penalty that shrinks as more of the program runs
+// parallel (the effect the paper observed: parallelizing later regions
+// reduces migration, so marginal benefits can be noisy).
+//
+// Absolute times are in abstract work units; all of the paper's
+// conclusions we reproduce are relative (plan A vs plan B on the same
+// machine model), which the shared cost model preserves.
+package exec
+
+import (
+	"math"
+
+	"kremlin/internal/hcpa"
+	"kremlin/internal/regions"
+)
+
+// Machine is the simulated target.
+type Machine struct {
+	Cores int
+	// ForkCost is charged per parallel-region instance (thread team
+	// start/join). It grows mildly with the core count.
+	ForkCost float64
+	// SchedCost is charged per scheduled iteration, amortized across cores.
+	SchedCost float64
+	// ReductionCost is charged per core per instance of a parallel region
+	// containing a reduction.
+	ReductionCost float64
+	// SyncCost is charged per iteration of a DOACROSS (non-DOALL) parallel
+	// region: cross-iteration synchronization.
+	SyncCost float64
+	// MigrationFactor scales the NUMA data-migration penalty on parallel
+	// regions; the penalty fades as the parallel fraction of the program
+	// grows.
+	MigrationFactor float64
+	// NestedParallel models a work-stealing runtime (Cilk++): parallel
+	// regions compose, so a selected region keeps the (possibly already
+	// parallel) times of its children instead of serializing below itself
+	// as OpenMP does.
+	NestedParallel bool
+}
+
+// Default32 models the paper's 32-core NUMA machine.
+func Default32() Machine {
+	return Machine{
+		Cores:           32,
+		ForkCost:        220,
+		SchedCost:       2.5,
+		ReductionCost:   45,
+		SyncCost:        14,
+		MigrationFactor: 0.35,
+	}
+}
+
+// WithCores returns a copy of m with a different core count.
+func (m Machine) WithCores(p int) Machine {
+	m.Cores = p
+	return m
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	Cores      int
+	SerialTime float64
+	ParTime    float64
+	Speedup    float64
+	// ParCoverage is the fraction of serial work inside parallelized regions.
+	ParCoverage float64
+}
+
+// Simulate runs the program of sum under the plan (region IDs chosen for
+// parallelization) on machine m.
+func Simulate(sum *hcpa.Summary, plan map[int]bool, m Machine) Result {
+	dict := sum.Prof.Dict
+	times := make([]float64, len(dict.Entries))
+
+	// Parallel coverage for the migration model: work inside selected
+	// regions that are not nested inside another selected region.
+	parWork := coveredWork(sum, plan)
+	serial := float64(sum.TotalWork)
+	parCov := 0.0
+	if serial > 0 {
+		parCov = parWork / serial
+	}
+	migPenalty := 1 + m.MigrationFactor*(1-parCov)
+
+	p := float64(m.Cores)
+	for c, e := range dict.Entries {
+		var childTime float64
+		var nchild int64
+		for _, k := range e.Children {
+			childTime += float64(k.Count) * times[k.Char]
+			nchild += k.Count
+		}
+		em := sum.Entries[c]
+		self := float64(em.SelfWork)
+		seq := self + childTime
+
+		r := sum.Prog.Regions[e.StaticID]
+		if !plan[r.ID] || m.Cores <= 1 {
+			times[c] = seq
+			continue
+		}
+		st := sum.ByID(r.ID)
+		sp := em.SelfP
+		if sp > p {
+			sp = p
+		}
+		if sp < 1 {
+			sp = 1
+		}
+		// OpenMP semantics: inside a parallel region, nested pragmas are
+		// ineffective — everything below this region runs serial, so the
+		// region's own serial time is its total work, not the (possibly
+		// already-parallelized) child times. A work-stealing runtime
+		// (NestedParallel) composes instead.
+		inner := float64(e.Work)
+		if m.NestedParallel {
+			inner = seq
+		}
+		t := inner / sp
+		if cp := float64(e.CP); t < cp {
+			t = cp
+		}
+		// Overheads.
+		t += m.ForkCost * (1 + 0.08*p)
+		t += m.SchedCost * float64(nchild) / p
+		if st != nil && st.HasReduction {
+			t += m.ReductionCost * p
+		}
+		// DOACROSS synchronization: charged to loops whose iterations truly
+		// overlap only partially. Reduction loops are not DOACROSS — their
+		// carried dependence is handled by the reduction clause (charged
+		// above), not per-iteration synchronization.
+		if st != nil && !st.DOALL && !st.HasReduction && r.Kind == regions.LoopRegion {
+			t += m.SyncCost * float64(nchild)
+		}
+		t *= migPenalty
+		if t > seq {
+			t = seq // parallelizing here would lose to the plan below; skip it
+		}
+		times[c] = t
+	}
+
+	var total float64
+	for _, root := range sum.Prof.Roots {
+		total += times[root]
+	}
+	// Physical floor: P cores can never beat serial/P, however the plan
+	// composes (matters for nested work-stealing composition).
+	if floor := serial / p; total < floor {
+		total = floor
+	}
+	res := Result{
+		Cores:       m.Cores,
+		SerialTime:  serial,
+		ParTime:     total,
+		ParCoverage: parCov,
+	}
+	if total > 0 {
+		res.Speedup = serial / total
+	}
+	return res
+}
+
+// coveredWork sums the work of outermost selected regions.
+func coveredWork(sum *hcpa.Summary, plan map[int]bool) float64 {
+	dict := sum.Prof.Dict
+	// covered[c]: work within entry c that is inside some selected region.
+	covered := make([]float64, len(dict.Entries))
+	for c, e := range dict.Entries {
+		r := sum.Prog.Regions[e.StaticID]
+		if plan[r.ID] {
+			covered[c] = float64(e.Work)
+			continue
+		}
+		for _, k := range e.Children {
+			covered[c] += float64(k.Count) * covered[k.Char]
+		}
+	}
+	var w float64
+	for _, root := range sum.Prof.Roots {
+		w += covered[root]
+	}
+	return w
+}
+
+// BestConfig sweeps the paper's core configurations (1..32 by powers of
+// two) and returns the best result, mirroring §6.1's methodology of
+// reporting each version's best configuration.
+func BestConfig(sum *hcpa.Summary, plan map[int]bool, m Machine) Result {
+	best := Result{ParTime: math.Inf(1)}
+	for pcount := 1; pcount <= m.Cores; pcount *= 2 {
+		r := Simulate(sum, plan, m.WithCores(pcount))
+		if r.ParTime < best.ParTime {
+			best = r
+		}
+	}
+	return best
+}
+
+// PlanIDs converts a list of region IDs into the set form Simulate expects.
+func PlanIDs(ids ...int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// MarginalSeries applies the ordered region IDs one at a time and reports
+// the cumulative time reduction (percent of serial time) after each step —
+// the data behind the paper's Figure 7.
+func MarginalSeries(sum *hcpa.Summary, order []int, m Machine) []float64 {
+	out := make([]float64, len(order))
+	cur := map[int]bool{}
+	for i, id := range order {
+		cur[id] = true
+		r := BestConfig(sum, cur, m)
+		out[i] = 100 * (1 - r.ParTime/r.SerialTime)
+	}
+	return out
+}
+
+// IdealSpeedup is the whole-program total-parallelism bound — work divided
+// by the root critical path. No machine, no plan: the ceiling any
+// parallelization of the observed execution could reach (the number
+// classic CPA reports, and the upper bound Kismet-style predictors start
+// from).
+func IdealSpeedup(sum *hcpa.Summary) float64 {
+	var cp float64
+	for _, root := range sum.Prof.Roots {
+		cp += float64(sum.Prof.Dict.Entries[root].CP)
+	}
+	if cp == 0 {
+		return 1
+	}
+	return float64(sum.TotalWork) / cp
+}

@@ -1,0 +1,337 @@
+package exec_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kremlin"
+	"kremlin/internal/eval"
+	. "kremlin/internal/exec"
+	"kremlin/internal/hcpa"
+	"kremlin/internal/planner"
+	"kremlin/internal/regions"
+)
+
+const simSrc = `
+float a[400];
+float b[400];
+float total;
+
+void fill(int n) {
+	for (int i = 0; i < n; i++) {
+		a[i] = float(i % 31) * 0.5;
+	}
+}
+void transform(int n) {
+	for (int i = 0; i < n; i++) {
+		b[i] = a[i] * a[i] + 1.0;
+	}
+}
+void chain(int n) {
+	for (int i = 1; i < n; i++) {
+		b[i] = b[i] + b[i-1] * 0.01;
+	}
+}
+void reduce(int n) {
+	for (int i = 0; i < n; i++) {
+		total = total + b[i];
+	}
+}
+int main() {
+	fill(400);
+	transform(400);
+	chain(400);
+	reduce(400);
+	print(total);
+	return 0;
+}
+`
+
+func summary(t *testing.T) *hcpa.Summary {
+	t.Helper()
+	prog, err := kremlin.Compile("sim.kr", simSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Summarize(prof)
+}
+
+func openmpPlan(t *testing.T, sum *hcpa.Summary) []int {
+	t.Helper()
+	return eval.PlanIDs(planner.Make(sum, planner.OpenMP()))
+}
+
+func TestEmptyPlanIsSerial(t *testing.T) {
+	sum := summary(t)
+	r := Simulate(sum, nil, Default32())
+	if r.Speedup < 0.999 || r.Speedup > 1.001 {
+		t.Errorf("empty plan speedup = %f, want 1", r.Speedup)
+	}
+	if r.ParTime != r.SerialTime {
+		t.Errorf("par %f != serial %f", r.ParTime, r.SerialTime)
+	}
+	if r.ParCoverage != 0 {
+		t.Errorf("coverage = %f", r.ParCoverage)
+	}
+}
+
+func TestSingleCoreNeverSpeedsUp(t *testing.T) {
+	sum := summary(t)
+	plan := PlanIDs(openmpPlan(t, sum)...)
+	r := Simulate(sum, plan, Default32().WithCores(1))
+	if r.Speedup > 1.0001 {
+		t.Errorf("1-core speedup = %f", r.Speedup)
+	}
+}
+
+func TestGoodPlanSpeedsUp(t *testing.T) {
+	sum := summary(t)
+	plan := PlanIDs(openmpPlan(t, sum)...)
+	r := BestConfig(sum, plan, Default32())
+	if r.Speedup < 1.5 {
+		t.Errorf("plan speedup = %f, want > 1.5", r.Speedup)
+	}
+	if r.ParCoverage <= 0 || r.ParCoverage > 1 {
+		t.Errorf("coverage = %f", r.ParCoverage)
+	}
+}
+
+func TestParallelizationNeverForced(t *testing.T) {
+	// Selecting every region (even serial ones) must never be slower than
+	// serial: the simulator falls back when overheads lose.
+	sum := summary(t)
+	all := map[int]bool{}
+	for _, st := range sum.Executed {
+		if st.Region.Kind == regions.LoopRegion {
+			all[st.Region.ID] = true
+		}
+	}
+	r := BestConfig(sum, all, Default32())
+	if r.Speedup < 1 {
+		t.Errorf("everything-plan speedup = %f, want >= 1", r.Speedup)
+	}
+}
+
+func TestMorePlanNeverHurtsUnderBestConfig(t *testing.T) {
+	sum := summary(t)
+	ids := openmpPlan(t, sum)
+	m := Default32()
+	prev := 0.0
+	cur := map[int]bool{}
+	for _, id := range ids {
+		cur[id] = true
+		r := BestConfig(sum, cur, m)
+		if r.Speedup < prev-1e-9 {
+			t.Errorf("adding region %d decreased speedup %f -> %f", id, prev, r.Speedup)
+		}
+		prev = r.Speedup
+	}
+}
+
+func TestMarginalSeriesMonotone(t *testing.T) {
+	sum := summary(t)
+	ids := openmpPlan(t, sum)
+	series := MarginalSeries(sum, ids, Default32())
+	if len(series) != len(ids) {
+		t.Fatalf("series length %d != plan %d", len(series), len(ids))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1]-1e-9 {
+			t.Errorf("cumulative reduction decreased at %d: %v", i, series)
+		}
+	}
+	for _, v := range series {
+		if v < 0 || v > 100 {
+			t.Errorf("reduction %f out of range", v)
+		}
+	}
+}
+
+func TestBestConfigAtLeastSerial(t *testing.T) {
+	sum := summary(t)
+	plan := PlanIDs(openmpPlan(t, sum)...)
+	best := BestConfig(sum, plan, Default32())
+	if best.Speedup < 1 {
+		t.Errorf("best config slower than serial: %f", best.Speedup)
+	}
+	for p := 1; p <= 32; p *= 2 {
+		r := Simulate(sum, plan, Default32().WithCores(p))
+		if r.ParTime < best.ParTime-1e-9 {
+			t.Errorf("BestConfig missed cores=%d (%f < %f)", p, r.ParTime, best.ParTime)
+		}
+	}
+}
+
+func TestNestedSelectionDoesNotMultiply(t *testing.T) {
+	// OpenMP semantics: selecting both a loop and its inner loop must not
+	// beat selecting just the outer loop by more than noise.
+	sum := summary(t)
+	var outer, inner int
+	found := false
+	for _, st := range sum.Executed {
+		if st.Region.Kind == regions.LoopRegion && st.Region.Func.Name == "transform" {
+			outer = st.Region.ID
+			for _, c := range st.Region.Children { // body
+				for _, cc := range c.Children {
+					if cc.Kind == regions.LoopRegion {
+						inner = cc.ID
+						found = true
+					}
+				}
+			}
+		}
+	}
+	_ = inner
+	if !found {
+		// transform has no inner loop; synthesize with outer only.
+		inner = outer
+	}
+	m := Default32()
+	solo := Simulate(sum, PlanIDs(outer), m)
+	both := Simulate(sum, PlanIDs(outer, inner), m)
+	if both.ParTime < solo.ParTime*0.99 {
+		t.Errorf("nested selection multiplied speedup: %f vs %f", both.ParTime, solo.ParTime)
+	}
+}
+
+// TestSimulatorSanityProperty: for random machine parameters, simulated
+// parallel time stays within (0, serial].
+func TestSimulatorSanityProperty(t *testing.T) {
+	sum := summary(t)
+	plan := PlanIDs(openmpPlan(t, sum)...)
+	check := func(fork, sched uint16, cores uint8) bool {
+		m := Machine{
+			Cores:           int(cores%64) + 1,
+			ForkCost:        float64(fork),
+			SchedCost:       float64(sched) / 16,
+			ReductionCost:   float64(fork) / 8,
+			SyncCost:        float64(sched) / 8,
+			MigrationFactor: float64(cores%10) / 10,
+		}
+		r := Simulate(sum, plan, m)
+		return r.ParTime > 0 && r.ParTime <= r.SerialTime*1.0001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// costSummary builds a summary for a program dominated by one loop of the
+// given character, for cost-model assertions.
+func costSummary(t *testing.T, body string) *hcpa.Summary {
+	t.Helper()
+	prog, err := kremlin.Compile("cost.kr", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Summarize(prof)
+}
+
+func loopID(t *testing.T, sum *hcpa.Summary, fn string) int {
+	t.Helper()
+	for _, st := range sum.Executed {
+		if st.Region.Func.Name == fn && st.Region.Kind == regions.LoopRegion &&
+			st.Region.Parent.Kind == regions.FuncRegion {
+			return st.Region.ID
+		}
+	}
+	t.Fatalf("no loop in %s", fn)
+	return -1
+}
+
+// TestReductionCostCharged: a reduction region pays the per-core reduction
+// overhead — raising ReductionCost must slow it down.
+func TestReductionCostCharged(t *testing.T) {
+	sum := costSummary(t, `
+float a[2000];
+float total;
+void f() {
+	for (int i = 0; i < 2000; i++) { total = total + a[i]; }
+}
+int main() { f(); print(total); return 0; }`)
+	plan := PlanIDs(loopID(t, sum, "f"))
+	cheap := Default32()
+	dear := cheap
+	dear.ReductionCost = cheap.ReductionCost * 40
+	rc := Simulate(sum, plan, cheap)
+	rd := Simulate(sum, plan, dear)
+	if rd.ParTime <= rc.ParTime {
+		t.Errorf("reduction cost not charged: %f vs %f", rd.ParTime, rc.ParTime)
+	}
+}
+
+// TestSyncCostChargedForDOACROSS: a non-DOALL parallel loop pays
+// per-iteration synchronization; a DOALL one does not.
+func TestSyncCostChargedForDOACROSS(t *testing.T) {
+	sum := costSummary(t, `
+float g[64][64];
+void wave() {
+	for (int i = 1; i < 64; i++) {
+		for (int j = 1; j < 64; j++) {
+			g[i][j] = (g[i-1][j] + g[i][j-1]) * 0.5;
+		}
+	}
+}
+int main() { g[0][0] = 1.0; wave(); print(g[63][63]); return 0; }`)
+	id := loopID(t, sum, "wave")
+	if st := sum.ByID(id); st.DOALL {
+		t.Fatal("wavefront misclassified DOALL")
+	}
+	plan := PlanIDs(id)
+	base := Default32()
+	noSync := base
+	noSync.SyncCost = 0
+	withSync := Simulate(sum, plan, base)
+	without := Simulate(sum, plan, noSync)
+	if withSync.ParTime <= without.ParTime {
+		t.Errorf("DOACROSS sync cost not charged: %f vs %f", withSync.ParTime, without.ParTime)
+	}
+}
+
+// TestMigrationPenaltyFadesWithCoverage: with a bigger parallel fraction,
+// the per-region NUMA penalty shrinks (the paper's Figure-7 noise source).
+func TestMigrationPenaltyFades(t *testing.T) {
+	sum := summary(t)
+	ids := openmpPlan(t, sum)
+	if len(ids) < 2 {
+		t.Skip("plan too small")
+	}
+	m := Default32()
+	// Time attributed to region ids[0] alone vs. with everything else also
+	// parallel: the shared migration penalty drops in the second case, so
+	// total time with the full plan is at most the sum of parts.
+	solo := Simulate(sum, PlanIDs(ids[0]), m)
+	full := Simulate(sum, PlanIDs(ids...), m)
+	if full.ParCoverage <= solo.ParCoverage {
+		t.Fatalf("coverage did not grow: %f vs %f", full.ParCoverage, solo.ParCoverage)
+	}
+	if full.ParTime >= solo.ParTime {
+		t.Errorf("full plan (%f) not faster than single region (%f)", full.ParTime, solo.ParTime)
+	}
+}
+
+// TestIdealSpeedupBoundsEverything: no plan on any core count beats the
+// whole-program CPA bound.
+func TestIdealSpeedupBound(t *testing.T) {
+	sum := summary(t)
+	bound := IdealSpeedup(sum)
+	if bound < 1 {
+		t.Fatalf("ideal bound %f < 1", bound)
+	}
+	all := map[int]bool{}
+	for _, st := range sum.Executed {
+		all[st.Region.ID] = true
+	}
+	r := BestConfig(sum, all, Default32())
+	if r.Speedup > bound+1e-9 {
+		t.Errorf("simulated speedup %f exceeds the CPA bound %f", r.Speedup, bound)
+	}
+}

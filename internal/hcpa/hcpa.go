@@ -1,0 +1,231 @@
+// Package hcpa turns a compressed parallelism profile into the paper's
+// per-region metrics. Self-parallelism (§4.3) factors the parallelism of a
+// region's children out of the region's own parallelism:
+//
+//	SP(R) = (Σₖ cp(child(R,k)) + SW(R)) / cp(R)
+//	SW(R) = work(R) − Σₖ work(child(R,k))
+//
+// Both are computed directly on the dictionary alphabet — each character
+// summarizes many dynamic regions, so one pass over the alphabet covers
+// the whole trace without decompression (§4.4).
+package hcpa
+
+import (
+	"kremlin/internal/ir"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+)
+
+// EntryMetrics are the per-alphabet-character metrics.
+type EntryMetrics struct {
+	SelfP     float64 // self-parallelism of this dynamic region shape
+	TotalP    float64 // work / cp (classic CPA parallelism)
+	SelfWork  uint64
+	ChildCP   uint64 // Σ count·cp(child)
+	NumChild  int64
+	IdealTime float64 // work / SP: the planner's lower bound on parallel ET
+}
+
+// RegionStats aggregates all dynamic instances of one static region.
+type RegionStats struct {
+	Region    *regions.Region
+	Instances int64
+	TotalWork uint64  // Σ work over instances
+	TotalCP   uint64  // Σ cp over instances
+	IdealTime float64 // Σ work/SP over instances
+	Coverage  float64 // TotalWork / program work
+	SelfP     float64 // work-weighted effective self-parallelism
+	TotalP    float64 // work-weighted total-parallelism
+	AvgIters  float64 // average child count (loop: iterations)
+	DOALL     bool    // loop whose SP tracks its iteration count
+	// HasReduction marks regions containing a statically-detected reduction
+	// (the OpenMP personality requires extra work to amortize them).
+	HasReduction bool
+}
+
+// Summary is the profile-wide aggregation.
+type Summary struct {
+	Prog      *regions.Program
+	Prof      *profile.Profile
+	Entries   []EntryMetrics // parallel to Prof.Dict.Entries
+	Counts    []int64        // instance count per character
+	Stats     []*RegionStats // indexed by region ID; nil if never executed
+	Executed  []*RegionStats // non-nil entries of Stats
+	TotalWork uint64
+}
+
+// DOALLRatio is how close a loop's self-parallelism must be to its
+// iteration count to be classified DOALL.
+const DOALLRatio = 0.9
+
+// Summarize computes metrics for every alphabet character and aggregates
+// them per static region.
+func Summarize(prof *profile.Profile, prog *regions.Program) *Summary {
+	dict := prof.Dict
+	s := &Summary{
+		Prog:    prog,
+		Prof:    prof,
+		Entries: make([]EntryMetrics, len(dict.Entries)),
+		Counts:  prof.InstanceCounts(),
+		Stats:   make([]*RegionStats, len(prog.Regions)),
+	}
+
+	// Children are interned before parents, so one ascending pass works.
+	for c, e := range dict.Entries {
+		var childCP, childWork uint64
+		var nchild int64
+		for _, k := range e.Children {
+			ce := dict.Entries[k.Char]
+			childCP += uint64(k.Count) * ce.CP
+			childWork += uint64(k.Count) * ce.Work
+			nchild += k.Count
+		}
+		sw := uint64(0)
+		if e.Work > childWork {
+			sw = e.Work - childWork
+		}
+		cp := e.CP
+		if cp == 0 {
+			cp = 1
+		}
+		sp := float64(childCP+sw) / float64(cp)
+		if sp < 1 {
+			sp = 1
+		}
+		tp := float64(e.Work) / float64(cp)
+		if tp < 1 {
+			tp = 1
+		}
+		s.Entries[c] = EntryMetrics{
+			SelfP:     sp,
+			TotalP:    tp,
+			SelfWork:  sw,
+			ChildCP:   childCP,
+			NumChild:  nchild,
+			IdealTime: float64(e.Work) / sp,
+		}
+	}
+
+	// Aggregate per static region.
+	for c, e := range dict.Entries {
+		n := s.Counts[c]
+		if n == 0 {
+			continue
+		}
+		r := prog.Regions[e.StaticID]
+		st := s.Stats[r.ID]
+		if st == nil {
+			st = &RegionStats{Region: r}
+			s.Stats[r.ID] = st
+		}
+		st.Instances += n
+		st.TotalWork += uint64(n) * e.Work
+		st.TotalCP += uint64(n) * e.CP
+		st.IdealTime += float64(n) * s.Entries[c].IdealTime
+		st.AvgIters += float64(n * s.Entries[c].NumChild)
+	}
+	s.TotalWork = prof.TotalWork()
+
+	for _, st := range s.Stats {
+		if st == nil {
+			continue
+		}
+		if st.IdealTime > 0 {
+			st.SelfP = float64(st.TotalWork) / st.IdealTime
+		} else {
+			st.SelfP = 1
+		}
+		if st.SelfP < 1 {
+			st.SelfP = 1
+		}
+		if st.TotalCP > 0 {
+			st.TotalP = float64(st.TotalWork) / float64(st.TotalCP)
+		} else {
+			st.TotalP = 1
+		}
+		if st.TotalP < 1 {
+			st.TotalP = 1
+		}
+		if s.TotalWork > 0 {
+			st.Coverage = float64(st.TotalWork) / float64(s.TotalWork)
+		}
+		if st.Instances > 0 {
+			st.AvgIters /= float64(st.Instances)
+		}
+		if st.Region.Kind == regions.LoopRegion && st.AvgIters >= 2 {
+			st.DOALL = st.SelfP >= DOALLRatio*st.AvgIters
+		}
+		st.HasReduction = regionHasReduction(st.Region, prog)
+		s.Executed = append(s.Executed, st)
+	}
+	return s
+}
+
+// regionHasReduction reports whether any instruction in the region's
+// source extent carries a reduction annotation.
+func regionHasReduction(r *regions.Region, prog *regions.Program) bool {
+	fi := prog.PerFunc[r.Func]
+	if fi == nil {
+		return false
+	}
+	for blk, path := range fi.NestPath {
+		inRegion := false
+		for _, pr := range path {
+			if pr == r {
+				inRegion = true
+				break
+			}
+		}
+		if !inRegion {
+			continue
+		}
+		for _, ins := range blk.Instrs {
+			if ins.Reduction {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ByID returns stats for a region ID, or nil.
+func (s *Summary) ByID(id int) *RegionStats {
+	if id < 0 || id >= len(s.Stats) {
+		return nil
+	}
+	return s.Stats[id]
+}
+
+// LowParallelismShare classifies every executed region against the
+// threshold and reports the fraction with parallelism below it — once
+// using self-parallelism and once using total-parallelism. This reproduces
+// the paper's §6.2 comparison (self-P flags 2.28× more regions as
+// low-parallelism than total-P, eliminating false positives).
+func (s *Summary) LowParallelismShare(threshold float64) (selfLow, totalLow float64, n int) {
+	var sl, tl int
+	for _, st := range s.Executed {
+		n++
+		if st.SelfP < threshold {
+			sl++
+		}
+		if st.TotalP < threshold {
+			tl++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(sl) / float64(n), float64(tl) / float64(n), n
+}
+
+// SerialWork returns the summed work of instructions; exposed so callers
+// can sanity-check profile work against an uninstrumented run.
+func SerialWork(f *ir.Func) uint64 {
+	var w uint64
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			w += ins.Latency()
+		}
+	}
+	return w
+}

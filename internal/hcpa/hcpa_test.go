@@ -1,0 +1,188 @@
+package hcpa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kremlin/internal/ir"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+	"kremlin/internal/source"
+)
+
+// synthProgram builds a minimal region structure: main func region (0),
+// loop region (1), body region (2).
+func synthProgram() *regions.Program {
+	f := &ir.Func{Name: "main"}
+	f.NewBlock("entry")
+	m := &ir.Module{Name: "synth", Funcs: []*ir.Func{f}, ByName: map[string]*ir.Func{"main": f}}
+	src := source.NewFile("synth.kr", "int main() { }\n")
+	prog := regions.Analyze(m, src)
+	// Hand-add loop and body regions under main.
+	root := prog.PerFunc[f].Root
+	loop := &regions.Region{ID: 1, Kind: regions.LoopRegion, Func: f, Parent: root, Name: "L", File: "synth.kr", StartLine: 1, EndLine: 1}
+	body := &regions.Region{ID: 2, Kind: regions.BodyRegion, Func: f, Parent: loop, Name: "B", File: "synth.kr", StartLine: 1, EndLine: 1}
+	root.Children = append(root.Children, loop)
+	loop.Children = append(loop.Children, body)
+	prog.Regions = append(prog.Regions, loop, body)
+	return prog
+}
+
+// figure5Profile encodes Figure 5: a loop with n children of critical path
+// cpi each; parallel=true means the loop's own cp equals cpi (children
+// overlap fully), serial means cp = n*cpi.
+func figure5Profile(n int, cpi uint64, parallel bool) *profile.Profile {
+	p := profile.New()
+	body := p.Dict.Intern(2, cpi, cpi, nil) // serial body: work == cp
+	loopCP := cpi * uint64(n)
+	if parallel {
+		loopCP = cpi
+	}
+	loop := p.Dict.Intern(1, cpi*uint64(n), loopCP, map[int32]int64{body: int64(n)})
+	root := p.Dict.Intern(0, cpi*uint64(n)+10, loopCP+10, map[int32]int64{loop: 1})
+	p.AddRoot(root)
+	return p
+}
+
+// TestFigure5Parallel: SP of a region whose n children fully overlap is n.
+func TestFigure5Parallel(t *testing.T) {
+	prog := synthProgram()
+	for _, n := range []int{2, 8, 100} {
+		sum := Summarize(figure5Profile(n, 50, true), prog)
+		st := sum.ByID(1)
+		if st == nil {
+			t.Fatal("loop stats missing")
+		}
+		if math.Abs(st.SelfP-float64(n)) > 1e-9 {
+			t.Errorf("n=%d: SP = %.3f, want %d", n, st.SelfP, n)
+		}
+		if !st.DOALL {
+			t.Errorf("n=%d: parallel loop should be DOALL", n)
+		}
+	}
+}
+
+// TestFigure5Serial: SP of a region whose children must execute serially
+// is 1.
+func TestFigure5Serial(t *testing.T) {
+	prog := synthProgram()
+	sum := Summarize(figure5Profile(10, 50, false), prog)
+	st := sum.ByID(1)
+	if math.Abs(st.SelfP-1) > 1e-9 {
+		t.Errorf("SP = %.3f, want 1", st.SelfP)
+	}
+	if st.DOALL {
+		t.Error("serial loop must not be DOALL")
+	}
+	// Classic CPA (total parallelism) also reports 1 here.
+	if math.Abs(st.TotalP-1) > 1e-9 {
+		t.Errorf("TP = %.3f, want 1", st.TotalP)
+	}
+}
+
+// TestSelfParallelismLocalizes: the parent of a parallel loop has SP near
+// 1 even though its total-parallelism is high — the paper's core claim.
+func TestSelfParallelismLocalizes(t *testing.T) {
+	prog := synthProgram()
+	sum := Summarize(figure5Profile(100, 50, true), prog)
+	rootSt := sum.ByID(0)
+	if rootSt.TotalP < 50 {
+		t.Errorf("root total-parallelism = %.1f, want high (inherited)", rootSt.TotalP)
+	}
+	if rootSt.SelfP > 2 {
+		t.Errorf("root self-parallelism = %.1f, want ~1 (localized away)", rootSt.SelfP)
+	}
+}
+
+// TestSelfWorkCapture: self-work contributes parallelism at the parent.
+func TestSelfWorkCapture(t *testing.T) {
+	p := profile.New()
+	child := p.Dict.Intern(1, 100, 100, nil) // serial child
+	// Parent: child plus 300 units of its own work, cp only 100 -> its own
+	// work overlaps the child: SP = (100+300)/100 = 4.
+	parent := p.Dict.Intern(0, 400, 100, map[int32]int64{child: 1})
+	p.AddRoot(parent)
+	sum := Summarize(p, synthProgram())
+	if sp := sum.Entries[parent].SelfP; math.Abs(sp-4) > 1e-9 {
+		t.Errorf("SP = %.3f, want 4", sp)
+	}
+}
+
+func TestLowParallelismShare(t *testing.T) {
+	prog := synthProgram()
+	sum := Summarize(figure5Profile(100, 50, true), prog)
+	selfLow, totalLow, n := sum.LowParallelismShare(5.0)
+	if n != 3 {
+		t.Fatalf("regions = %d", n)
+	}
+	// Root and body are low by self-P; loop is not. By total-P, root and
+	// loop are high (inherited), body low.
+	if math.Abs(selfLow-2.0/3.0) > 1e-9 {
+		t.Errorf("selfLow = %.3f", selfLow)
+	}
+	if math.Abs(totalLow-1.0/3.0) > 1e-9 {
+		t.Errorf("totalLow = %.3f", totalLow)
+	}
+}
+
+// TestInvariants: for any well-formed profile, 1 <= SP <= TP per entry,
+// and coverage of the root is 1.
+func TestInvariantsProperty(t *testing.T) {
+	prog := synthProgram()
+	check := func(works []uint16, cps []uint16) bool {
+		if len(works) == 0 || len(cps) == 0 {
+			return true
+		}
+		p := profile.New()
+		var chars []int32
+		var totalKids uint64
+		for i, w := range works {
+			cp := uint64(cps[i%len(cps)])%(uint64(w)+1) + 1
+			kids := map[int32]int64{}
+			if len(chars) > 0 && i%2 == 0 {
+				kids[chars[len(chars)-1]] = 1
+				totalKids++
+			}
+			work := uint64(w) + 1
+			// Ensure work >= cp and >= child work for well-formedness.
+			if len(kids) > 0 {
+				cw := p.Dict.Entries[chars[len(chars)-1]].Work
+				work += cw
+				if ccp := p.Dict.Entries[chars[len(chars)-1]].CP; cp < ccp {
+					cp = ccp
+				}
+			}
+			chars = append(chars, p.Dict.Intern(int32(i%3), work, cp, kids))
+		}
+		p.AddRoot(chars[len(chars)-1])
+		sum := Summarize(p, prog)
+		for _, em := range sum.Entries {
+			if em.SelfP < 1 || em.TotalP < 1 {
+				return false
+			}
+			if em.SelfP > em.TotalP+1e-9 {
+				return false // TP >= SP always: work >= sum(child cp) + self work
+			}
+		}
+		for _, st := range sum.Executed {
+			if st.Coverage < 0 || st.Coverage > 1.0001 {
+				return false
+			}
+			if st.SelfP > st.TotalP+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByIDBounds(t *testing.T) {
+	sum := Summarize(figure5Profile(3, 10, true), synthProgram())
+	if sum.ByID(-1) != nil || sum.ByID(999) != nil {
+		t.Error("out-of-range ByID should be nil")
+	}
+}

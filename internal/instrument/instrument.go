@@ -1,0 +1,74 @@
+// Package instrument computes the static side of Kremlin's two
+// instrumentation steps (§3): critical-path instrumentation (which branch
+// pushes a control dependence, and where it pops — the branch's immediate
+// postdominator, per the control-dependence-stack scheme of Xin & Zhang)
+// and region instrumentation (which CFG edges enter, exit, or iterate
+// regions). The interpreter consults this table instead of rewriting code,
+// which is the natural equivalent of static instrumentation for an IR that
+// is executed in-process.
+package instrument
+
+import (
+	"kremlin/internal/cfg"
+	"kremlin/internal/ir"
+	"kremlin/internal/regions"
+)
+
+// FuncInstr is the per-function instrumentation table.
+type FuncInstr struct {
+	Fn *ir.Func
+	// PopAt maps a two-successor (branch) block to the block at which its
+	// control-dependence entry is popped; nil when the branch's
+	// postdominator is the function exit (the entry then pops with the
+	// frame).
+	PopAt map[*ir.Block]*ir.Block
+	// Events memoizes the region transitions of each CFG edge,
+	// keyed by from.ID<<32|to.ID.
+	Events map[uint64]regions.EdgeEvents
+	Info   *regions.FuncInfo
+}
+
+// EdgeEvents returns the (memoized) region events of the edge from→to.
+func (fi *FuncInstr) EdgeEvents(from, to *ir.Block) regions.EdgeEvents {
+	key := uint64(from.ID)<<32 | uint64(uint32(to.ID))
+	ev, ok := fi.Events[key]
+	if !ok {
+		ev = fi.Info.Edge(from, to)
+		fi.Events[key] = ev
+	}
+	return ev
+}
+
+// Module is the instrumentation table for a whole program.
+type Module struct {
+	Prog    *regions.Program
+	PerFunc map[*ir.Func]*FuncInstr
+}
+
+// Build computes instrumentation tables for every function of prog.
+func Build(prog *regions.Program) *Module {
+	mi := &Module{Prog: prog, PerFunc: make(map[*ir.Func]*FuncInstr)}
+	for _, f := range prog.Module.Funcs {
+		fi := &FuncInstr{
+			Fn:     f,
+			PopAt:  make(map[*ir.Block]*ir.Block),
+			Events: make(map[uint64]regions.EdgeEvents),
+			Info:   prog.PerFunc[f],
+		}
+		g := cfg.New(f)
+		ipdom := g.Postdominators()
+		n := len(f.Blocks)
+		for i, b := range f.Blocks {
+			if len(b.Succs) < 2 {
+				continue
+			}
+			if p := ipdom[i]; p >= 0 && p < n {
+				fi.PopAt[b] = g.Blocks[p]
+			} else {
+				fi.PopAt[b] = nil // pops with the frame
+			}
+		}
+		mi.PerFunc[f] = fi
+	}
+	return mi
+}

@@ -1,0 +1,168 @@
+package instrument
+
+import (
+	"testing"
+
+	"kremlin/internal/analysis"
+	"kremlin/internal/ir"
+	"kremlin/internal/irbuild"
+	"kremlin/internal/parser"
+	"kremlin/internal/regions"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+func build(t *testing.T, src string) *Module {
+	t.Helper()
+	errs := &source.ErrorList{}
+	file := source.NewFile("t.kr", src)
+	tree := parser.Parse(file, errs)
+	info := types.Check(tree, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("frontend: %v", errs.Err())
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("build: %v", errs.Err())
+	}
+	analysis.Run(mod)
+	return Build(regions.Analyze(mod, file))
+}
+
+const src = `
+int f(int x) {
+	int r = 0;
+	if (x > 0) {
+		r = 1;
+	} else {
+		r = 2;
+	}
+	for (int i = 0; i < x; i++) {
+		if (i % 2 == 0) {
+			r += i;
+		}
+	}
+	return r;
+}
+int main() { return f(9); }
+`
+
+// TestPopAtCoversBranches: every 2-successor block gets a pop point
+// (possibly nil for branches postdominated only by the exit).
+func TestPopAtCoversBranches(t *testing.T) {
+	mi := build(t, src)
+	for f, fi := range mi.PerFunc {
+		for _, b := range f.Blocks {
+			if len(b.Succs) < 2 {
+				if _, ok := fi.PopAt[b]; ok {
+					t.Errorf("%s: non-branch block %s has a pop point", f.Name, b)
+				}
+				continue
+			}
+			popAt, ok := fi.PopAt[b]
+			if !ok {
+				t.Errorf("%s: branch block %s lacks a pop entry", f.Name, b)
+				continue
+			}
+			if popAt == b {
+				t.Errorf("%s: branch %s pops at itself", f.Name, b)
+			}
+		}
+	}
+}
+
+// TestIfPopsAtJoin: the diamond's branch pops at the join block.
+func TestIfPopsAtJoin(t *testing.T) {
+	mi := build(t, src)
+	f := mi.Prog.Module.ByName["f"]
+	fi := mi.PerFunc[f]
+	found := false
+	for b, popAt := range fi.PopAt {
+		if popAt == nil {
+			continue
+		}
+		// The if-diamond: both successors non-header blocks, pop point has
+		// two predecessors.
+		if len(b.Succs) == 2 && len(popAt.Preds) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no diamond branch with a join pop point found")
+	}
+}
+
+// TestEdgeEventsMemoized: repeated queries return consistent results and
+// populate the cache.
+func TestEdgeEventsMemoized(t *testing.T) {
+	mi := build(t, src)
+	f := mi.Prog.Module.ByName["f"]
+	fi := mi.PerFunc[f]
+	var from, to *ir.Block
+	for _, b := range f.Blocks {
+		if len(b.Succs) > 0 {
+			from, to = b, b.Succs[0]
+			break
+		}
+	}
+	ev1 := fi.EdgeEvents(from, to)
+	before := len(fi.Events)
+	ev2 := fi.EdgeEvents(from, to)
+	if len(fi.Events) != before {
+		t.Error("memoization did not stick")
+	}
+	if len(ev1.Enter) != len(ev2.Enter) || len(ev1.Exit) != len(ev2.Exit) || ev1.Iterate != ev2.Iterate {
+		t.Error("memoized result differs")
+	}
+}
+
+// TestLoopBackEdgeIterates: the loop's latch->header edge is classified as
+// an iteration.
+func TestLoopBackEdgeIterates(t *testing.T) {
+	mi := build(t, src)
+	f := mi.Prog.Module.ByName["f"]
+	fi := mi.PerFunc[f]
+	count := 0
+	for header, lr := range fi.Info.HeaderOf {
+		l := fi.Info.LoopOf[lr]
+		for _, pred := range header.Preds {
+			if !l.Contains(pred) {
+				continue
+			}
+			ev := fi.EdgeEvents(pred, header)
+			if ev.Iterate == nil || ev.Iterate.Kind != regions.BodyRegion {
+				t.Errorf("back edge %s->%s not an iteration: %+v", pred, header, ev)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no back edges found")
+	}
+}
+
+// TestEventsBalance: over any single edge, enters and exits keep the
+// region stack well formed (each Enter's parent is on the path).
+func TestEventsBalance(t *testing.T) {
+	mi := build(t, src)
+	for f, fi := range mi.PerFunc {
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs {
+				ev := fi.EdgeEvents(b, s)
+				// Exits come innermost-first: each exited region's parent
+				// is the next exit or remains on the stack.
+				for i := 1; i < len(ev.Exit); i++ {
+					if ev.Exit[i-1].Parent != ev.Exit[i] {
+						t.Errorf("%s->%s: exits out of order", b, s)
+					}
+				}
+				// Enters come outermost-first.
+				for i := 1; i < len(ev.Enter); i++ {
+					if ev.Enter[i].Parent != ev.Enter[i-1] {
+						t.Errorf("%s->%s: enters out of order", b, s)
+					}
+				}
+			}
+		}
+	}
+}

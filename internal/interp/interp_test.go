@@ -1,0 +1,480 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kremlin/internal/analysis"
+	"kremlin/internal/instrument"
+	"kremlin/internal/ir"
+	"kremlin/internal/irbuild"
+	"kremlin/internal/parser"
+	"kremlin/internal/regions"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+type compiled struct {
+	mod  *ir.Module
+	prog *regions.Program
+	mi   *instrument.Module
+}
+
+func compile(t *testing.T, src string) compiled {
+	t.Helper()
+	errs := &source.ErrorList{}
+	file := source.NewFile("t.kr", src)
+	tree := parser.Parse(file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs.Err())
+	}
+	info := types.Check(tree, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("check: %v", errs.Err())
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("build: %v", errs.Err())
+	}
+	analysis.Run(mod)
+	prog := regions.Analyze(mod, file)
+	return compiled{mod: mod, prog: prog, mi: instrument.Build(prog)}
+}
+
+// runOut executes src in plain mode and returns its printed output.
+func runOut(t *testing.T, src string) string {
+	t.Helper()
+	c := compile(t, src)
+	var out bytes.Buffer
+	if _, err := Run(c.mod, Config{Out: &out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func expectOut(t *testing.T, src, want string) {
+	t.Helper()
+	if got := runOut(t, src); got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func wrap(body string) string {
+	return "int main() {\n" + body + "\nreturn 0;\n}\n"
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, wrap(`print(2+3*4, 10/3, 10%3, 7-10, -(2+3));`), "14 3 1 -3 -5\n")
+	expectOut(t, wrap(`print(1.5*4.0, 7.0/2.0, -2.5);`), "6 3.5 -2.5\n")
+	expectOut(t, wrap(`print(1.0/0.0);`), "+Inf\n") // float division: IEEE semantics
+}
+
+func TestMixedArithmeticWidens(t *testing.T) {
+	expectOut(t, wrap(`print(1 + 0.5, 3 * 0.5, float(7)/2);`), "1.5 1.5 3.5\n")
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectOut(t, wrap(`print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4, 1 == 2, 1 != 2);`),
+		"true true false true false true\n")
+	expectOut(t, wrap(`print(true && false, true || false, !true);`), "false true false\n")
+	expectOut(t, wrap(`print(1.5 < 2.5, 2.5 == 2.5);`), "true true\n")
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+int calls;
+bool bump(bool r) { calls = calls + 1; return r; }
+int main() {
+	bool a = bump(false) && bump(true); // rhs skipped
+	bool b = bump(true) || bump(true);  // rhs skipped
+	print(a, b, calls);
+	return 0;
+}`
+	expectOut(t, src, "false true 2\n")
+}
+
+func TestConversions(t *testing.T) {
+	expectOut(t, wrap(`print(int(2.9), int(-2.9), float(3));`), "2 -2 3\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOut(t, wrap(`
+int s = 0;
+for (int i = 0; i < 10; i++) {
+	if (i == 3) { continue; }
+	if (i == 7) { break; }
+	s += i;
+}
+int w = 0;
+while (w < 5) { w++; }
+print(s, w);`), "18 5\n")
+}
+
+func TestNestedLoopsAndElseIf(t *testing.T) {
+	expectOut(t, wrap(`
+int c = 0;
+for (int i = 0; i < 4; i++) {
+	for (int j = 0; j < 4; j++) {
+		if (i == j) { c += 10; }
+		else if (i < j) { c += 1; }
+		else { c -= 1; }
+	}
+}
+print(c);`), "40\n")
+}
+
+func TestArrays(t *testing.T) {
+	expectOut(t, `
+int g[3][4];
+int main() {
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 4; j++) {
+			g[i][j] = i * 10 + j;
+		}
+	}
+	int local[5];
+	local[0] = g[2][3];
+	local[4] = local[0] + 1;
+	print(g[0][0], g[2][3], local[4], dim(g, 0), dim(g, 1), dim(local, 0));
+	return 0;
+}`, "0 23 24 3 4 5\n")
+}
+
+func TestArrayParamsShareStorage(t *testing.T) {
+	expectOut(t, `
+float m[2][2];
+void set(float a[][], int i, int j, float v) { a[i][j] = v; }
+float get(float a[][], int i, int j) { return a[i][j]; }
+int main() {
+	set(m, 1, 1, 42.0);
+	print(get(m, 1, 1), m[1][1]);
+	return 0;
+}`, "42 42\n")
+}
+
+func TestLocalArrayLifetime(t *testing.T) {
+	// Each call's local array starts zeroed even though the heap region is
+	// reused after the frame pops.
+	expectOut(t, `
+int probe(int fill) {
+	int buf[8];
+	int old = buf[3];
+	buf[3] = fill;
+	return old;
+}
+int main() {
+	int a = probe(99);
+	int b = probe(5);
+	print(a, b);
+	return 0;
+}`, "0 0\n")
+}
+
+func TestRecursion(t *testing.T) {
+	expectOut(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+int main() { print(fib(12)); return 0; }`, "144\n")
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectOut(t, `
+int a = 2 + 3;
+float b = -1.5;
+bool c = true;
+int main() { print(a, b, c); return 0; }`, "5 -1.5 true\n")
+}
+
+func TestBuiltinsMath(t *testing.T) {
+	expectOut(t, wrap(`print(sqrt(16.0), fabs(-2.0), floor(2.9), pow(2.0, 10.0));`), "4 2 2 1024\n")
+	expectOut(t, wrap(`print(abs(-7), min(3, 1), max(3, 1), min(1.5, 0.5), max(1.5, 0.5));`), "7 1 3 0.5 1.5\n")
+	out := runOut(t, wrap(`print(exp(0.0), log(1.0), sin(0.0), cos(0.0));`))
+	if out != "1 0 0 1\n" {
+		t.Errorf("math builtins: %q", out)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := wrap(`
+srand(42);
+int a = rand();
+float f = frand();
+srand(42);
+int b = rand();
+print(a == b, f >= 0.0 && f < 1.0, a >= 0);`)
+	expectOut(t, src, "true true true\n")
+}
+
+func TestPrintFormats(t *testing.T) {
+	expectOut(t, wrap(`print("mix", 1, 2.5, true, false);`), "mix 1 2.5 true false\n")
+	expectOut(t, wrap(`print();`), "\n")
+	expectOut(t, wrap(`print(1); print(2);`), "1\n2\n")
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	c := compile(t, src)
+	_, err := Run(c.mod, Config{})
+	return err
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{wrap(`int x = 1 / (1 - 1); print(x);`), "division by zero"},
+		{wrap(`int x = 5 % (2 - 2); print(x);`), "modulo by zero"},
+		{`int a[3]; int main() { int i = 5; a[i] = 1; return 0; }`, "out of range"},
+		{`int a[3]; int main() { int i = -1; print(a[i]); return 0; }`, "out of range"},
+		{wrap(`int n = -2; float b[n]; print(b[0]);`), "must be positive"},
+		{`float a[4]; int main() { print(dim(a, 3)); return 0; }`, "dim index"},
+	}
+	for _, c := range cases {
+		err := runErr(t, c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error %q missing %q", err, c.frag)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	c := compile(t, wrap(`while (true) { }`))
+	_, err := Run(c.mod, Config{MaxSteps: 1000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+const workSample = `
+float v[200];
+float total;
+void fill(int n) {
+	for (int i = 0; i < n; i++) {
+		v[i] = float(i) * 0.25;
+	}
+}
+void reduce(int n) {
+	for (int i = 0; i < n; i++) {
+		total = total + v[i];
+	}
+}
+int main() {
+	fill(200);
+	reduce(200);
+	print(total);
+	return 0;
+}
+`
+
+// TestWorkConsistentAcrossModes: plain, gprof, and HCPA runs execute the
+// same instructions, so their work counters must agree.
+func TestWorkConsistentAcrossModes(t *testing.T) {
+	c := compile(t, workSample)
+	plain, err := Run(c.mod, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := Run(c.mod, Config{Mode: Gprof, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := Run(c.mod, Config{Mode: HCPA, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Work != gp.Work || plain.Work != hc.Work {
+		t.Errorf("work: plain=%d gprof=%d hcpa=%d", plain.Work, gp.Work, hc.Work)
+	}
+	if plain.Steps != gp.Steps || plain.Steps != hc.Steps {
+		t.Errorf("steps: plain=%d gprof=%d hcpa=%d", plain.Steps, gp.Steps, hc.Steps)
+	}
+}
+
+// TestGprofProfileShape: gprof mode reports self/total work per region
+// with sane invariants.
+func TestGprofProfileShape(t *testing.T) {
+	c := compile(t, workSample)
+	res, err := Run(c.mod, Config{Mode: Gprof, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gprof) == 0 {
+		t.Fatal("no gprof entries")
+	}
+	var mainTotal uint64
+	for _, e := range res.Gprof {
+		if e.Self > e.Total {
+			t.Errorf("region %d: self %d > total %d", e.RegionID, e.Self, e.Total)
+		}
+		if e.Count <= 0 {
+			t.Errorf("region %d: count %d", e.RegionID, e.Count)
+		}
+		r := c.prog.Regions[e.RegionID]
+		if r.Kind == regions.FuncRegion && r.Name == "main" {
+			mainTotal = e.Total
+		}
+	}
+	if mainTotal != res.Work {
+		t.Errorf("main total %d != work %d", mainTotal, res.Work)
+	}
+}
+
+// TestHCPAProfileAccounts: the profile's root work equals the measured
+// work, and every dictionary entry's children were interned earlier.
+func TestHCPAProfileAccounts(t *testing.T) {
+	c := compile(t, workSample)
+	res, err := Run(c.mod, Config{Mode: HCPA, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if len(p.Roots) != 1 {
+		t.Fatalf("roots = %d", len(p.Roots))
+	}
+	if p.TotalWork() != res.Work {
+		t.Errorf("profile work %d != run work %d", p.TotalWork(), res.Work)
+	}
+	for i, e := range p.Dict.Entries {
+		for _, k := range e.Children {
+			if int(k.Char) >= i {
+				t.Errorf("entry %d references forward child %d", i, k.Char)
+			}
+			if k.Count <= 0 {
+				t.Errorf("entry %d child count %d", i, k.Count)
+			}
+		}
+		if e.CP == 0 || e.CP > e.Work+1 {
+			t.Errorf("entry %d: cp=%d work=%d", i, e.CP, e.Work)
+		}
+	}
+	if res.ShadowPages == 0 || res.ShadowWrites == 0 {
+		t.Error("shadow memory was never touched")
+	}
+}
+
+// TestOutputIdenticalWhenInstrumented: instrumentation must not change
+// program semantics.
+func TestOutputIdenticalWhenInstrumented(t *testing.T) {
+	c := compile(t, workSample)
+	var plain, instr bytes.Buffer
+	if _, err := Run(c.mod, Config{Out: &plain}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(c.mod, Config{Mode: HCPA, Prog: c.prog, Instr: c.mi, Out: &instr}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != instr.String() {
+		t.Errorf("instrumented output %q != plain %q", instr.String(), plain.String())
+	}
+}
+
+func TestModeRequiresRegions(t *testing.T) {
+	c := compile(t, wrap("print(1);"))
+	if _, err := Run(c.mod, Config{Mode: HCPA}); err == nil {
+		t.Error("HCPA without region info should fail")
+	}
+	if _, err := Run(c.mod, Config{Mode: Gprof}); err == nil {
+		t.Error("Gprof without region info should fail")
+	}
+}
+
+// TestPhiSwapSemantics: a swap through a temporary creates mutually
+// referencing phis after mem2reg; they must evaluate against the
+// pre-state, not sequentially.
+func TestPhiSwapSemantics(t *testing.T) {
+	expectOut(t, wrap(`
+int a = 1;
+int b = 100;
+for (int i = 0; i < 5; i++) {
+	int tmp = a;
+	a = b;
+	b = tmp;
+}
+print(a, b);`), "100 1\n") // 5 swaps = odd, so exchanged once net
+}
+
+// TestFibonacciPairPhis: the classic simultaneous recurrence.
+func TestFibonacciPairPhis(t *testing.T) {
+	expectOut(t, wrap(`
+int a = 0;
+int b = 1;
+for (int i = 0; i < 10; i++) {
+	int next = a + b;
+	a = b;
+	b = next;
+}
+print(a, b);`), "55 89\n")
+}
+
+// TestIntOverflowWraps: int arithmetic wraps like two's complement.
+func TestIntOverflowWraps(t *testing.T) {
+	expectOut(t, wrap(`
+int big = 9223372036854775807;
+print(big + 1 < 0);`), "true\n")
+}
+
+// TestNegativeModulo: Kr follows Go/C99 truncated semantics.
+func TestNegativeModulo(t *testing.T) {
+	expectOut(t, wrap(`print(-7 % 3, 7 % -3, -7 / 2);`), "-1 1 -3\n")
+}
+
+// TestSpecialFloatPrinting: IEEE specials print deterministically.
+func TestSpecialFloatPrinting(t *testing.T) {
+	expectOut(t, wrap(`
+float inf = 1.0 / 0.0;
+float nan = inf - inf;
+print(inf, -inf, nan == nan);`), "+Inf -Inf false\n")
+}
+
+// TestWhileLoopRegionEvents: while lowers to the same region structure as
+// for, so profiling it must balance enter/exit events.
+func TestWhileLoopRegions(t *testing.T) {
+	c := compile(t, wrap(`
+int w = 0;
+int s = 0;
+while (w < 50) {
+	s += w;
+	w++;
+}
+print(s);`))
+	res, err := Run(c.mod, Config{Mode: HCPA, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.TotalWork() != res.Work {
+		t.Errorf("unbalanced region accounting: %d vs %d", res.Profile.TotalWork(), res.Work)
+	}
+}
+
+// TestDeepRecursionRegions: recursion deepens the region stack past the
+// depth window without corrupting accounting.
+func TestDeepRecursionRegions(t *testing.T) {
+	c := compile(t, `
+int down(int n) {
+	if (n <= 0) { return 0; }
+	return down(n - 1) + 1;
+}
+int main() { print(down(200)); return 0; }`)
+	res, err := Run(c.mod, Config{Mode: HCPA, Prog: c.prog, Instr: c.mi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile.TotalWork() != res.Work {
+		t.Errorf("deep recursion broke accounting: %d vs %d", res.Profile.TotalWork(), res.Work)
+	}
+	var out bytes.Buffer
+	if _, err := Run(c.mod, Config{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "200\n" {
+		t.Errorf("output %q", out.String())
+	}
+}

@@ -1,0 +1,159 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/types"
+)
+
+func TestConstValues(t *testing.T) {
+	ci := &ConstInt{V: -7}
+	cf := &ConstFloat{V: 2.5}
+	cb := &ConstBool{V: true}
+	if ci.Type() != types.Scalar(ast.Int) || ci.Name() != "-7" {
+		t.Errorf("ConstInt: %v %q", ci.Type(), ci.Name())
+	}
+	if cf.Type() != types.Scalar(ast.Float) || cf.Name() != "2.5" {
+		t.Errorf("ConstFloat: %v %q", cf.Type(), cf.Name())
+	}
+	if cb.Type() != types.Scalar(ast.Bool) || cb.Name() != "true" {
+		t.Errorf("ConstBool: %v %q", cb.Type(), cb.Name())
+	}
+}
+
+func TestHasResult(t *testing.T) {
+	cases := []struct {
+		ins  *Instr
+		want bool
+	}{
+		{&Instr{Op: OpBin}, true},
+		{&Instr{Op: OpLoad}, true},
+		{&Instr{Op: OpStore}, false},
+		{&Instr{Op: OpBr}, false},
+		{&Instr{Op: OpJump}, false},
+		{&Instr{Op: OpRet}, false},
+		{&Instr{Op: OpBuiltin, Builtin: "sqrt"}, true},
+		{&Instr{Op: OpBuiltin, Builtin: "print"}, false},
+		{&Instr{Op: OpBuiltin, Builtin: "srand"}, false},
+		{&Instr{Op: OpCall, Callee: &Func{Ret: ast.Void}}, false},
+		{&Instr{Op: OpCall, Callee: &Func{Ret: ast.Int}}, true},
+	}
+	for _, c := range cases {
+		if got := c.ins.HasResult(); got != c.want {
+			t.Errorf("%v.HasResult() = %t, want %t", c.ins.Op, got, c.want)
+		}
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	for _, op := range []Op{OpBr, OpJump, OpRet} {
+		if !(&Instr{Op: op}).IsTerminator() {
+			t.Errorf("%v should be a terminator", op)
+		}
+	}
+	for _, op := range []Op{OpBin, OpLoad, OpStore, OpPhi, OpCall} {
+		if (&Instr{Op: op}).IsTerminator() {
+			t.Errorf("%v should not be a terminator", op)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	// Zero-latency pseudo-ops: their execution does not represent machine
+	// work.
+	for _, op := range []Op{OpParam, OpPhi, OpGlobal, OpJump} {
+		if l := (&Instr{Op: op}).Latency(); l != 0 {
+			t.Errorf("%v latency = %d, want 0", op, l)
+		}
+	}
+	// Relative costs: transcendentals > division > multiplication > add.
+	sqrt := (&Instr{Op: OpBuiltin, Builtin: "sqrt"}).Latency()
+	div := (&Instr{Op: OpBin, Bin: BinDiv}).Latency()
+	mul := (&Instr{Op: OpBin, Bin: BinMul, Typ: types.Scalar(ast.Int)}).Latency()
+	add := (&Instr{Op: OpBin, Bin: BinAdd}).Latency()
+	if !(sqrt > div && div > mul && mul > add && add >= 1) {
+		t.Errorf("latency ordering broken: sqrt=%d div=%d mul=%d add=%d", sqrt, div, mul, add)
+	}
+	fmul := (&Instr{Op: OpBin, Bin: BinMul, Typ: types.Scalar(ast.Float)}).Latency()
+	if fmul < mul {
+		t.Errorf("float mul (%d) should cost at least int mul (%d)", fmul, mul)
+	}
+}
+
+func TestBinKindComparison(t *testing.T) {
+	for _, b := range []BinKind{BinEq, BinNe, BinLt, BinLe, BinGt, BinGe} {
+		if !b.IsComparison() {
+			t.Errorf("%v should be a comparison", b)
+		}
+	}
+	for _, b := range []BinKind{BinAdd, BinMul, BinRem, BinAnd} {
+		if b.IsComparison() {
+			t.Errorf("%v should not be a comparison", b)
+		}
+	}
+}
+
+func TestFuncBlocksAndIDs(t *testing.T) {
+	f := &Func{Name: "t"}
+	b0 := f.NewBlock("entry")
+	b1 := f.NewBlock("next")
+	if b0.ID != 0 || b1.ID != 1 {
+		t.Errorf("block IDs %d,%d", b0.ID, b1.ID)
+	}
+	if f.Entry() != b0 {
+		t.Error("Entry() wrong")
+	}
+	if f.NewValueID() != 0 || f.NewValueID() != 1 || f.NumValues() != 2 {
+		t.Error("value ID allocation broken")
+	}
+	AddEdge(b0, b1)
+	if len(b0.Succs) != 1 || b0.Succs[0] != b1 || len(b1.Preds) != 1 || b1.Preds[0] != b0 {
+		t.Error("AddEdge wiring wrong")
+	}
+}
+
+func TestTerminatorDetection(t *testing.T) {
+	f := &Func{Name: "t"}
+	b := f.NewBlock("b")
+	if b.Terminator() != nil {
+		t.Error("empty block has no terminator")
+	}
+	b.Instrs = append(b.Instrs, &Instr{Op: OpBin})
+	if b.Terminator() != nil {
+		t.Error("non-terminator tail must return nil")
+	}
+	ret := &Instr{Op: OpRet}
+	b.Instrs = append(b.Instrs, ret)
+	if b.Terminator() != ret {
+		t.Error("terminator not found")
+	}
+}
+
+func TestGlobalIsArray(t *testing.T) {
+	if (&Global{Name: "s"}).IsArray() {
+		t.Error("scalar global misreported as array")
+	}
+	if !(&Global{Name: "a", Dims: []int64{4}}).IsArray() {
+		t.Error("array global misreported as scalar")
+	}
+}
+
+func TestInstrText(t *testing.T) {
+	f := &Func{Name: "t"}
+	b := f.NewBlock("entry")
+	g := &Global{Name: "acc"}
+	ins := &Instr{Op: OpBin, Bin: BinAdd, ID: 3, Typ: types.Scalar(ast.Int),
+		Args: []Value{&ConstInt{V: 1}, &ConstInt{V: 2}}, Block: b}
+	b.Instrs = append(b.Instrs, ins,
+		&Instr{Op: OpGlobal, Global: g, ID: 4, Block: b},
+		&Instr{Op: OpRet, Block: b})
+	f.Ret = ast.Void
+	s := f.String()
+	for _, frag := range []string{"%3 = bin(+) 1 2", "@acc", "ret"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("dump missing %q in:\n%s", frag, s)
+		}
+	}
+}

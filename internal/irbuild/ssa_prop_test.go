@@ -1,0 +1,89 @@
+package irbuild
+
+// SSA invariants checked over the full space of generator-produced
+// programs — the compiler-level complement to krgen's behavioral
+// differential tests.
+
+import (
+	"testing"
+
+	"kremlin/internal/cfg"
+	"kremlin/internal/ir"
+	"kremlin/internal/krgen"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+func buildGenerated(t *testing.T, seed int64) *ir.Module {
+	t.Helper()
+	src := krgen.Generate(seed, krgen.Default())
+	errs := &source.ErrorList{}
+	file := source.NewFile("gen.kr", src)
+	tree := parser.Parse(file, errs)
+	info := types.Check(tree, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("seed %d: frontend: %v", seed, errs.Err())
+	}
+	mod := Build(tree, info, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("seed %d: build: %v", seed, errs.Err())
+	}
+	return mod
+}
+
+func TestSSAInvariantsOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		mod := buildGenerated(t, seed)
+		for _, f := range mod.Funcs {
+			g := cfg.New(f)
+			idom := g.Dominators()
+			defined := map[*ir.Instr]bool{}
+			for _, b := range f.Blocks {
+				for _, ins := range b.Instrs {
+					defined[ins] = true
+				}
+			}
+			for _, b := range f.Blocks {
+				term := b.Terminator()
+				if term == nil {
+					t.Fatalf("seed %d/%s: block %s unterminated", seed, f.Name, b)
+				}
+				sawNonPhi := false
+				for _, ins := range b.Instrs {
+					if ins.Op == ir.OpLoadSlot || ins.Op == ir.OpStoreSlot {
+						t.Fatalf("seed %d/%s: residual slot op", seed, f.Name)
+					}
+					if ins.Op == ir.OpPhi {
+						if sawNonPhi {
+							t.Fatalf("seed %d/%s: phi after non-phi", seed, f.Name)
+						}
+						if len(ins.Args) != len(b.Preds) {
+							t.Fatalf("seed %d/%s: phi arity mismatch", seed, f.Name)
+						}
+					} else {
+						sawNonPhi = true
+					}
+					for ai, a := range ins.Args {
+						def, ok := a.(*ir.Instr)
+						if !ok {
+							continue
+						}
+						if !defined[def] {
+							t.Fatalf("seed %d/%s: operand %s of %s not defined in function",
+								seed, f.Name, def.Name(), ins.Name())
+						}
+						use := b
+						if ins.Op == ir.OpPhi {
+							use = b.Preds[ai]
+						}
+						if !cfg.Dominates(idom, g.Index(def.Block), g.Index(use)) {
+							t.Fatalf("seed %d/%s: def %s does not dominate use %s",
+								seed, f.Name, def.Name(), ins.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}

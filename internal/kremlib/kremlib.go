@@ -1,0 +1,365 @@
+// Package kremlib is the profiling runtime the instrumented program runs
+// against — the equivalent of the paper's KremLib library. It maintains the
+// dynamic region stack, the per-depth work and critical-path accounting of
+// hierarchical critical path analysis, the control-dependence stack, and
+// the induction/reduction dependence-breaking update rules, and it emits
+// compressed dynamic-region summaries into a profile.Dict on region exit.
+package kremlib
+
+import (
+	"kremlin/internal/ir"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+	"kremlin/internal/shadow"
+)
+
+// DefaultMaxDepth is the default region-depth collection window.
+const DefaultMaxDepth = 48
+
+// Options configures a profiling run.
+type Options struct {
+	// MinDepth/MaxDepth bound the half-open window [MinDepth, MaxDepth) of
+	// region depths for which availability times are tracked — the paper's
+	// command-line flag that lets HCPA data collection be split across
+	// parallel runs. Regions outside the window still report work, with CP
+	// falling back to work (a serial, conservative assumption).
+	MinDepth int
+	MaxDepth int
+}
+
+type active struct {
+	region    *regions.Region
+	instance  uint64
+	entryWork uint64
+	maxTime   uint64
+	children  map[int32]int64
+}
+
+// Runtime is the live profiling state of one instrumented execution.
+type Runtime struct {
+	opts  Options
+	mem   *shadow.Memory
+	prof  *profile.Profile
+	stack []active
+
+	totalWork    uint64
+	nextInstance uint64
+
+	// ioVec serializes observable output (print) — an explicit dependence
+	// chain, since output order is a true serial constraint.
+	ioVec shadow.Vec
+	// randVec serializes the internal RNG state the same way.
+	randVec shadow.Vec
+
+	scratch shadow.Vec
+	tags    []uint64
+}
+
+// NewRuntime returns a runtime recording into prof.
+func NewRuntime(prof *profile.Profile, opts Options) *Runtime {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	return &Runtime{
+		opts: opts,
+		mem:  shadow.NewMemory(),
+		prof: prof,
+	}
+}
+
+// Mem exposes the shadow memory (the interpreter signals frees through it).
+func (rt *Runtime) Mem() *shadow.Memory { return rt.mem }
+
+// TotalWork returns the work executed so far.
+func (rt *Runtime) TotalWork() uint64 { return rt.totalWork }
+
+// Depth returns the current region nesting depth.
+func (rt *Runtime) Depth() int { return len(rt.stack) }
+
+// level returns the number of tracked levels right now (the exclusive
+// upper bound of the window).
+func (rt *Runtime) level() int {
+	d := len(rt.stack)
+	if d > rt.opts.MaxDepth {
+		d = rt.opts.MaxDepth
+	}
+	return d
+}
+
+// lowLevel returns the first tracked level — the window's lower bound,
+// clamped to the current depth. Levels below it accrue work only; their
+// regions fall back to the serial (cp = work) assumption on exit, so two
+// complementary-window runs can be collected in parallel and merged.
+func (rt *Runtime) lowLevel() int {
+	lo := rt.opts.MinDepth
+	if d := rt.level(); lo > d {
+		lo = d
+	}
+	return lo
+}
+
+// EnterRegion pushes a new dynamic region instance.
+func (rt *Runtime) EnterRegion(r *regions.Region) {
+	rt.nextInstance++
+	rt.stack = append(rt.stack, active{
+		region:    r,
+		instance:  rt.nextInstance,
+		entryWork: rt.totalWork,
+		children:  make(map[int32]int64, 4),
+	})
+	rt.syncTags()
+}
+
+// ExitRegion pops the current region, interning its summary. It returns the
+// region's dictionary character.
+func (rt *Runtime) ExitRegion() int32 {
+	top := rt.stack[len(rt.stack)-1]
+	rt.stack = rt.stack[:len(rt.stack)-1]
+	rt.syncTags()
+
+	work := rt.totalWork - top.entryWork
+	cp := top.maxTime
+	if cp == 0 {
+		// Region outside the tracked depth window, or empty: fall back to
+		// the serial assumption.
+		cp = work
+	}
+	if cp == 0 {
+		cp = 1
+	}
+	char := rt.prof.Dict.Intern(int32(top.region.ID), work, cp, top.children)
+	if len(rt.stack) > 0 {
+		rt.stack[len(rt.stack)-1].children[char]++
+	} else {
+		rt.prof.AddRoot(char)
+	}
+	return char
+}
+
+// IterateRegion ends the current dynamic instance of a loop-body region and
+// begins a fresh one (a loop back edge).
+func (rt *Runtime) IterateRegion(r *regions.Region) {
+	rt.ExitRegion()
+	rt.EnterRegion(r)
+}
+
+// Unwind exits every region at depth >= target (used on function return,
+// which may leave several loops at once).
+func (rt *Runtime) Unwind(target int) {
+	for len(rt.stack) > target {
+		rt.ExitRegion()
+	}
+}
+
+func (rt *Runtime) syncTags() {
+	d := rt.level()
+	if cap(rt.tags) < d {
+		rt.tags = make([]uint64, d, d+16)
+	} else {
+		rt.tags = rt.tags[:d]
+	}
+	for i := 0; i < d; i++ {
+		rt.tags[i] = rt.stack[i].instance
+	}
+	if cap(rt.scratch) < d {
+		rt.scratch = make(shadow.Vec, d, d+16)
+	}
+}
+
+// FrameState is the per-call profiling state: the shadow register table and
+// the control-dependence stack of the frame. The control baseline inherited
+// from the caller propagates interprocedural control dependence.
+type FrameState struct {
+	Regs       *shadow.RegisterTable
+	ctrl       []ctrlEntry
+	base       shadow.Vec
+	RetVec     shadow.Vec
+	EntryDepth int // region-stack depth at frame entry (before the func region)
+}
+
+type ctrlEntry struct {
+	branch *ir.Block // the branch block that pushed the entry
+	popAt  *ir.Block
+	vec    shadow.Vec
+}
+
+// NewFrame creates the profiling state for a call. The caller's current
+// control time becomes the frame's control baseline, which propagates
+// interprocedural control dependence (a function called under an if is
+// control dependent on the if, at every level the caller shares). Call
+// before entering the callee's function region.
+func (rt *Runtime) NewFrame(f *ir.Func, caller *FrameState) *FrameState {
+	fs := &FrameState{Regs: shadow.NewRegisterTable(f.NumValues()), EntryDepth: len(rt.stack)}
+	d := rt.level()
+	base := make(shadow.Vec, d)
+	for l := 0; l < d; l++ {
+		var t uint64
+		if caller != nil {
+			t = rt.ctrlTime(caller, l)
+		}
+		base[l] = shadow.Entry{Time: t, Tag: rt.tags[l]}
+	}
+	fs.base = base
+	return fs
+}
+
+// ctrlTime returns the current control-dependence time at level l.
+func (rt *Runtime) ctrlTime(fs *FrameState, l int) uint64 {
+	if n := len(fs.ctrl); n > 0 {
+		return fs.ctrl[n-1].vec.Read(l, rt.tags[l])
+	}
+	if fs.base != nil {
+		return fs.base.Read(l, rt.tags[l])
+	}
+	return 0
+}
+
+// PushCtrl pushes a control-dependence entry whose availability is the
+// branch time vec, to be popped when control reaches popAt (the branch's
+// immediate postdominator). The entry folds in the control time *below*
+// it so reads need only check the top of the stack. When the same branch
+// re-executes before its pop point (a loop back edge), its previous entry
+// is replaced rather than chained: iteration i+1's control availability is
+// its own condition's time, not the accumulated history — without this,
+// the loop branch would serialize DOALL iterations at the loop level.
+func (rt *Runtime) PushCtrl(fs *FrameState, branch, popAt *ir.Block, brVec shadow.Vec) {
+	if n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].branch == branch {
+		fs.ctrl = fs.ctrl[:n-1]
+	}
+	d := rt.level()
+	vec := make(shadow.Vec, d)
+	for l := 0; l < d; l++ {
+		t := rt.ctrlTime(fs, l)
+		if bt := brVec.Read(l, rt.tags[l]); bt > t {
+			t = bt
+		}
+		vec[l] = shadow.Entry{Time: t, Tag: rt.tags[l]}
+	}
+	fs.ctrl = append(fs.ctrl, ctrlEntry{branch: branch, popAt: popAt, vec: vec})
+}
+
+// PopSameBranch removes the top control entry if it was pushed by the same
+// branch block; call before re-executing a branch so neither the branch's
+// own availability nor its new entry chains on its previous execution.
+func (rt *Runtime) PopSameBranch(fs *FrameState, branch *ir.Block) {
+	if n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].branch == branch {
+		fs.ctrl = fs.ctrl[:n-1]
+	}
+}
+
+// AtBlock pops control entries whose postdominator is the block now being
+// entered. Only the top of the stack ever needs checking on reads, but
+// multiple entries can share a pop point (loop back edges), so pop in a loop.
+func (rt *Runtime) AtBlock(fs *FrameState, blk *ir.Block) {
+	for n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].popAt == blk; n = len(fs.ctrl) {
+		fs.ctrl = fs.ctrl[:n-1]
+	}
+}
+
+// argVec fetches the shadow vector of an operand (nil for constants, whose
+// availability is 0 at every level).
+func (rt *Runtime) argVec(fs *FrameState, v ir.Value) shadow.Vec {
+	if ins, ok := v.(*ir.Instr); ok {
+		return fs.Regs.Get(ins.ID)
+	}
+	return nil
+}
+
+// Step performs the HCPA availability-time update for one executed
+// instruction. addr is the simulated address touched by OpLoad/OpStore
+// (otherwise ignored); predIdx is the incoming-predecessor index for OpPhi.
+// It returns the instruction's time vector (valid until the next Step).
+func (rt *Runtime) Step(fs *FrameState, ins *ir.Instr, addr uint64, predIdx int) shadow.Vec {
+	lat := ins.Latency()
+	rt.totalWork += lat
+	d := rt.level()
+	lo := rt.lowLevel()
+	out := rt.scratch[:d]
+
+	for l := 0; l < lo; l++ {
+		out[l] = shadow.Entry{}
+	}
+	for l := lo; l < d; l++ {
+		out[l] = shadow.Entry{Time: rt.ctrlTime(fs, l), Tag: rt.tags[l]}
+	}
+
+	maxIn := func(vec shadow.Vec) {
+		for l := lo; l < d; l++ {
+			if t := vec.Read(l, rt.tags[l]); t > out[l].Time {
+				out[l].Time = t
+			}
+		}
+	}
+
+	switch ins.Op {
+	case ir.OpPhi:
+		if !ins.Induction && predIdx >= 0 && predIdx < len(ins.Args) {
+			maxIn(rt.argVec(fs, ins.Args[predIdx]))
+		}
+		// Induction phi: dependence on the carried value is broken; only the
+		// control time remains.
+	case ir.OpLoad:
+		maxIn(rt.argVec(fs, ins.Args[0])) // address computation
+		maxIn(rt.mem.ReadVec(addr))
+	default:
+		for i, a := range ins.Args {
+			if i == ins.BreakArg {
+				continue // induction/reduction old-value dependence: ignored
+			}
+			maxIn(rt.argVec(fs, a))
+		}
+		switch ins.Builtin {
+		case "rand", "frand", "srand":
+			maxIn(rt.randVec)
+		case "printval", "printstr", "printnl":
+			maxIn(rt.ioVec)
+		}
+	}
+
+	for l := lo; l < d; l++ {
+		out[l].Time += lat
+		if out[l].Time > rt.stack[l].maxTime {
+			rt.stack[l].maxTime = out[l].Time
+		}
+	}
+
+	switch {
+	case ins.Op == ir.OpStore:
+		rt.mem.WriteVec(addr, out, d)
+	case ins.Op == ir.OpRet:
+		fs.RetVec = append(fs.RetVec[:0], out...)
+	case ins.Builtin == "rand" || ins.Builtin == "frand" || ins.Builtin == "srand":
+		rt.randVec = append(rt.randVec[:0], out...)
+		if ins.HasResult() {
+			fs.Regs.Set(ins.ID, out, d)
+		}
+	case ins.Builtin == "printval" || ins.Builtin == "printstr" || ins.Builtin == "printnl":
+		rt.ioVec = append(rt.ioVec[:0], out...)
+	case ins.HasResult():
+		fs.Regs.Set(ins.ID, out, d)
+	}
+	return out
+}
+
+// FinishCall merges the callee's return-value vector into the call
+// instruction's result (the call's own Step already accounted for argument
+// availability).
+func (rt *Runtime) FinishCall(fs *FrameState, call *ir.Instr, ret shadow.Vec) {
+	if !call.HasResult() {
+		return
+	}
+	d := rt.level()
+	cur := fs.Regs.Get(call.ID)
+	out := rt.scratch[:d]
+	for l := 0; l < d; l++ {
+		t := cur.Read(l, rt.tags[l])
+		if rv := ret.Read(l, rt.tags[l]); rv > t {
+			t = rv
+		}
+		out[l] = shadow.Entry{Time: t, Tag: rt.tags[l]}
+		if t > rt.stack[l].maxTime {
+			rt.stack[l].maxTime = t
+		}
+	}
+	fs.Regs.Set(call.ID, out, d)
+}

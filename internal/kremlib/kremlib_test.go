@@ -1,0 +1,311 @@
+// Package kremlib_test checks the HCPA runtime end to end through the
+// public pipeline: each test compiles a small Kr program whose dependence
+// structure is known by construction and asserts the self-parallelism the
+// runtime must measure for it.
+package kremlib_test
+
+import (
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/hcpa"
+	"kremlin/internal/regions"
+)
+
+// loopStats profiles src and returns stats of the single loop region
+// inside the named function.
+func loopStats(t *testing.T, src, fn string) *hcpa.RegionStats {
+	t.Helper()
+	prog, err := kremlin.Compile("t.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := prog.Summarize(prof)
+	var found *hcpa.RegionStats
+	for _, st := range sum.Executed {
+		if st.Region.Func.Name == fn && st.Region.Kind == regions.LoopRegion &&
+			st.Region.Parent.Kind == regions.FuncRegion {
+			found = st
+		}
+	}
+	if found == nil {
+		t.Fatalf("no outer loop stats in %s", fn)
+	}
+	return found
+}
+
+func TestDOALLSelfParallelismTracksIterationCount(t *testing.T) {
+	src := `
+float a[300];
+float b[300];
+void f() {
+	for (int i = 0; i < 300; i++) {
+		b[i] = a[i] * 2.0 + 1.0;
+	}
+}
+int main() { f(); return 0; }`
+	st := loopStats(t, src, "f")
+	if st.SelfP < 250 || st.SelfP > 310 {
+		t.Errorf("DOALL SP = %.1f, want ~300", st.SelfP)
+	}
+	if !st.DOALL {
+		t.Error("loop should be classified DOALL")
+	}
+}
+
+func TestTrueDependenceSerializes(t *testing.T) {
+	src := `
+float b[300];
+void f() {
+	for (int i = 1; i < 300; i++) {
+		b[i] = b[i-1] * 0.99 + 1.0;
+	}
+}
+int main() { b[0] = 1.0; f(); return 0; }`
+	st := loopStats(t, src, "f")
+	if st.SelfP > 3 {
+		t.Errorf("serial chain SP = %.1f, want ~1", st.SelfP)
+	}
+	if st.DOALL {
+		t.Error("serial loop misclassified DOALL")
+	}
+}
+
+func TestReductionDependenceBroken(t *testing.T) {
+	src := `
+float a[300];
+float total;
+void f() {
+	for (int i = 0; i < 300; i++) {
+		total = total + a[i];
+	}
+}
+int main() { f(); print(total); return 0; }`
+	st := loopStats(t, src, "f")
+	if st.SelfP < 50 {
+		t.Errorf("reduction SP = %.1f, want high (dependence broken)", st.SelfP)
+	}
+}
+
+func TestWavefrontShowsPartialParallelism(t *testing.T) {
+	// 2-D wavefront: each cell depends on its west and north neighbors.
+	// Per the paper (§4.3), SP computes reasonable bounds for partial
+	// overlap: well above 1, well below the iteration count.
+	src := `
+float g[40][40];
+void f() {
+	for (int i = 1; i < 40; i++) {
+		for (int j = 1; j < 40; j++) {
+			g[i][j] = (g[i-1][j] + g[i][j-1]) * 0.5;
+		}
+	}
+}
+int main() { g[0][0] = 1.0; f(); return 0; }`
+	st := loopStats(t, src, "f")
+	if st.SelfP < 3 || st.SelfP > 39 {
+		t.Errorf("wavefront SP = %.1f, want partial (between ~4 and ~39)", st.SelfP)
+	}
+}
+
+func TestParallelismLocalizedToInnerLoop(t *testing.T) {
+	// Figure 2's structure: outer loops serial (carried dependence), inner
+	// parallel. Self-parallelism must be high only for the inner loop.
+	src := `
+float best[64];
+float vals[40];
+void scan() {
+	for (int v = 0; v < 40; v++) {
+		float cur = vals[v];
+		for (int k = 0; k < 64; k++) {
+			if (best[k] < cur) {
+				best[k] = cur;
+			}
+		}
+	}
+}
+int main() {
+	for (int i = 0; i < 40; i++) { vals[i] = float((i * 17) % 23); }
+	scan();
+	print(best[0]);
+	return 0;
+}`
+	prog, err := kremlin.Compile("t.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := prog.Summarize(prof)
+	var outer, inner *hcpa.RegionStats
+	for _, st := range sum.Executed {
+		if st.Region.Func.Name != "scan" || st.Region.Kind != regions.LoopRegion {
+			continue
+		}
+		if st.Region.Parent.Kind == regions.FuncRegion {
+			outer = st
+		} else {
+			inner = st
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("loops not found")
+	}
+	if inner.SelfP < 20 {
+		t.Errorf("inner SP = %.1f, want high", inner.SelfP)
+	}
+	// Total parallelism cannot localize: the outer loop inherits the
+	// inner loop's parallelism.
+	if outer.TotalP < inner.SelfP/4 {
+		t.Errorf("outer TP = %.1f should inherit inner parallelism", outer.TotalP)
+	}
+	if outer.SelfP > inner.SelfP/2 {
+		t.Errorf("outer SP = %.1f should be much lower than inner %.1f", outer.SelfP, inner.SelfP)
+	}
+}
+
+func TestFunctionRegionLocalization(t *testing.T) {
+	// A function whose only parallelism lives in its loop: the function
+	// region's SP stays near 1 (gprof's self-time analogy).
+	src := `
+float a[200];
+void f() {
+	for (int i = 0; i < 200; i++) {
+		a[i] = float(i) * 0.5;
+	}
+}
+int main() { f(); return 0; }`
+	prog, _ := kremlin.Compile("t.kr", src)
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := prog.Summarize(prof)
+	for _, st := range sum.Executed {
+		if st.Region.Kind == regions.FuncRegion && st.Region.Func.Name == "f" {
+			if st.SelfP > 2 {
+				t.Errorf("func region SP = %.1f, want ~1", st.SelfP)
+			}
+		}
+	}
+}
+
+func TestControlDependenceCarriedIntoCallees(t *testing.T) {
+	// A callee invoked under a data-dependent branch: its work is control
+	// dependent on the branch, so the caller loop is NOT fully parallel
+	// when the branch condition chains iteration to iteration.
+	src := `
+float acc;
+float a[100];
+void bump(float x) { acc = acc * 0.5 + x; }
+void f() {
+	for (int i = 0; i < 100; i++) {
+		if (acc < 50.0) {
+			bump(a[i]);
+		}
+	}
+}
+int main() { f(); print(acc); return 0; }`
+	st := loopStats(t, src, "f")
+	// acc feeds the branch; the chain serializes iterations.
+	if st.SelfP > 10 {
+		t.Errorf("control-chained loop SP = %.1f, want low", st.SelfP)
+	}
+}
+
+func TestIOSerializesLoop(t *testing.T) {
+	src := `
+void f() {
+	for (int i = 0; i < 50; i++) {
+		print(i);
+	}
+}
+int main() { f(); return 0; }`
+	st := loopStats(t, src, "f")
+	if st.SelfP > 6 {
+		t.Errorf("printing loop SP = %.1f, want low (output order is a dependence)", st.SelfP)
+	}
+}
+
+func TestDepthWindowLimitsTracking(t *testing.T) {
+	// With MaxDepth 2, only the outermost two levels get real CP; deeper
+	// regions fall back to SP=1 but work is still accounted.
+	src := `
+float a[60];
+void f() {
+	for (int i = 0; i < 60; i++) {
+		a[i] = a[i] + 1.0;
+	}
+}
+int main() { f(); return 0; }`
+	prog, _ := kremlin.Compile("t.kr", src)
+	full, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, _, err := prog.Profile(&kremlin.RunConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalWork() != shallow.TotalWork() {
+		t.Errorf("work differs across depth windows: %d vs %d", full.TotalWork(), shallow.TotalWork())
+	}
+	sumShallow := prog.Summarize(shallow)
+	sumFull := prog.Summarize(full)
+	var spShallow, spFull float64
+	for _, st := range sumShallow.Executed {
+		if st.Region.Kind == regions.LoopRegion {
+			spShallow = st.SelfP
+		}
+	}
+	for _, st := range sumFull.Executed {
+		if st.Region.Kind == regions.LoopRegion {
+			spFull = st.SelfP
+		}
+	}
+	// The loop sits at depth 2 (main=0, f=1, loop=2): outside the shallow
+	// window, so its SP degrades to ~1 while the full run sees ~60.
+	if spFull < 40 {
+		t.Errorf("full-depth SP = %.1f, want ~60", spFull)
+	}
+	if spShallow > 2 {
+		t.Errorf("out-of-window SP = %.1f, want ~1 (serial fallback)", spShallow)
+	}
+}
+
+func TestMultiRunAggregation(t *testing.T) {
+	src := `
+float a[100];
+void f() {
+	for (int i = 0; i < 100; i++) { a[i] = float(i); }
+}
+int main() { f(); return 0; }`
+	prog, _ := kremlin.Compile("t.kr", src)
+	p1, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p1.TotalWork()
+	p1.Merge(p2)
+	if len(p1.Roots) != 2 {
+		t.Fatalf("roots = %d", len(p1.Roots))
+	}
+	if p1.TotalWork() != 2*w {
+		t.Errorf("aggregated work = %d, want %d", p1.TotalWork(), 2*w)
+	}
+	sum := prog.Summarize(p1)
+	for _, st := range sum.Executed {
+		if st.Region.Kind == regions.LoopRegion && st.Instances != 2 {
+			t.Errorf("loop instances = %d, want 2", st.Instances)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package kremlib
+
+// White-box unit tests of the runtime's region accounting, dependence
+// propagation, and depth-window behavior, driven directly (without the
+// interpreter) on synthetic regions and instructions.
+
+import (
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/ir"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+	"kremlin/internal/types"
+)
+
+func synthRegions(n int) []*regions.Region {
+	f := &ir.Func{Name: "synth"}
+	out := make([]*regions.Region, n)
+	for i := range out {
+		out[i] = &regions.Region{ID: i, Kind: regions.LoopRegion, Func: f}
+		if i > 0 {
+			out[i].Parent = out[i-1]
+		}
+	}
+	return out
+}
+
+func newRT() (*Runtime, *profile.Profile) {
+	prof := profile.New()
+	return NewRuntime(prof, Options{}), prof
+}
+
+// synthFunc reserves value IDs up front so frames created from it can hold
+// every instruction the test will fabricate.
+func synthFunc() *ir.Func {
+	f := &ir.Func{Name: "synth"}
+	for i := 0; i < 256; i++ {
+		f.NewValueID()
+	}
+	return f
+}
+
+var nextTestID int
+
+func addInstr(f *ir.Func) *ir.Instr {
+	ins := &ir.Instr{Op: ir.OpBin, Bin: ir.BinAdd, Typ: types.Scalar(ast.Int),
+		Args: []ir.Value{&ir.ConstInt{V: 1}, &ir.ConstInt{V: 2}}, BreakArg: -1}
+	ins.ID = nextTestID % 256
+	nextTestID++
+	return ins
+}
+
+func rawInstr(op ir.Op) *ir.Instr {
+	ins := &ir.Instr{Op: op, BreakArg: -1}
+	ins.ID = nextTestID % 256
+	nextTestID++
+	return ins
+}
+
+func TestRegionAccounting(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(2)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	rt.Step(fs, addInstr(f), 0, -1) // work 1 in outer only
+	rt.EnterRegion(rs[1])
+	rt.Step(fs, addInstr(f), 0, -1) // work 1 in both
+	rt.Step(fs, addInstr(f), 0, -1)
+	rt.ExitRegion()
+	rt.ExitRegion()
+
+	if len(prof.Roots) != 1 {
+		t.Fatalf("roots = %d", len(prof.Roots))
+	}
+	root := prof.Dict.Entries[prof.Roots[0]]
+	if root.Work != 3 {
+		t.Errorf("outer work = %d, want 3", root.Work)
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("children = %v", root.Children)
+	}
+	inner := prof.Dict.Entries[root.Children[0].Char]
+	if inner.Work != 2 {
+		t.Errorf("inner work = %d, want 2", inner.Work)
+	}
+}
+
+func TestSerialChainCriticalPath(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	// A chain of 5 dependent adds: cp = 5, work = 5.
+	var prev *ir.Instr
+	for i := 0; i < 5; i++ {
+		ins := addInstr(f)
+		if prev != nil {
+			ins.Args = []ir.Value{prev, &ir.ConstInt{V: 1}}
+		}
+		rt.Step(fs, ins, 0, -1)
+		prev = ins
+	}
+	rt.ExitRegion()
+	e := prof.Dict.Entries[prof.Roots[0]]
+	if e.Work != 5 || e.CP != 5 {
+		t.Errorf("work=%d cp=%d, want 5/5 (serial chain)", e.Work, e.CP)
+	}
+}
+
+func TestIndependentOpsCriticalPath(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	for i := 0; i < 5; i++ {
+		rt.Step(fs, addInstr(f), 0, -1) // all constants: independent
+	}
+	rt.ExitRegion()
+	e := prof.Dict.Entries[prof.Roots[0]]
+	if e.Work != 5 || e.CP != 1 {
+		t.Errorf("work=%d cp=%d, want 5/1 (independent ops)", e.Work, e.CP)
+	}
+}
+
+func TestBreakArgIgnoresDependence(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	var prev *ir.Instr
+	for i := 0; i < 5; i++ {
+		ins := addInstr(f)
+		if prev != nil {
+			ins.Args = []ir.Value{prev, &ir.ConstInt{V: 1}}
+			ins.BreakArg = 0 // reduction: old value ignored
+			ins.Reduction = true
+		}
+		rt.Step(fs, ins, 0, -1)
+		prev = ins
+	}
+	rt.ExitRegion()
+	e := prof.Dict.Entries[prof.Roots[0]]
+	if e.CP != 1 {
+		t.Errorf("cp = %d, want 1 (chain broken)", e.CP)
+	}
+}
+
+func TestMemoryDependenceThroughShadow(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+	cellType := types.Type{Elem: ast.Float}
+
+	rt.EnterRegion(rs[0])
+	// store @100 <- const; load @100; store @200 <- loaded: a 3-op chain
+	// through memory.
+	st1 := rawInstr(ir.OpStore)
+	st1.Args = []ir.Value{&ir.ConstInt{V: 0}, &ir.ConstFloat{V: 1}}
+	rt.Step(fs, st1, 100, -1)
+	ld := rawInstr(ir.OpLoad)
+	ld.Typ = cellType
+	ld.Args = []ir.Value{&ir.ConstInt{V: 0}}
+	rt.Step(fs, ld, 100, -1)
+	st2 := rawInstr(ir.OpStore)
+	st2.Args = []ir.Value{&ir.ConstInt{V: 0}, ld}
+	rt.Step(fs, st2, 200, -1)
+	rt.ExitRegion()
+
+	e := prof.Dict.Entries[prof.Roots[0]]
+	// Latencies: store 1, load 2, store 1 → chain 1+2+1 = 4 = work.
+	if e.CP != e.Work {
+		t.Errorf("cp=%d work=%d, want equal (fully serial memory chain)", e.CP, e.Work)
+	}
+}
+
+func TestTagsIsolateSiblingRegions(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(2)
+	sibling := &regions.Region{ID: 99, Kind: regions.LoopRegion, Func: rs[0].Func, Parent: rs[0]}
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	rt.EnterRegion(rs[1])
+	st := rawInstr(ir.OpStore)
+	st.Args = []ir.Value{&ir.ConstInt{V: 0}, &ir.ConstFloat{V: 1}}
+	rt.Step(fs, st, 500, -1)
+	rt.ExitRegion() // rs[1] exits: its level-1 times become stale
+
+	rt.EnterRegion(sibling)
+	ld := rawInstr(ir.OpLoad)
+	ld.Typ = types.Type{Elem: ast.Float}
+	ld.Args = []ir.Value{&ir.ConstInt{V: 0}}
+	rt.Step(fs, ld, 500, -1)
+	rt.ExitRegion()
+	rt.ExitRegion()
+
+	// The sibling's cp must reflect only its own load (latency 2), not the
+	// writer's time: the tag mismatch read 0 at level 1.
+	var sibEntry *profile.Entry
+	for i, e := range prof.Dict.Entries {
+		if e.StaticID == 99 {
+			sibEntry = &prof.Dict.Entries[i]
+		}
+	}
+	if sibEntry == nil {
+		t.Fatal("sibling entry missing")
+	}
+	if sibEntry.CP != 2 {
+		t.Errorf("sibling cp = %d, want 2 (tag isolation)", sibEntry.CP)
+	}
+}
+
+func TestUnwindExitsEverything(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(4)
+	for _, r := range rs {
+		rt.EnterRegion(r)
+	}
+	if rt.Depth() != 4 {
+		t.Fatalf("depth = %d", rt.Depth())
+	}
+	rt.Unwind(1)
+	if rt.Depth() != 1 {
+		t.Fatalf("depth after unwind = %d", rt.Depth())
+	}
+	rt.Unwind(0)
+	if len(prof.Roots) != 1 {
+		t.Errorf("roots = %d, want 1 (only the outermost)", len(prof.Roots))
+	}
+}
+
+func TestIterateRegionCreatesSiblingInstances(t *testing.T) {
+	rt, prof := newRT()
+	rs := synthRegions(2)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	rt.EnterRegion(rs[1])
+	for i := 0; i < 3; i++ {
+		rt.Step(fs, addInstr(f), 0, -1)
+		rt.IterateRegion(rs[1])
+	}
+	rt.ExitRegion()
+	rt.ExitRegion()
+
+	root := prof.Dict.Entries[prof.Roots[0]]
+	var n int64
+	for _, k := range root.Children {
+		n += k.Count
+	}
+	if n != 4 { // 3 iterations + the final instance
+		t.Errorf("child instances = %d, want 4", n)
+	}
+}
+
+func TestDepthWindowLowBound(t *testing.T) {
+	prof := profile.New()
+	rt := NewRuntime(prof, Options{MinDepth: 1, MaxDepth: 8})
+	rs := synthRegions(2)
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0]) // depth 0: below the window
+	rt.EnterRegion(rs[1]) // depth 1: tracked
+	var prev *ir.Instr
+	for i := 0; i < 4; i++ {
+		ins := addInstr(f)
+		if prev != nil {
+			ins.Args = []ir.Value{prev, &ir.ConstInt{V: 1}}
+		}
+		rt.Step(fs, ins, 0, -1)
+		prev = ins
+	}
+	rt.ExitRegion()
+	rt.ExitRegion()
+
+	var inner, outer *profile.Entry
+	for i := range prof.Dict.Entries {
+		e := &prof.Dict.Entries[i]
+		if e.StaticID == 1 {
+			inner = e
+		}
+		if e.StaticID == 0 {
+			outer = e
+		}
+	}
+	if inner.CP != 4 {
+		t.Errorf("tracked inner cp = %d, want 4", inner.CP)
+	}
+	// The untracked outer region falls back to cp = work (serial).
+	if outer.CP != outer.Work {
+		t.Errorf("untracked outer cp = %d, want work %d", outer.CP, outer.Work)
+	}
+}
+
+func TestControlStackPushPop(t *testing.T) {
+	rt, _ := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	branch := f.NewBlock("branch")
+	popAt := f.NewBlock("join")
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	// A branch whose condition took 7 time units.
+	cond := addInstr(f)
+	cond.Args = []ir.Value{&ir.ConstInt{V: 1}, &ir.ConstInt{V: 2}}
+	vec := rt.Step(fs, cond, 0, -1)
+	rt.PushCtrl(fs, branch, popAt, vec)
+
+	// An otherwise-independent op inherits the control time.
+	dep := addInstr(f)
+	rt.Step(fs, dep, 0, -1)
+	got := fs.Regs.Get(dep.ID).Read(0, rt.tags[0])
+	if got != 2 { // cond time 1 + latency 1
+		t.Errorf("control-dependent time = %d, want 2", got)
+	}
+
+	rt.AtBlock(fs, popAt) // pop
+	free := addInstr(f)
+	rt.Step(fs, free, 0, -1)
+	if got := fs.Regs.Get(free.ID).Read(0, rt.tags[0]); got != 1 {
+		t.Errorf("post-join time = %d, want 1 (control released)", got)
+	}
+	rt.ExitRegion()
+}
+
+func TestSameBranchReplacement(t *testing.T) {
+	rt, _ := newRT()
+	rs := synthRegions(1)
+	f := synthFunc()
+	branch := f.NewBlock("hdr")
+	popAt := f.NewBlock("exit")
+	fs := rt.NewFrame(f, nil)
+
+	rt.EnterRegion(rs[0])
+	for i := 0; i < 10; i++ {
+		rt.PopSameBranch(fs, branch)
+		cond := addInstr(f)
+		vec := rt.Step(fs, cond, 0, -1)
+		rt.PushCtrl(fs, branch, popAt, vec)
+	}
+	if n := len(fs.ctrl); n != 1 {
+		t.Errorf("control stack grew to %d entries; same-branch entries must replace", n)
+	}
+	rt.ExitRegion()
+}

@@ -1,0 +1,194 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kremlin/internal/source"
+	"kremlin/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]token.Token, *source.ErrorList) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	toks := New(source.NewFile("t.kr", src), errs).ScanAll()
+	return toks, errs
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := scan(t, src)
+	if errs.HasErrors() {
+		t.Fatalf("scan %q: %v", src, errs.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("scan %q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan %q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / % = == != < <= > >= && || ! ++ -- += -= *= /=",
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.ASSIGN, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.LAND, token.LOR, token.NOT, token.INC, token.DEC,
+		token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN, token.QUOASSIGN)
+}
+
+func TestDelimiters(t *testing.T) {
+	expectKinds(t, "( ) [ ] { } , ;",
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.LBRACE, token.RBRACE, token.COMMA, token.SEMICOLON)
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks, _ := scan(t, "for foo _bar x9 while9")
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.FOR, "for"}, {token.IDENT, "foo"}, {token.IDENT, "_bar"},
+		{token.IDENT, "x9"}, {token.IDENT, "while9"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Lit != w.lit {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Lit, w.kind, w.lit)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := scan(t, "0 42 3.14 1e9 2.5e-3 7E+2 .5")
+	if errs.HasErrors() {
+		t.Fatal(errs.Err())
+	}
+	wantKinds := []token.Kind{token.INT, token.INT, token.FLOAT, token.FLOAT, token.FLOAT, token.FLOAT, token.FLOAT}
+	wantLits := []string{"0", "42", "3.14", "1e9", "2.5e-3", "7E+2", ".5"}
+	for i := range wantKinds {
+		if toks[i].Kind != wantKinds[i] || toks[i].Lit != wantLits[i] {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Lit, wantKinds[i], wantLits[i])
+		}
+	}
+}
+
+func TestMalformedExponent(t *testing.T) {
+	_, errs := scan(t, "1e+")
+	if !errs.HasErrors() {
+		t.Error("expected error for malformed exponent")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := scan(t, `"hello" "a\nb" "q\"q" "t\\t"`)
+	if errs.HasErrors() {
+		t.Fatal(errs.Err())
+	}
+	want := []string{"hello", "a\nb", `q"q`, `t\t`}
+	for i, w := range want {
+		if toks[i].Kind != token.STRING || toks[i].Lit != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := scan(t, `"oops`)
+	if !errs.HasErrors() {
+		t.Error("expected unterminated-string error")
+	}
+	_, errs = scan(t, "\"nl\nrest")
+	if !errs.HasErrors() {
+		t.Error("expected error for newline in string")
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb /* block\ncomment */ c",
+		token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := scan(t, "a /* never closed")
+	if !errs.HasErrors() {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := scan(t, "a $ b")
+	if !errs.HasErrors() {
+		t.Error("expected illegal-character error")
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("token 1 = %v, want ILLEGAL", toks[1].Kind)
+	}
+	// Scanning continues past the bad character.
+	if toks[2].Kind != token.IDENT || toks[2].Lit != "b" {
+		t.Errorf("recovery failed: %v %q", toks[2].Kind, toks[2].Lit)
+	}
+}
+
+func TestSingleAmpersandAndPipe(t *testing.T) {
+	_, errs := scan(t, "a & b")
+	if !errs.HasErrors() {
+		t.Error("single & should be an error")
+	}
+	_, errs = scan(t, "a | b")
+	if !errs.HasErrors() {
+		t.Error("single | should be an error")
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	toks, _ := scan(t, "ab  cd")
+	if toks[0].Offset != 0 || toks[1].Offset != 4 {
+		t.Errorf("offsets = %d,%d, want 0,4", toks[0].Offset, toks[1].Offset)
+	}
+}
+
+// TestLexerTotalityProperty: the scanner must terminate with EOF and never
+// panic on arbitrary input bytes.
+func TestLexerTotalityProperty(t *testing.T) {
+	check := func(input []byte) bool {
+		errs := &source.ErrorList{}
+		toks := New(source.NewFile("fuzz.kr", string(input)), errs).ScanAll()
+		return len(toks) > 0 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerProgressProperty: token offsets are monotonically non-decreasing
+// and within bounds.
+func TestLexerProgressProperty(t *testing.T) {
+	check := func(input []byte) bool {
+		errs := &source.ErrorList{}
+		toks := New(source.NewFile("fuzz.kr", string(input)), errs).ScanAll()
+		last := -1
+		for _, tk := range toks {
+			if tk.Offset < last || tk.Offset > len(input) {
+				return false
+			}
+			last = tk.Offset
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

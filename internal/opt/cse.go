@@ -1,0 +1,159 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"kremlin/internal/ir"
+)
+
+// localValueNumbering eliminates redundant pure computations within each
+// basic block: two instructions with the same opcode and operands compute
+// the same value, so the second can reuse the first's result. Loads are
+// numbered too, but any store, call, or impure builtin invalidates the
+// load table (a conservative memory model — no alias analysis).
+//
+// Array-address computations (OpView chains) and repeated subexpressions
+// in stencil kernels are the main beneficiaries; the paper's point that
+// the instrumented binary can be "heavily optimized" without tainting the
+// analysis applies: availability-time semantics are unchanged because the
+// reused value carries exactly the same dependence set.
+func localValueNumbering(f *ir.Func) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		seen := map[string]*ir.Instr{}  // value key -> defining instruction
+		loads := map[string]*ir.Instr{} // load key  -> defining load
+		replace := map[*ir.Instr]ir.Value{}
+		resolve := func(v ir.Value) ir.Value {
+			if ins, ok := v.(*ir.Instr); ok {
+				if r, ok := replace[ins]; ok {
+					return r
+				}
+			}
+			return v
+		}
+		kept := b.Instrs[:0]
+		for _, ins := range b.Instrs {
+			for i, a := range ins.Args {
+				ins.Args[i] = resolve(a)
+			}
+			switch {
+			case ins.Op == ir.OpLoad:
+				key := valueKey(ins)
+				if prev, ok := loads[key]; ok {
+					replace[ins] = prev
+					removed++
+					continue
+				}
+				loads[key] = ins
+			case clobbersMemory(ins):
+				loads = map[string]*ir.Instr{}
+			case numerable(ins):
+				key := valueKey(ins)
+				if prev, ok := seen[key]; ok {
+					replace[ins] = prev
+					removed++
+					continue
+				}
+				seen[key] = ins
+			}
+			kept = append(kept, ins)
+		}
+		b.Instrs = kept
+		// Replacements may be referenced from later blocks.
+		if len(replace) > 0 {
+			for _, ob := range f.Blocks {
+				for _, ins := range ob.Instrs {
+					for i, a := range ins.Args {
+						if ai, ok := a.(*ir.Instr); ok {
+							if r, ok := replace[ai]; ok {
+								ins.Args[i] = r
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// numerable reports whether the instruction computes a pure value eligible
+// for value numbering.
+func numerable(ins *ir.Instr) bool {
+	if ins.Reduction || ins.Induction {
+		return false // annotated instructions must stay distinct
+	}
+	switch ins.Op {
+	case ir.OpBin, ir.OpNeg, ir.OpNot, ir.OpConvert, ir.OpView, ir.OpGlobal:
+		return true
+	case ir.OpBuiltin:
+		switch ins.Builtin {
+		case "sqrt", "fabs", "floor", "exp", "log", "sin", "cos", "pow",
+			"abs", "min", "max", "dim":
+			return true
+		}
+	}
+	return false
+}
+
+// clobbersMemory reports whether executing the instruction may change what
+// subsequent loads observe.
+func clobbersMemory(ins *ir.Instr) bool {
+	switch ins.Op {
+	case ir.OpStore, ir.OpCall:
+		return true
+	case ir.OpBuiltin:
+		// srand mutates RNG state, print mutates the output stream; neither
+		// touches data memory, but treat calls conservatively anyway.
+		switch ins.Builtin {
+		case "printval", "printstr", "printnl", "srand", "rand", "frand":
+			return true
+		}
+	}
+	return false
+}
+
+// valueKey canonically encodes (op, operands) for numbering; commutative
+// operators sort their operand keys so a+b and b+a number identically.
+func valueKey(ins *ir.Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d/%s", ins.Op, ins.Bin, ins.Builtin)
+	if ins.Global != nil {
+		fmt.Fprintf(&sb, "/g%d", ins.Global.Index)
+	}
+	keys := make([]string, len(ins.Args))
+	for i, a := range ins.Args {
+		keys[i] = operandKey(a)
+	}
+	if ins.Op == ir.OpBin && commutative(ins.Bin) && len(keys) == 2 && keys[0] > keys[1] {
+		keys[0], keys[1] = keys[1], keys[0]
+	}
+	for _, k := range keys {
+		sb.WriteByte('/')
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func commutative(b ir.BinKind) bool {
+	switch b {
+	case ir.BinAdd, ir.BinMul, ir.BinEq, ir.BinNe, ir.BinAnd, ir.BinOr:
+		return true
+	}
+	return false
+}
+
+func operandKey(a ir.Value) string {
+	switch v := a.(type) {
+	case *ir.Instr:
+		return fmt.Sprintf("%%%d", v.ID)
+	case *ir.ConstInt:
+		return fmt.Sprintf("i%d", v.V)
+	case *ir.ConstFloat:
+		return fmt.Sprintf("f%x", v.V)
+	case *ir.ConstBool:
+		return fmt.Sprintf("b%t", v.V)
+	}
+	return "?"
+}

@@ -1,0 +1,444 @@
+// Package opt implements the IR optimizer the paper applies to the
+// instrumented program (§3: "by statically inserting instrumentation,
+// Kremlin can heavily optimize the code to produce a more efficient
+// instrumented binary", run in a way that does not taint the analysis).
+// It performs constant folding, algebraic simplification, constant-branch
+// folding, phi simplification, and dead-value elimination over the SSA IR,
+// iterated to a fixed point.
+//
+// The passes preserve observable semantics exactly (including print output
+// and evaluation order of side effects); only pure value computations are
+// folded or removed, so profiling an optimized module measures the same
+// dependence structure with less bookkeeping work — just like compiling
+// the instrumented C with -O3 in the original toolchain.
+package opt
+
+import (
+	"math"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/ir"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	Folded         int // instructions replaced by constants or operands
+	RemovedDead    int // unused pure instructions deleted
+	BranchesFolded int // conditional branches with constant conditions
+	BlocksRemoved  int // unreachable blocks pruned
+	PhisSimplified int
+	CSERemoved     int // redundant computations value-numbered away
+	Iterations     int
+}
+
+// Run optimizes every function of m to a fixed point.
+func Run(m *ir.Module) Stats {
+	var st Stats
+	for _, f := range m.Funcs {
+		st.add(runFunc(f))
+	}
+	return st
+}
+
+func (s *Stats) add(o Stats) {
+	s.Folded += o.Folded
+	s.RemovedDead += o.RemovedDead
+	s.BranchesFolded += o.BranchesFolded
+	s.BlocksRemoved += o.BlocksRemoved
+	s.PhisSimplified += o.PhisSimplified
+	s.CSERemoved += o.CSERemoved
+	if o.Iterations > s.Iterations {
+		s.Iterations = o.Iterations
+	}
+}
+
+const maxPasses = 10
+
+func runFunc(f *ir.Func) Stats {
+	var st Stats
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		replace := map[*ir.Instr]ir.Value{}
+
+		resolve := func(v ir.Value) ir.Value {
+			for {
+				ins, ok := v.(*ir.Instr)
+				if !ok {
+					return v
+				}
+				r, ok := replace[ins]
+				if !ok {
+					return v
+				}
+				v = r
+			}
+		}
+
+		// Fold values.
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				for i, a := range ins.Args {
+					ins.Args[i] = resolve(a)
+				}
+				if ins.Reduction || ins.Induction {
+					// Keep annotated instructions intact: the runtime's
+					// dependence-breaking rules hang off them.
+					continue
+				}
+				if v, n := fold(ins); v != nil {
+					replace[ins] = v
+					st.Folded += n.Folded
+					st.PhisSimplified += n.PhisSimplified
+					changed = true
+				}
+			}
+		}
+		// Apply outstanding replacements everywhere.
+		if len(replace) > 0 {
+			for _, b := range f.Blocks {
+				for _, ins := range b.Instrs {
+					for i, a := range ins.Args {
+						ins.Args[i] = resolve(a)
+					}
+				}
+			}
+			// Drop the replaced instructions themselves.
+			for _, b := range f.Blocks {
+				kept := b.Instrs[:0]
+				for _, ins := range b.Instrs {
+					if _, dead := replace[ins]; !dead {
+						kept = append(kept, ins)
+					}
+				}
+				b.Instrs = kept
+			}
+		}
+
+		// Fold constant branches.
+		for _, b := range f.Blocks {
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			c, ok := term.Args[0].(*ir.ConstBool)
+			if !ok {
+				continue
+			}
+			taken, dropped := term.Targets[0], term.Targets[1]
+			if !c.V {
+				taken, dropped = dropped, taken
+			}
+			term.Op = ir.OpJump
+			term.Args = nil
+			term.Targets = []*ir.Block{taken}
+			removeEdge(b, dropped)
+			if taken == dropped {
+				// Both arms identical: the edge list shrank by one; the phi
+				// fixup in removeEdge handled it.
+				_ = taken
+			}
+			b.Succs = []*ir.Block{taken}
+			st.BranchesFolded++
+			changed = true
+		}
+
+		// Local value numbering (CSE).
+		if n := localValueNumbering(f); n > 0 {
+			st.CSERemoved += n
+			changed = true
+		}
+
+		// Dead value elimination.
+		uses := map[*ir.Instr]int{}
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				for _, a := range ins.Args {
+					if ai, ok := a.(*ir.Instr); ok {
+						uses[ai]++
+					}
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, ins := range b.Instrs {
+				if uses[ins] == 0 && removable(ins) {
+					st.RemovedDead++
+					changed = true
+					continue
+				}
+				kept = append(kept, ins)
+			}
+			b.Instrs = kept
+		}
+
+		// Prune newly unreachable blocks (with phi maintenance).
+		before := len(f.Blocks)
+		pruneUnreachable(f)
+		st.BlocksRemoved += before - len(f.Blocks)
+
+		st.Iterations = pass + 1
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// removable reports whether an unused instruction can be deleted without
+// changing observable behavior.
+func removable(ins *ir.Instr) bool {
+	switch ins.Op {
+	case ir.OpBin, ir.OpNeg, ir.OpNot, ir.OpConvert, ir.OpPhi, ir.OpView,
+		ir.OpGlobal, ir.OpLoad, ir.OpAllocArray:
+		return true
+	case ir.OpBuiltin:
+		switch ins.Builtin {
+		case "sqrt", "fabs", "floor", "exp", "log", "sin", "cos", "pow",
+			"abs", "min", "max", "dim":
+			return true
+		}
+	}
+	return false
+}
+
+// fold tries to replace ins with a simpler value. Returns nil when nothing
+// applies.
+func fold(ins *ir.Instr) (ir.Value, Stats) {
+	var st Stats
+	switch ins.Op {
+	case ir.OpPhi:
+		// A phi whose (non-self) incoming values are all identical
+		// collapses to that value.
+		var uniq ir.Value
+		for _, a := range ins.Args {
+			if a == ins {
+				continue
+			}
+			if uniq == nil {
+				uniq = a
+			} else if !sameValue(uniq, a) {
+				return nil, st
+			}
+		}
+		if uniq != nil {
+			st.PhisSimplified++
+			return uniq, st
+		}
+	case ir.OpNeg:
+		switch c := ins.Args[0].(type) {
+		case *ir.ConstInt:
+			st.Folded++
+			return &ir.ConstInt{V: -c.V}, st
+		case *ir.ConstFloat:
+			st.Folded++
+			return &ir.ConstFloat{V: -c.V}, st
+		}
+	case ir.OpNot:
+		if c, ok := ins.Args[0].(*ir.ConstBool); ok {
+			st.Folded++
+			return &ir.ConstBool{V: !c.V}, st
+		}
+	case ir.OpConvert:
+		switch c := ins.Args[0].(type) {
+		case *ir.ConstInt:
+			if ins.Typ.Elem == ast.Float {
+				st.Folded++
+				return &ir.ConstFloat{V: float64(c.V)}, st
+			}
+		case *ir.ConstFloat:
+			if ins.Typ.Elem == ast.Int {
+				st.Folded++
+				return &ir.ConstInt{V: int64(c.V)}, st
+			}
+		}
+	case ir.OpBin:
+		if v := foldBin(ins); v != nil {
+			st.Folded++
+			return v, st
+		}
+	}
+	return nil, st
+}
+
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	switch av := a.(type) {
+	case *ir.ConstInt:
+		bv, ok := b.(*ir.ConstInt)
+		return ok && av.V == bv.V
+	case *ir.ConstFloat:
+		bv, ok := b.(*ir.ConstFloat)
+		return ok && av.V == bv.V && !math.Signbit(av.V) == !math.Signbit(bv.V)
+	case *ir.ConstBool:
+		bv, ok := b.(*ir.ConstBool)
+		return ok && av.V == bv.V
+	}
+	return false
+}
+
+func foldBin(ins *ir.Instr) ir.Value {
+	x, y := ins.Args[0], ins.Args[1]
+	xi, xisInt := x.(*ir.ConstInt)
+	yi, yisInt := y.(*ir.ConstInt)
+	xf, xisF := x.(*ir.ConstFloat)
+	yf, yisF := y.(*ir.ConstFloat)
+
+	boolOf := func(v bool) ir.Value { return &ir.ConstBool{V: v} }
+
+	// Constant-constant folding.
+	if xisInt && yisInt {
+		a, b := xi.V, yi.V
+		switch ins.Bin {
+		case ir.BinAdd:
+			return &ir.ConstInt{V: a + b}
+		case ir.BinSub:
+			return &ir.ConstInt{V: a - b}
+		case ir.BinMul:
+			return &ir.ConstInt{V: a * b}
+		case ir.BinDiv:
+			if b != 0 {
+				return &ir.ConstInt{V: a / b}
+			}
+		case ir.BinRem:
+			if b != 0 {
+				return &ir.ConstInt{V: a % b}
+			}
+		case ir.BinEq:
+			return boolOf(a == b)
+		case ir.BinNe:
+			return boolOf(a != b)
+		case ir.BinLt:
+			return boolOf(a < b)
+		case ir.BinLe:
+			return boolOf(a <= b)
+		case ir.BinGt:
+			return boolOf(a > b)
+		case ir.BinGe:
+			return boolOf(a >= b)
+		}
+	}
+	if xisF && yisF {
+		a, b := xf.V, yf.V
+		switch ins.Bin {
+		case ir.BinAdd:
+			return &ir.ConstFloat{V: a + b}
+		case ir.BinSub:
+			return &ir.ConstFloat{V: a - b}
+		case ir.BinMul:
+			return &ir.ConstFloat{V: a * b}
+		case ir.BinDiv:
+			return &ir.ConstFloat{V: a / b}
+		case ir.BinEq:
+			return boolOf(a == b)
+		case ir.BinNe:
+			return boolOf(a != b)
+		case ir.BinLt:
+			return boolOf(a < b)
+		case ir.BinLe:
+			return boolOf(a <= b)
+		case ir.BinGt:
+			return boolOf(a > b)
+		case ir.BinGe:
+			return boolOf(a >= b)
+		}
+	}
+
+	// Integer algebraic identities (float identities are not applied:
+	// x+0.0 and x*1.0 are not identities for signed zeros and NaNs).
+	if ins.Typ.Elem == ast.Int {
+		switch ins.Bin {
+		case ir.BinAdd:
+			if yisInt && yi.V == 0 {
+				return x
+			}
+			if xisInt && xi.V == 0 {
+				return y
+			}
+		case ir.BinSub:
+			if yisInt && yi.V == 0 {
+				return x
+			}
+		case ir.BinMul:
+			if yisInt && yi.V == 1 {
+				return x
+			}
+			if xisInt && xi.V == 1 {
+				return y
+			}
+			if (yisInt && yi.V == 0) || (xisInt && xi.V == 0) {
+				return &ir.ConstInt{V: 0}
+			}
+		case ir.BinDiv:
+			if yisInt && yi.V == 1 {
+				return x
+			}
+		}
+	}
+	return nil
+}
+
+// removeEdge removes the CFG edge b -> target, keeping target's phis
+// aligned with its shrunken predecessor list.
+func removeEdge(b *ir.Block, target *ir.Block) {
+	idx := -1
+	for i, p := range target.Preds {
+		if p == b {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return
+	}
+	target.Preds = append(target.Preds[:idx], target.Preds[idx+1:]...)
+	for _, ins := range target.Instrs {
+		if ins.Op != ir.OpPhi {
+			break
+		}
+		ins.Args = append(ins.Args[:idx], ins.Args[idx+1:]...)
+	}
+}
+
+// pruneUnreachable removes unreachable blocks with phi maintenance (unlike
+// irbuild.RemoveUnreachable, which runs pre-SSA).
+func pruneUnreachable(f *ir.Func) {
+	reach := map[*ir.Block]bool{f.Entry(): true}
+	stack := []*ir.Block{f.Entry()}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) == len(f.Blocks) {
+		return
+	}
+	// Remove edges from dead predecessors (phi-aware).
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for i := len(b.Preds) - 1; i >= 0; i-- {
+			if !reach[b.Preds[i]] {
+				removeEdge(b.Preds[i], b)
+			}
+		}
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for i, b := range f.Blocks {
+		b.ID = i
+	}
+}

@@ -1,0 +1,378 @@
+package opt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/ir"
+	. "kremlin/internal/opt"
+)
+
+// compilePair compiles src twice, unoptimized and optimized.
+func compilePair(t *testing.T, src string) (*kremlin.Program, *kremlin.Program) {
+	t.Helper()
+	plain, err := kremlin.Compile("t.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := kremlin.CompileWith("t.kr", src, kremlin.CompileOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plain, opt
+}
+
+func output(t *testing.T, p *kremlin.Program) (string, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := p.Run(&kremlin.RunConfig{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), res.Work
+}
+
+func countInstrs(p *kremlin.Program) int {
+	n := 0
+	for _, f := range p.Module.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `
+int main() {
+	int x = 2 * 3 + 4;           // folds to 10
+	float y = (1.5 + 2.5) * 2.0; // folds to 8
+	bool b = 3 < 5;              // folds to true
+	print(x, y, b);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo {
+		t.Fatalf("optimization changed output: %q vs %q", oo, po)
+	}
+	if optd.Opt.Folded == 0 {
+		t.Error("nothing folded")
+	}
+	if countInstrs(optd) >= countInstrs(plain) {
+		t.Errorf("instruction count did not shrink: %d vs %d", countInstrs(optd), countInstrs(plain))
+	}
+}
+
+func TestConstantBranchFolding(t *testing.T) {
+	src := `
+int main() {
+	int x = 0;
+	if (1 < 2) {
+		x = 10;
+	} else {
+		x = 20;
+	}
+	print(x);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo || po != "10\n" {
+		t.Fatalf("outputs: plain %q opt %q", po, oo)
+	}
+	if optd.Opt.BranchesFolded == 0 {
+		t.Error("constant branch not folded")
+	}
+	if optd.Opt.BlocksRemoved == 0 {
+		t.Error("dead arm not pruned")
+	}
+	for _, b := range optd.Module.Main().Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpBr {
+				t.Error("conditional branch survived")
+			}
+		}
+	}
+}
+
+func TestDeadValueElimination(t *testing.T) {
+	src := `
+float a[10];
+int main() {
+	float unused = a[3] * 2.0 + sqrt(9.0); // pure, unused
+	int keep = 5;
+	print(keep);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo {
+		t.Fatalf("output changed: %q vs %q", oo, po)
+	}
+	if optd.Opt.RemovedDead == 0 {
+		t.Error("dead values survived")
+	}
+}
+
+func TestSideEffectsNeverRemoved(t *testing.T) {
+	src := `
+int n;
+int bump() { n = n + 1; return n; }
+int main() {
+	bump();         // result unused, call must stay
+	int x = rand(); // result unused, RNG state must advance
+	_use(x);
+	print(n);
+	return 0;
+}
+void _use(int v) { if (v < -1) { print(v); } }
+`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo || po != "1\n" {
+		t.Fatalf("outputs: plain %q opt %q", po, oo)
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	src := `
+int f(int x) { return (x + 0) * 1 + (x - 0) / 1 + x * 0; }
+int main() { print(f(21)); return 0; }`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo || po != "42\n" {
+		t.Fatalf("outputs: plain %q opt %q", po, oo)
+	}
+	_, pw := output(t, plain)
+	_, ow := output(t, optd)
+	if ow >= pw {
+		t.Errorf("optimized work %d >= plain %d", ow, pw)
+	}
+}
+
+func TestFloatIdentitiesNotApplied(t *testing.T) {
+	// x + 0.0 is not an identity for -0.0; the optimizer must leave float
+	// arithmetic alone unless both operands are constants.
+	src := `
+int main() {
+	float z = -0.0;
+	float r = z + 0.0; // must still evaluate: result is +0.0
+	print(r == 0.0);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo {
+		t.Fatalf("float semantics changed: %q vs %q", oo, po)
+	}
+}
+
+func TestAnnotationsSurviveOptimization(t *testing.T) {
+	src := `
+float a[100];
+float total;
+int main() {
+	for (int i = 0; i < 100; i++) {
+		total = total + a[i];
+	}
+	print(total);
+	return 0;
+}`
+	_, optd := compilePair(t, src)
+	found := false
+	for _, f := range optd.Module.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Reduction || ins.Induction {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("dependence-breaking annotations lost after optimization")
+	}
+}
+
+func TestOptimizedProfilePreservesShape(t *testing.T) {
+	src := `
+float a[200];
+float b[200];
+void doall() {
+	for (int i = 0; i < 200; i++) {
+		b[i] = a[i] * (1.0 + 1.0) + (3.0 - 3.0);
+	}
+}
+int main() { doall(); return 0; }`
+	plain, optd := compilePair(t, src)
+	pp, _, err := plain.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _, err := optd.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSum := plain.Summarize(pp)
+	oSum := optd.Summarize(op)
+	var pSP, oSP float64
+	for _, st := range pSum.Executed {
+		if st.Region.Func.Name == "doall" && st.Region.Kind == 1 { // loop
+			pSP = st.SelfP
+		}
+	}
+	for _, st := range oSum.Executed {
+		if st.Region.Func.Name == "doall" && st.Region.Kind == 1 {
+			oSP = st.SelfP
+		}
+	}
+	if pSP < 150 || oSP < 150 {
+		t.Errorf("DOALL SP degraded: plain %.1f, optimized %.1f", pSP, oSP)
+	}
+	if op.TotalWork() >= pp.TotalWork() {
+		t.Errorf("optimized work %d >= plain %d", op.TotalWork(), pp.TotalWork())
+	}
+}
+
+func TestFixedPointTerminates(t *testing.T) {
+	src := `
+int main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			s += i * j;
+		}
+	}
+	print(s);
+	return 0;
+}`
+	_, optd := compilePair(t, src)
+	if optd.Opt.Iterations >= 10 {
+		t.Errorf("optimizer did not reach a fixed point (%d passes)", optd.Opt.Iterations)
+	}
+}
+
+// TestStatsAccumulate exercises Run directly on a module.
+func TestRunOnModule(t *testing.T) {
+	p, err := kremlin.Compile("t.kr", "int main() { print(1+1); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Run(p.Module)
+	if st.Folded == 0 {
+		t.Error("expected folding on 1+1")
+	}
+}
+
+// TestCSEEliminatesRedundantExpressions: identical pure subexpressions in
+// one block compute once.
+func TestCSE(t *testing.T) {
+	src := `
+float a[64];
+int main() {
+	int i = 3;
+	float x = a[i] * 2.0 + a[i] * 2.0; // a[i]*2.0 computed once
+	float y = sqrt(x) + sqrt(x);       // sqrt(x) computed once
+	print(x, y);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, pw := output(t, plain)
+	oo, ow := output(t, optd)
+	if po != oo {
+		t.Fatalf("CSE changed output: %q vs %q", oo, po)
+	}
+	if optd.Opt.CSERemoved == 0 {
+		t.Error("no redundant expressions eliminated")
+	}
+	if ow >= pw {
+		t.Errorf("optimized work %d >= plain %d", ow, pw)
+	}
+}
+
+// TestCSECommutativity: a+b and b+a number identically.
+func TestCSECommutative(t *testing.T) {
+	src := `
+int g[4];
+int main() {
+	int a = g[0];
+	int b = g[1];
+	int x = a * b;
+	int y = b * a;
+	print(x + y);
+	return 0;
+}`
+	_, optd := compilePair(t, src)
+	if optd.Opt.CSERemoved == 0 {
+		t.Error("commutative pair not value-numbered")
+	}
+}
+
+// TestCSELoadsInvalidatedByStores: a store between two identical loads
+// must keep the second load.
+func TestCSELoadsInvalidated(t *testing.T) {
+	src := `
+float a[8];
+int main() {
+	a[2] = 1.0;
+	float before = a[2];
+	a[2] = 2.0;
+	float after = a[2]; // must reload: the store changed it
+	print(before, after);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo || po != "1 2\n" {
+		t.Fatalf("outputs: plain %q opt %q", po, oo)
+	}
+}
+
+// TestCSERandNotShared: two rand() calls must stay distinct.
+func TestCSERandNotShared(t *testing.T) {
+	src := `
+int main() {
+	srand(5);
+	int a = rand();
+	int b = rand();
+	print(a == b);
+	return 0;
+}`
+	plain, optd := compilePair(t, src)
+	po, _ := output(t, plain)
+	oo, _ := output(t, optd)
+	if po != oo || po != "false\n" {
+		t.Fatalf("outputs: plain %q opt %q", po, oo)
+	}
+}
+
+// TestOptimizerIdempotent: running Run twice changes nothing further.
+func TestOptimizerIdempotent(t *testing.T) {
+	p, err := kremlin.Compile("t.kr", `
+float a[32];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 32; i++) {
+		s = s + a[i] * 2.0 + a[i] * 2.0;
+	}
+	print(s + float(1 + 2));
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Run(p.Module)
+	second := Run(p.Module)
+	if second.Folded != 0 || second.RemovedDead != 0 || second.CSERemoved != 0 || second.BranchesFolded != 0 {
+		t.Errorf("second pass still changed things: %+v (first: %+v)", second, first)
+	}
+}

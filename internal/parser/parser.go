@@ -1,0 +1,379 @@
+// Package parser implements the recursive-descent parser for Kr.
+package parser
+
+import (
+	"strconv"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/lexer"
+	"kremlin/internal/source"
+	"kremlin/internal/token"
+)
+
+// Parse scans and parses a Kr file, reporting problems to errs.
+func Parse(file *source.File, errs *source.ErrorList) *ast.File {
+	p := &parser{file: file, errs: errs, toks: lexer.New(file, errs).ScanAll()}
+	return p.parseFile()
+}
+
+type parser struct {
+	file *source.File
+	errs *source.ErrorList
+	toks []token.Token
+	i    int
+}
+
+func (p *parser) tok() token.Token { return p.toks[p.i] }
+func (p *parser) kind() token.Kind { return p.toks[p.i].Kind }
+func (p *parser) peek() token.Kind {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1].Kind
+	}
+	return token.EOF
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.i]
+	if t.Kind != token.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(off int, format string, args ...interface{}) {
+	p.errs.Add(p.file.Name, p.file.Pos(off), format, args...)
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok()
+	if t.Kind != k {
+		p.errorf(t.Offset, "expected %q, found %q", k.String(), t.Kind.String())
+		return token.Token{Kind: k, Offset: t.Offset}
+	}
+	return p.next()
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *parser) sync() {
+	for {
+		switch p.kind() {
+		case token.EOF, token.RBRACE:
+			return
+		case token.SEMICOLON:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func basicKind(k token.Kind) ast.BasicKind {
+	switch k {
+	case token.INT_KW:
+		return ast.Int
+	case token.FLOAT_KW:
+		return ast.Float
+	case token.BOOL_KW:
+		return ast.Bool
+	case token.VOID:
+		return ast.Void
+	}
+	return ast.Invalid
+}
+
+func (p *parser) parseFile() *ast.File {
+	f := &ast.File{Name: p.file.Name}
+	for p.kind() != token.EOF {
+		if !p.kind().IsTypeKeyword() {
+			p.errorf(p.tok().Offset, "expected declaration, found %q", p.kind().String())
+			before := p.i
+			p.sync()
+			if p.i == before { // e.g. a stray '}' at top level: force progress
+				p.next()
+			}
+			continue
+		}
+		elem := basicKind(p.next().Kind)
+		name := p.expect(token.IDENT)
+		if p.kind() == token.LPAREN {
+			f.Funcs = append(f.Funcs, p.parseFuncRest(elem, name))
+		} else {
+			f.Globals = append(f.Globals, p.parseVarRest(elem, name))
+		}
+	}
+	return f
+}
+
+// parseVarRest parses a variable declaration after "type name".
+func (p *parser) parseVarRest(elem ast.BasicKind, name token.Token) *ast.VarDecl {
+	d := &ast.VarDecl{NamePos: name.Offset, Name: name.Lit, Elem: elem}
+	for p.kind() == token.LBRACK {
+		p.next()
+		d.Dims = append(d.Dims, p.parseExpr())
+		p.expect(token.RBRACK)
+	}
+	if p.kind() == token.ASSIGN {
+		if len(d.Dims) > 0 {
+			p.errorf(p.tok().Offset, "array %q cannot have an initializer", d.Name)
+		}
+		p.next()
+		d.Init = p.parseExpr()
+	}
+	semi := p.expect(token.SEMICOLON)
+	d.EndOff = semi.Offset + 1
+	return d
+}
+
+func (p *parser) parseFuncRest(ret ast.BasicKind, name token.Token) *ast.FuncDecl {
+	d := &ast.FuncDecl{NamePos: name.Offset, Name: name.Lit, Ret: ret}
+	p.expect(token.LPAREN)
+	for p.kind() != token.RPAREN && p.kind() != token.EOF {
+		if len(d.Params) > 0 {
+			p.expect(token.COMMA)
+		}
+		if !p.kind().IsTypeKeyword() || p.kind() == token.VOID {
+			p.errorf(p.tok().Offset, "expected parameter type")
+			p.sync()
+			break
+		}
+		elem := basicKind(p.next().Kind)
+		pn := p.expect(token.IDENT)
+		param := &ast.ParamDecl{NamePos: pn.Offset, Name: pn.Lit, Elem: elem}
+		for p.kind() == token.LBRACK {
+			p.next()
+			p.expect(token.RBRACK)
+			param.NumDims++
+		}
+		d.Params = append(d.Params, param)
+	}
+	p.expect(token.RPAREN)
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBRACE)
+	b := &ast.Block{LbracePos: lb.Offset}
+	for p.kind() != token.RBRACE && p.kind() != token.EOF {
+		before := p.i
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.i == before { // no progress: skip the offending token
+			p.next()
+		}
+	}
+	rb := p.expect(token.RBRACE)
+	b.RbracePos = rb.Offset
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.kind() {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.INT_KW, token.FLOAT_KW, token.BOOL_KW:
+		elem := basicKind(p.next().Kind)
+		name := p.expect(token.IDENT)
+		return &ast.DeclStmt{Decl: p.parseVarRest(elem, name)}
+	case token.IF:
+		return p.parseIf()
+	case token.FOR:
+		return p.parseFor()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.BREAK:
+		t := p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.BreakStmt{KwPos: t.Offset}
+	case token.CONTINUE:
+		t := p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.ContinueStmt{KwPos: t.Offset}
+	case token.RETURN:
+		t := p.next()
+		s := &ast.ReturnStmt{KwPos: t.Offset}
+		if p.kind() != token.SEMICOLON {
+			s.Result = p.parseExpr()
+		}
+		semi := p.expect(token.SEMICOLON)
+		s.EndOff = semi.Offset + 1
+		return s
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.SEMICOLON)
+	return s
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon, so for-headers can reuse it).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	x := p.parseExpr()
+	switch p.kind() {
+	case token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN, token.QUOASSIGN:
+		op := p.next().Kind
+		rhs := p.parseExpr()
+		return &ast.AssignStmt{LHS: x, Op: op, RHS: rhs}
+	case token.INC, token.DEC:
+		op := p.next().Kind
+		return &ast.IncDecStmt{LHS: x, Op: op}
+	}
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	t := p.expect(token.IF)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	s := &ast.IfStmt{IfPos: t.Offset, Cond: cond, Then: p.parseBlock()}
+	if p.kind() == token.ELSE {
+		p.next()
+		if p.kind() == token.IF {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	t := p.expect(token.FOR)
+	p.expect(token.LPAREN)
+	s := &ast.ForStmt{ForPos: t.Offset}
+	if p.kind() != token.SEMICOLON {
+		if p.kind().IsTypeKeyword() {
+			elem := basicKind(p.next().Kind)
+			name := p.expect(token.IDENT)
+			d := &ast.VarDecl{NamePos: name.Offset, Name: name.Lit, Elem: elem}
+			if p.kind() == token.ASSIGN {
+				p.next()
+				d.Init = p.parseExpr()
+			}
+			d.EndOff = p.tok().Offset
+			s.Init = &ast.DeclStmt{Decl: d}
+		} else {
+			s.Init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(token.SEMICOLON)
+	if p.kind() != token.SEMICOLON {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	if p.kind() != token.RPAREN {
+		s.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	s.Body = p.parseBlock()
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	t := p.expect(token.WHILE)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	return &ast.WhileStmt{WhilePos: t.Offset, Cond: cond, Body: p.parseBlock()}
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		op := p.kind()
+		prec := op.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.kind() {
+	case token.SUB:
+		t := p.next()
+		return &ast.UnaryExpr{OpPos: t.Offset, Op: token.SUB, X: p.parseUnary()}
+	case token.NOT:
+		t := p.next()
+		return &ast.UnaryExpr{OpPos: t.Offset, Op: token.NOT, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.tok()
+	var x ast.Expr
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Offset, "invalid integer literal %q", t.Lit)
+		}
+		x = &ast.IntLit{LitPos: t.Offset, Value: v, Text: t.Lit}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf(t.Offset, "invalid float literal %q", t.Lit)
+		}
+		x = &ast.FloatLit{LitPos: t.Offset, Value: v, Text: t.Lit}
+	case token.TRUE:
+		p.next()
+		x = &ast.BoolLit{LitPos: t.Offset, Value: true}
+	case token.FALSE:
+		p.next()
+		x = &ast.BoolLit{LitPos: t.Offset, Value: false}
+	case token.STRING:
+		p.next()
+		x = &ast.StringLit{LitPos: t.Offset, Value: t.Lit, EndOff: t.Offset + len(t.Lit) + 2}
+	case token.LPAREN:
+		p.next()
+		x = p.parseExpr()
+		p.expect(token.RPAREN)
+	case token.IDENT, token.INT_KW, token.FLOAT_KW:
+		// int(...) / float(...) conversions parse as calls.
+		name := t.Lit
+		if t.Kind != token.IDENT {
+			name = t.Kind.String()
+		}
+		p.next()
+		if p.kind() == token.LPAREN {
+			x = p.parseCallRest(t.Offset, name)
+		} else if t.Kind != token.IDENT {
+			p.errorf(t.Offset, "type keyword %q used as value", name)
+			x = &ast.IntLit{LitPos: t.Offset, Text: "0"}
+		} else {
+			x = &ast.Ident{NamePos: t.Offset, Name: name}
+		}
+	default:
+		p.errorf(t.Offset, "expected expression, found %q", t.Kind.String())
+		p.next()
+		return &ast.IntLit{LitPos: t.Offset, Text: "0"}
+	}
+	for p.kind() == token.LBRACK {
+		p.next()
+		idx := p.parseExpr()
+		rb := p.expect(token.RBRACK)
+		x = &ast.IndexExpr{X: x, Index: idx, EndOff: rb.Offset + 1}
+	}
+	return x
+}
+
+func (p *parser) parseCallRest(namePos int, name string) ast.Expr {
+	p.expect(token.LPAREN)
+	call := &ast.CallExpr{NamePos: namePos, Name: name}
+	for p.kind() != token.RPAREN && p.kind() != token.EOF {
+		if len(call.Args) > 0 {
+			p.expect(token.COMMA)
+		}
+		call.Args = append(call.Args, p.parseExpr())
+	}
+	rp := p.expect(token.RPAREN)
+	call.EndOff = rp.Offset + 1
+	return call
+}

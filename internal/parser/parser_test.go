@@ -1,0 +1,264 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/source"
+	"kremlin/internal/token"
+)
+
+func parse(t *testing.T, src string) (*ast.File, *source.ErrorList) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	f := Parse(source.NewFile("t.kr", src), errs)
+	return f, errs
+}
+
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := parse(t, src)
+	if errs.HasErrors() {
+		t.Fatalf("parse failed: %v", errs.Err())
+	}
+	return f
+}
+
+func mainBody(t *testing.T, stmts string) *ast.FuncDecl {
+	t.Helper()
+	f := parseOK(t, "int main() {\n"+stmts+"\nreturn 0;\n}")
+	if len(f.Funcs) != 1 {
+		t.Fatalf("expected 1 func, got %d", len(f.Funcs))
+	}
+	return f.Funcs[0]
+}
+
+func TestGlobals(t *testing.T) {
+	f := parseOK(t, `
+int n = 5;
+float grid[10][20];
+bool flag;
+int main() { return 0; }
+`)
+	if len(f.Globals) != 3 {
+		t.Fatalf("globals = %d, want 3", len(f.Globals))
+	}
+	if f.Globals[0].Name != "n" || f.Globals[0].Init == nil {
+		t.Errorf("global n malformed: %+v", f.Globals[0])
+	}
+	if g := f.Globals[1]; g.Elem != ast.Float || len(g.Dims) != 2 {
+		t.Errorf("grid: elem=%v dims=%d", g.Elem, len(g.Dims))
+	}
+	if f.Globals[2].Elem != ast.Bool {
+		t.Errorf("flag elem = %v", f.Globals[2].Elem)
+	}
+}
+
+func TestFunctionParams(t *testing.T) {
+	f := parseOK(t, `void f(int a, float b[][], bool c) {} int main() { return 0; }`)
+	fn := f.Funcs[0]
+	if fn.Ret != ast.Void || len(fn.Params) != 3 {
+		t.Fatalf("func f: ret=%v params=%d", fn.Ret, len(fn.Params))
+	}
+	if fn.Params[1].NumDims != 2 || fn.Params[1].Elem != ast.Float {
+		t.Errorf("param b: %+v", fn.Params[1])
+	}
+	if fn.Params[0].NumDims != 0 {
+		t.Errorf("param a should be scalar")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	fn := mainBody(t, "int x = 1 + 2 * 3;")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	add, ok := decl.Decl.Init.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("top op = %+v, want +", decl.Decl.Init)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs = %+v, want *", add.Y)
+	}
+}
+
+func TestLogicalPrecedence(t *testing.T) {
+	fn := mainBody(t, "bool b = 1 < 2 && 3 < 4 || false;")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	or, ok := decl.Decl.Init.(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		t.Fatalf("top op should be ||, got %+v", decl.Decl.Init)
+	}
+	and, ok := or.X.(*ast.BinaryExpr)
+	if !ok || and.Op != token.LAND {
+		t.Fatalf("lhs should be &&")
+	}
+}
+
+func TestUnaryAndParens(t *testing.T) {
+	fn := mainBody(t, "int x = -(1 + 2);")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	neg, ok := decl.Decl.Init.(*ast.UnaryExpr)
+	if !ok || neg.Op != token.SUB {
+		t.Fatalf("want unary minus, got %+v", decl.Decl.Init)
+	}
+	if _, ok := neg.X.(*ast.BinaryExpr); !ok {
+		t.Fatalf("parenthesized sum lost: %+v", neg.X)
+	}
+}
+
+func TestIndexingNests(t *testing.T) {
+	fn := mainBody(t, "int x = a[i][j+1];")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	outer, ok := decl.Decl.Init.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("want index expr, got %T", decl.Decl.Init)
+	}
+	inner, ok := outer.X.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("want nested index, got %T", outer.X)
+	}
+	if id, ok := inner.X.(*ast.Ident); !ok || id.Name != "a" {
+		t.Fatalf("base = %+v", inner.X)
+	}
+}
+
+func TestCallsAndConversions(t *testing.T) {
+	fn := mainBody(t, "float y = sqrt(float(3) + pow(2.0, 3.0));")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	call, ok := decl.Decl.Init.(*ast.CallExpr)
+	if !ok || call.Name != "sqrt" || len(call.Args) != 1 {
+		t.Fatalf("call = %+v", decl.Decl.Init)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	fn := mainBody(t, `
+int i = 0;
+i = i + 1;
+i += 2;
+i++;
+i--;
+if (i > 0) { i = 1; } else if (i < 0) { i = 2; } else { i = 3; }
+while (i < 10) { i++; }
+for (int j = 0; j < 5; j++) { if (j == 2) { continue; } if (j == 4) { break; } }
+for (;;) { break; }
+print("x", i);
+`)
+	if len(fn.Body.Stmts) != 11 { // 10 + return
+		t.Fatalf("stmts = %d, want 11", len(fn.Body.Stmts))
+	}
+	ifStmt := fn.Body.Stmts[5].(*ast.IfStmt)
+	if _, ok := ifStmt.Else.(*ast.IfStmt); !ok {
+		t.Errorf("else-if not chained: %T", ifStmt.Else)
+	}
+	forStmt := fn.Body.Stmts[7].(*ast.ForStmt)
+	if forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Errorf("for header incomplete: %+v", forStmt)
+	}
+	inf := fn.Body.Stmts[8].(*ast.ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Errorf("for(;;) should have empty header")
+	}
+}
+
+func TestLocalArrayDecl(t *testing.T) {
+	fn := mainBody(t, "float buf[n][m];")
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	if len(decl.Decl.Dims) != 2 {
+		t.Fatalf("dims = %d, want 2", len(decl.Decl.Dims))
+	}
+}
+
+func TestArrayInitializerRejected(t *testing.T) {
+	_, errs := parse(t, "int main() { int a[3] = 5; return 0; }")
+	if !errs.HasErrors() {
+		t.Error("array initializer should be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main() { return 0 }",                      // missing semicolon
+		"int main() { if i > 0 {} }",                   // missing parens
+		"int main() { int = 5; }",                      // missing name
+		"int main() { x = ; }",                         // missing expression
+		"garbage at top level",                         // bad decl
+		"int main() { for (int i = 0 i < 3; i++) {} }", // bad for header
+	}
+	for _, src := range cases {
+		_, errs := parse(t, src)
+		if !errs.HasErrors() {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// After a bad statement the parser must still see later declarations.
+	f, errs := parse(t, `
+int main() { ???; return 0; }
+void after() { }
+`)
+	if !errs.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	found := false
+	for _, fn := range f.Funcs {
+		if fn.Name == "after" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recovery lost the following declaration")
+	}
+}
+
+func TestNodeExtents(t *testing.T) {
+	src := "int main() { return 42; }"
+	f := parseOK(t, src)
+	fn := f.Funcs[0]
+	if fn.Pos() != 4 { // offset of "main"
+		t.Errorf("func pos = %d", fn.Pos())
+	}
+	if fn.End() != len(src) {
+		t.Errorf("func end = %d, want %d", fn.End(), len(src))
+	}
+	ret := fn.Body.Stmts[0].(*ast.ReturnStmt)
+	if src[ret.Pos():ret.Pos()+6] != "return" {
+		t.Errorf("return pos = %d", ret.Pos())
+	}
+}
+
+// TestParserTotalityProperty: the parser never panics and always
+// terminates, whatever the input.
+func TestParserTotalityProperty(t *testing.T) {
+	check := func(input []byte) bool {
+		errs := &source.ErrorList{}
+		f := Parse(source.NewFile("fuzz.kr", string(input)), errs)
+		return f != nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserStructuredFuzzProperty throws token-shaped noise at the parser.
+func TestParserStructuredFuzzProperty(t *testing.T) {
+	pieces := []string{
+		"int", "float", "void", "main", "x", "(", ")", "{", "}", "[", "]",
+		";", ",", "=", "+", "for", "if", "else", "while", "return", "1", "2.5",
+		"&&", "||", "==", "<", "print", `"s"`, "break", "continue",
+	}
+	check := func(idxs []uint8) bool {
+		src := ""
+		for _, i := range idxs {
+			src += pieces[int(i)%len(pieces)] + " "
+		}
+		errs := &source.ErrorList{}
+		return Parse(source.NewFile("fuzz.kr", src), errs) != nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

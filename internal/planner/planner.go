@@ -1,0 +1,451 @@
+// Package planner implements Kremlin's parallelism planner (§5): it
+// combines the HCPA profile (self-parallelism, work coverage) with
+// Amdahl's law and target-system constraints — a planner "personality" —
+// to produce an ordered list of regions worth parallelizing.
+//
+// The OpenMP personality uses the paper's bottom-up dynamic-programming
+// algorithm: a region is selected only if its own expected benefit exceeds
+// the combined benefit of the best plans of its descendants, which
+// enforces OpenMP's no-nested-parallelism constraint (at most one selected
+// region on any root-to-leaf path) while avoiding the greedy trap observed
+// on ft and lu.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kremlin/internal/hcpa"
+	"kremlin/internal/regions"
+)
+
+// Mode selects the planning algorithm.
+type Mode int
+
+// Planner modes. ModeCoverage and ModeCoverageSP are the Figure-9
+// baselines ("work" and "work+self-parallelism" planners).
+const (
+	ModeDP Mode = iota
+	ModeNested
+	ModeCoverage
+	ModeCoverageSP
+)
+
+// Personality captures the target-system constraints of a planner (§5.3):
+// synchronization cost, loop type, and region granularity, expressed as
+// architecture-independent thresholds.
+type Personality struct {
+	Name string
+	Mode Mode
+	// MinSelfP is the minimum self-parallelism worth exploiting; it
+	// indirectly accounts for scheduler overhead and migration cost.
+	MinSelfP float64
+	// MinSpeedupDOALL / MinSpeedupDOACROSS are the minimum ideal
+	// whole-program speedups (as fractions: 0.001 = 0.1%) a region must
+	// promise. DOACROSS regions are synchronization-intense and need more.
+	MinSpeedupDOALL    float64
+	MinSpeedupDOACROSS float64
+	// MinReductionWork is the minimum per-instance work for a region
+	// containing a reduction (OpenMP reductions have significant overhead).
+	MinReductionWork uint64
+	// MinCoverage is the work-coverage floor used by the baseline modes.
+	MinCoverage float64
+	// MaxCores caps the exploitable self-parallelism. The paper found the
+	// cap hurt plan quality (high SP correlates with real speedup even
+	// beyond the core count), so the shipped personalities leave it 0.
+	MaxCores int
+}
+
+// OpenMP returns the paper's OpenMP planner personality with its published
+// thresholds: self-parallelism cutoff 5.0, 0.1% minimum program speedup
+// for DOALL regions, 3% for DOACROSS.
+func OpenMP() Personality {
+	return Personality{
+		Name:               "openmp",
+		Mode:               ModeDP,
+		MinSelfP:           5.0,
+		MinSpeedupDOALL:    0.001,
+		MinSpeedupDOACROSS: 0.03,
+		MinReductionWork:   4000,
+	}
+}
+
+// Cilk returns the Cilk++ personality (§5.2): nesting-aware, with lower
+// self-parallelism and speedup thresholds reflecting Cilk's cheaper
+// work-stealing runtime.
+func Cilk() Personality {
+	return Personality{
+		Name:               "cilk",
+		Mode:               ModeNested,
+		MinSelfP:           2.0,
+		MinSpeedupDOALL:    0.0005,
+		MinSpeedupDOACROSS: 0.005,
+		MinReductionWork:   5000,
+	}
+}
+
+// WorkOnly returns the gprof-style baseline: plan = every region whose
+// work coverage clears a floor (Figure 9, "work").
+func WorkOnly() Personality {
+	return Personality{Name: "work-only", Mode: ModeCoverage, MinCoverage: 0.005}
+}
+
+// WorkSP returns the second Figure-9 baseline: coverage floor plus the
+// self-parallelism cutoff ("self parallelism").
+func WorkSP() Personality {
+	return Personality{Name: "work+sp", Mode: ModeCoverageSP, MinCoverage: 0.005, MinSelfP: 5.0}
+}
+
+// Recommendation is one planned region.
+type Recommendation struct {
+	Stats *hcpa.RegionStats
+	// SavedFrac is the fraction of whole-program serial time this region's
+	// parallelization saves (Amdahl numerator).
+	SavedFrac float64
+	// EstSpeedup is the whole-program speedup if only this region is
+	// parallelized: 1 / (1 - SavedFrac).
+	EstSpeedup float64
+	DOALL      bool
+}
+
+// Label returns the region's stable label.
+func (r Recommendation) Label() string { return r.Stats.Region.Label() }
+
+// Hint names the kind of parallelism found and the transformation it
+// implies (§6.2: DOALL pragmas, reduction clauses, DOACROSS
+// restructuring), guiding the Enabling Transforms the user must perform.
+func (r Recommendation) Hint() string {
+	st := r.Stats
+	switch {
+	case st.Region.Kind == regions.FuncRegion:
+		if st.HasReduction {
+			return "task/reduction"
+		}
+		return "task"
+	case st.DOALL && st.HasReduction:
+		return "DOALL+reduction"
+	case st.DOALL:
+		return "DOALL"
+	case st.HasReduction:
+		return "reduction"
+	default:
+		// Parallel but below the iteration count: cross-iteration overlap
+		// only — DOACROSS/pipeline/wavefront restructuring required.
+		return "DOACROSS"
+	}
+}
+
+// Plan is an ordered parallelism plan.
+type Plan struct {
+	Personality Personality
+	Recs        []Recommendation
+	// EstProgramSpeedup is the ideal speedup with the whole plan applied.
+	EstProgramSpeedup float64
+	// Considered is the number of executed loop/function regions examined.
+	Considered int
+}
+
+// LinesOfCode sums the source-line extents of the planned regions — the
+// alternative programmer-effort proxy the paper's footnote 2 discusses
+// (region count remained their preferred, if imperfect, metric).
+func (p *Plan) LinesOfCode() int {
+	n := 0
+	for _, r := range p.Recs {
+		reg := r.Stats.Region
+		n += reg.EndLine - reg.StartLine + 1
+	}
+	return n
+}
+
+// Labels returns the plan's region labels in order.
+func (p *Plan) Labels() []string {
+	out := make([]string, len(p.Recs))
+	for i, r := range p.Recs {
+		out[i] = r.Label()
+	}
+	return out
+}
+
+// Has reports whether the plan contains the region with the given label.
+func (p *Plan) Has(label string) bool {
+	for _, r := range p.Recs {
+		if r.Label() == label {
+			return true
+		}
+	}
+	return false
+}
+
+// config carries Make options.
+type config struct {
+	exclude map[string]bool
+}
+
+// Option customizes planning.
+type Option func(*config)
+
+// Exclude removes regions (by label) from consideration — the paper's
+// replanning loop for regions the user is unable or unwilling to
+// parallelize.
+func Exclude(labels ...string) Option {
+	return func(c *config) {
+		if c.exclude == nil {
+			c.exclude = make(map[string]bool)
+		}
+		for _, l := range labels {
+			c.exclude[l] = true
+		}
+	}
+}
+
+// Make produces a plan for the profile summary under the personality.
+func Make(sum *hcpa.Summary, pers Personality, opts ...Option) *Plan {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pl := &planning{sum: sum, pers: pers, cfg: cfg}
+	return pl.run()
+}
+
+type planning struct {
+	sum  *hcpa.Summary
+	pers Personality
+	cfg  config
+
+	memo    map[int]float64
+	visit   map[int]bool
+	callers map[int]int // function region ID -> distinct caller count
+}
+
+func (pl *planning) run() *Plan {
+	plan := &Plan{Personality: pl.pers}
+	for _, st := range pl.sum.Executed {
+		if selectableKind(st.Region) {
+			plan.Considered++
+		}
+	}
+
+	var chosen []*hcpa.RegionStats
+	switch pl.pers.Mode {
+	case ModeCoverage:
+		for _, st := range pl.sum.Executed {
+			if selectableKind(st.Region) && st.Coverage >= pl.pers.MinCoverage && !pl.excluded(st) {
+				chosen = append(chosen, st)
+			}
+		}
+	case ModeCoverageSP:
+		for _, st := range pl.sum.Executed {
+			if selectableKind(st.Region) && st.Coverage >= pl.pers.MinCoverage &&
+				st.SelfP >= pl.pers.MinSelfP && !pl.excluded(st) {
+				chosen = append(chosen, st)
+			}
+		}
+	case ModeNested:
+		for _, st := range pl.sum.Executed {
+			if pl.eligible(st) {
+				chosen = append(chosen, st)
+			}
+		}
+	default: // ModeDP
+		chosen = pl.dynamicProgram()
+	}
+
+	seen := map[int]bool{}
+	for _, st := range chosen {
+		if seen[st.Region.ID] {
+			continue
+		}
+		seen[st.Region.ID] = true
+		saved := pl.savedFrac(st)
+		plan.Recs = append(plan.Recs, Recommendation{
+			Stats:      st,
+			SavedFrac:  saved,
+			EstSpeedup: speedupFrom(saved),
+			DOALL:      st.DOALL,
+		})
+	}
+	sort.SliceStable(plan.Recs, func(i, j int) bool {
+		return plan.Recs[i].SavedFrac > plan.Recs[j].SavedFrac
+	})
+	var total float64
+	for _, r := range plan.Recs {
+		total += r.SavedFrac
+	}
+	// Saved fractions are additive only for disjoint regions; overlapping
+	// baseline plans can push past 1. Clamp to a sane ideal bound.
+	if total > 0.99 {
+		total = 0.99
+	}
+	plan.EstProgramSpeedup = speedupFrom(total)
+	return plan
+}
+
+func selectableKind(r *regions.Region) bool {
+	return r.Kind == regions.LoopRegion || r.Kind == regions.FuncRegion
+}
+
+func (pl *planning) excluded(st *hcpa.RegionStats) bool {
+	return pl.cfg.exclude[st.Region.Label()]
+}
+
+// savedFrac estimates the whole-program time fraction saved by
+// parallelizing st: coverage·(1 − 1/SP).
+func (pl *planning) savedFrac(st *hcpa.RegionStats) float64 {
+	sp := st.SelfP
+	if pl.pers.MaxCores > 0 && sp > float64(pl.pers.MaxCores) {
+		sp = float64(pl.pers.MaxCores)
+	}
+	return st.Coverage * (1 - 1/sp)
+}
+
+func speedupFrom(saved float64) float64 {
+	if saved >= 1 {
+		saved = 0.999999
+	}
+	return 1 / (1 - saved)
+}
+
+// eligible applies the personality's threshold constraints.
+func (pl *planning) eligible(st *hcpa.RegionStats) bool {
+	if !selectableKind(st.Region) || pl.excluded(st) {
+		return false
+	}
+	if st.SelfP < pl.pers.MinSelfP {
+		return false
+	}
+	if st.HasReduction && pl.pers.MinReductionWork > 0 && st.Instances > 0 {
+		if st.TotalWork/uint64(st.Instances) < pl.pers.MinReductionWork {
+			return false
+		}
+	}
+	// Reduction regions are gated by the work threshold above, not the
+	// DOACROSS one: with the reduction clause they need no per-iteration
+	// synchronization.
+	min := pl.pers.MinSpeedupDOACROSS
+	if st.DOALL || st.HasReduction {
+		min = pl.pers.MinSpeedupDOALL
+	}
+	return speedupFrom(pl.savedFrac(st)) >= 1+min
+}
+
+// dynamicProgram runs the bottom-up DP over the region graph and collects
+// the selected set.
+func (pl *planning) dynamicProgram() []*hcpa.RegionStats {
+	pl.memo = make(map[int]float64)
+	pl.visit = make(map[int]bool)
+	pl.countCallers()
+
+	var chosen []*hcpa.RegionStats
+	for _, f := range pl.sum.Prog.Module.Funcs {
+		if f.Name != "main" {
+			continue
+		}
+		root := pl.sum.Prog.PerFunc[f].Root
+		pl.best(root)
+		pl.collect(root, &chosen, map[int]bool{})
+	}
+	return chosen
+}
+
+// countCallers counts distinct call sites per function region so a shared
+// callee's benefit is split among callers rather than double-counted.
+func (pl *planning) countCallers() {
+	pl.callers = make(map[int]int)
+	for _, r := range pl.sum.Prog.Regions {
+		for _, callee := range r.Callees {
+			id := pl.sum.Prog.PerFunc[callee].Root.ID
+			pl.callers[id]++
+		}
+	}
+}
+
+func (pl *planning) shareFactor(funcRegionID int) float64 {
+	if n := pl.callers[funcRegionID]; n > 1 {
+		return 1 / float64(n)
+	}
+	return 1
+}
+
+// childRegions returns the region-graph children of r: static subregions
+// plus the function regions of direct callees.
+func (pl *planning) childRegions(r *regions.Region) []*regions.Region {
+	out := append([]*regions.Region(nil), r.Children...)
+	for _, callee := range r.Callees {
+		out = append(out, pl.sum.Prog.PerFunc[callee].Root)
+	}
+	return out
+}
+
+// best computes the maximum saved fraction achievable within r's subtree
+// subject to the no-nesting constraint.
+func (pl *planning) best(r *regions.Region) float64 {
+	if v, ok := pl.memo[r.ID]; ok {
+		return v
+	}
+	if pl.visit[r.ID] {
+		return 0 // recursion cycle: stop
+	}
+	pl.visit[r.ID] = true
+	defer func() { pl.visit[r.ID] = false }()
+
+	var childSum float64
+	for _, c := range pl.childRegions(r) {
+		v := pl.best(c)
+		if c.Kind == regions.FuncRegion {
+			v *= pl.shareFactor(c.ID)
+		}
+		childSum += v
+	}
+	v := childSum
+	if st := pl.sum.ByID(r.ID); st != nil && pl.eligible(st) {
+		if own := pl.savedFrac(st); own > childSum {
+			v = own
+		}
+	}
+	pl.memo[r.ID] = v
+	return v
+}
+
+// collect gathers the regions realizing best(r).
+func (pl *planning) collect(r *regions.Region, out *[]*hcpa.RegionStats, onPath map[int]bool) {
+	if onPath[r.ID] {
+		return
+	}
+	onPath[r.ID] = true
+	defer delete(onPath, r.ID)
+
+	st := pl.sum.ByID(r.ID)
+	var childSum float64
+	for _, c := range pl.childRegions(r) {
+		v := pl.memo[c.ID]
+		if c.Kind == regions.FuncRegion {
+			v *= pl.shareFactor(c.ID)
+		}
+		childSum += v
+	}
+	if st != nil && pl.eligible(st) && pl.savedFrac(st) > childSum && pl.savedFrac(st) > 0 {
+		*out = append(*out, st)
+		return
+	}
+	for _, c := range pl.childRegions(r) {
+		pl.collect(c, out, onPath)
+	}
+}
+
+// Render formats the plan as the paper's Figure-3 user interface: rank,
+// location, self-parallelism, and coverage, ordered by estimated speedup.
+func (p *Plan) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%4s  %-38s %10s %8s %10s  %s\n", "#", "Region (lines)", "Self-P", "Cov(%)", "Est.Spd", "Kind")
+	for i, r := range p.Recs {
+		reg := r.Stats.Region
+		loc := fmt.Sprintf("%s (%d-%d) %s %s", reg.File, reg.StartLine, reg.EndLine, reg.Kind, reg.Func.Name)
+		fmt.Fprintf(&sb, "%4d  %-38s %10.1f %8.2f %10.3f  %s\n",
+			i+1, loc, r.Stats.SelfP, r.Stats.Coverage*100, r.EstSpeedup, r.Hint())
+	}
+	fmt.Fprintf(&sb, "plan: %d of %d regions; ideal whole-program speedup %.2fx (personality=%s)\n",
+		len(p.Recs), p.Considered, p.EstProgramSpeedup, p.Personality.Name)
+	return sb.String()
+}

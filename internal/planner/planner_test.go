@@ -1,0 +1,318 @@
+package planner_test
+
+import (
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/hcpa"
+	. "kremlin/internal/planner"
+	"kremlin/internal/regions"
+)
+
+func summarize(t *testing.T, src string) (*kremlin.Program, *hcpa.Summary) {
+	t.Helper()
+	prog, err := kremlin.Compile("t.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.Summarize(prof)
+}
+
+const twoLevelSrc = `
+float a[40][40];
+float b[40][40];
+
+// A nest where the outer loop is parallel: the DP planner must pick the
+// outer loop, not both levels.
+void stencil() {
+	for (int i = 1; i < 39; i++) {
+		for (int j = 1; j < 39; j++) {
+			b[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);
+		}
+	}
+}
+
+int main() {
+	for (int i = 0; i < 40; i++) {
+		for (int j = 0; j < 40; j++) {
+			a[i][j] = float((i * j) % 11);
+		}
+	}
+	stencil();
+	print(b[20][20]);
+	return 0;
+}
+`
+
+func planFor(t *testing.T, src string, p Personality) (*hcpa.Summary, *Plan) {
+	t.Helper()
+	_, sum := summarize(t, src)
+	return sum, Make(sum, p)
+}
+
+func TestOpenMPPlanNonNested(t *testing.T) {
+	sum, plan := planFor(t, twoLevelSrc, OpenMP())
+	if len(plan.Recs) == 0 {
+		t.Fatal("empty plan")
+	}
+	// No recommendation may be an ancestor of another (per-path exclusivity)
+	inPlan := map[*regions.Region]bool{}
+	for _, r := range plan.Recs {
+		inPlan[r.Stats.Region] = true
+	}
+	for _, r := range plan.Recs {
+		for p := r.Stats.Region.Parent; p != nil; p = p.Parent {
+			if inPlan[p] {
+				t.Errorf("nested selection: %s inside %s", r.Label(), p.Label())
+			}
+		}
+	}
+	_ = sum
+}
+
+func TestPlanOrderedBySavedTime(t *testing.T) {
+	_, plan := planFor(t, twoLevelSrc, OpenMP())
+	for i := 1; i < len(plan.Recs); i++ {
+		if plan.Recs[i].SavedFrac > plan.Recs[i-1].SavedFrac+1e-12 {
+			t.Errorf("plan not sorted at %d", i)
+		}
+	}
+	for _, r := range plan.Recs {
+		if r.EstSpeedup < 1 {
+			t.Errorf("est speedup %f < 1", r.EstSpeedup)
+		}
+	}
+}
+
+func TestThresholdFiltersLowSP(t *testing.T) {
+	// A serial chain: nothing is parallelizable, the plan must be empty.
+	src := `
+float b[500];
+int main() {
+	b[0] = 1.0;
+	for (int i = 1; i < 500; i++) {
+		b[i] = b[i-1] * 0.999 + 0.001;
+	}
+	print(b[499]);
+	return 0;
+}`
+	_, plan := planFor(t, src, OpenMP())
+	if len(plan.Recs) != 0 {
+		t.Errorf("serial program produced a %d-entry plan: %v", len(plan.Recs), plan.Labels())
+	}
+}
+
+func TestSmallReductionRejectedLargeAccepted(t *testing.T) {
+	src := `
+float small[40];
+float big[40][400];
+float s1;
+float s2;
+void tiny() {
+	for (int i = 0; i < 40; i++) {
+		s1 = s1 + small[i];
+	}
+}
+void ample() {
+	for (int i = 0; i < 40; i++) {
+		for (int j = 0; j < 400; j++) {
+			s2 = s2 + big[i][j];
+		}
+	}
+}
+int main() {
+	for (int r = 0; r < 20; r++) { tiny(); }
+	ample();
+	print(s1, s2);
+	return 0;
+}`
+	_, plan := planFor(t, src, OpenMP())
+	var hasTiny, hasAmple bool
+	for _, r := range plan.Recs {
+		switch r.Stats.Region.Func.Name {
+		case "tiny":
+			hasTiny = true
+		case "ample":
+			hasAmple = true
+		}
+	}
+	if hasTiny {
+		t.Error("tiny reduction should fail the reduction-work threshold")
+	}
+	if !hasAmple {
+		t.Error("ample reduction should be planned (the paper's ep case)")
+	}
+}
+
+func TestDPPrefersChildrenWhenBetter(t *testing.T) {
+	// Parent loop has modest SP; its two child loops are fully parallel —
+	// their combined saving beats the parent (the paper's ft/lu case).
+	src := `
+float a[30][60];
+float b[30][60];
+float c[500];
+int main() {
+	// Parent: iterations partly serialized through c.
+	for (int t = 0; t < 30; t++) {
+		c[t+1] = c[t] + 1.0;            // serial spine
+		for (int j = 0; j < 60; j++) {  // child 1: parallel
+			a[t][j] = float(j) * 2.0;
+		}
+		for (int j = 0; j < 60; j++) {  // child 2: parallel
+			b[t][j] = a[t][j] + 1.0;
+		}
+	}
+	print(a[0][0], b[29][59], c[30]);
+	return 0;
+}`
+	_, plan := planFor(t, src, OpenMP())
+	pickedParent := false
+	pickedChildren := 0
+	for _, r := range plan.Recs {
+		reg := r.Stats.Region
+		if reg.Kind != regions.LoopRegion {
+			continue
+		}
+		if reg.Parent.Kind == regions.FuncRegion {
+			pickedParent = true
+		} else {
+			pickedChildren++
+		}
+	}
+	if pickedParent {
+		t.Errorf("DP picked the partly-serial parent over its parallel children: %v", plan.Labels())
+	}
+	if pickedChildren != 2 {
+		t.Errorf("picked %d child loops, want 2: %v", pickedChildren, plan.Labels())
+	}
+}
+
+func TestExclusionReplans(t *testing.T) {
+	_, sum := summarize(t, twoLevelSrc)
+	base := Make(sum, OpenMP())
+	if len(base.Recs) == 0 {
+		t.Fatal("empty base plan")
+	}
+	top := base.Recs[0].Label()
+	re := Make(sum, OpenMP(), Exclude(top))
+	if re.Has(top) {
+		t.Fatalf("excluded region %s still planned", top)
+	}
+	// The stencil work is still coverable at another level: the replan
+	// should find a replacement rather than go empty.
+	if len(re.Recs) == 0 {
+		t.Error("replan found no alternative")
+	}
+}
+
+func TestCilkNestingAllowed(t *testing.T) {
+	_, sum := summarize(t, twoLevelSrc)
+	cilk := Make(sum, Cilk())
+	omp := Make(sum, OpenMP())
+	if len(cilk.Recs) < len(omp.Recs) {
+		t.Errorf("cilk plan (%d) smaller than openmp (%d); nesting should admit more regions",
+			len(cilk.Recs), len(omp.Recs))
+	}
+}
+
+func TestBaselineModesAreSupersets(t *testing.T) {
+	_, sum := summarize(t, twoLevelSrc)
+	w := Make(sum, WorkOnly())
+	ws := Make(sum, WorkSP())
+	full := Make(sum, OpenMP())
+	if len(w.Recs) < len(ws.Recs) {
+		t.Errorf("work-only (%d) should not be smaller than work+sp (%d)", len(w.Recs), len(ws.Recs))
+	}
+	if len(ws.Recs) < len(full.Recs) {
+		t.Errorf("work+sp (%d) should not be smaller than the full planner (%d)", len(ws.Recs), len(full.Recs))
+	}
+}
+
+func TestRenderContainsColumns(t *testing.T) {
+	_, plan := planFor(t, twoLevelSrc, OpenMP())
+	out := plan.Render()
+	for _, frag := range []string{"Self-P", "Cov(%)", "personality=openmp"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMaxCoresCapsEstimates(t *testing.T) {
+	_, sum := summarize(t, twoLevelSrc)
+	p := OpenMP()
+	p.MaxCores = 4
+	capped := Make(sum, p)
+	free := Make(sum, OpenMP())
+	if len(capped.Recs) == 0 || len(free.Recs) == 0 {
+		t.Fatal("plans empty")
+	}
+	if capped.Recs[0].SavedFrac > free.Recs[0].SavedFrac+1e-12 {
+		t.Error("capping cores increased the saving estimate")
+	}
+}
+
+func TestRecommendationHints(t *testing.T) {
+	src := `
+float a[300];
+float b[300];
+float total;
+void doall() {
+	for (int i = 0; i < 300; i++) { b[i] = a[i] * 2.0; }
+}
+void reduce() {
+	for (int i = 0; i < 300; i++) {
+		for (int k = 0; k < 20; k++) {
+			total = total + a[i] * float(k);
+		}
+	}
+}
+void wavefront() {
+	for (int i = 1; i < 300; i++) {
+		for (int j = 1; j < 40; j++) {
+			b[i] = b[i] + b[i-1] * 0.001 + a[(i + j) % 300];
+		}
+	}
+}
+int main() {
+	doall();
+	reduce();
+	wavefront();
+	print(total, b[299]);
+	return 0;
+}`
+	_, sum := summarize(t, src)
+	plan := Make(sum, OpenMP())
+	hints := map[string]string{}
+	for _, r := range plan.Recs {
+		hints[r.Stats.Region.Func.Name] = r.Hint()
+	}
+	if h := hints["doall"]; h != "DOALL" {
+		t.Errorf("doall hint = %q", h)
+	}
+	if h, ok := hints["reduce"]; ok && h != "DOALL+reduction" && h != "reduction" {
+		t.Errorf("reduce hint = %q", h)
+	}
+	out := plan.Render()
+	if !strings.Contains(out, "Kind") || !strings.Contains(out, "DOALL") {
+		t.Errorf("render missing hints:\n%s", out)
+	}
+}
+
+func TestLinesOfCodeProxy(t *testing.T) {
+	_, sum := summarize(t, twoLevelSrc)
+	plan := Make(sum, OpenMP())
+	if plan.LinesOfCode() <= 0 {
+		t.Fatal("plan has no line extent")
+	}
+	// Each region contributes at least one line; the proxy is bounded below
+	// by the region count.
+	if plan.LinesOfCode() < len(plan.Recs) {
+		t.Errorf("LOC %d < regions %d", plan.LinesOfCode(), len(plan.Recs))
+	}
+}

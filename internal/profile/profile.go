@@ -1,0 +1,288 @@
+// Package profile holds the parallelism profile produced by an instrumented
+// run: per-dynamic-region summaries (work, critical path length, children),
+// compressed on line with the paper's dictionary scheme (§4.4).
+//
+// When a dynamic region exits, its tuple (static region, work, critical
+// path, child multiset) is looked up in an alphabet of unique regions; a hit
+// reuses the existing character, a miss extends the alphabet. Children are
+// described in terms of already-interned characters, so the alphabet builds
+// from the leaves up and the planner can compute self-parallelism directly
+// on the dictionary without ever decompressing the trace.
+package profile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Child is a compressed child reference: an alphabet character and how many
+// dynamic instances of it the parent contained.
+type Child struct {
+	Char  int32
+	Count int64
+}
+
+// Entry is one alphabet character: a unique dynamic-region summary.
+type Entry struct {
+	StaticID int32  // region ID in the static region tree
+	Work     uint64 // total work executed between entry and exit
+	CP       uint64 // critical path length at this region's nesting level
+	Children []Child
+}
+
+// RawRecordBytes is the size of one uncompressed dynamic-region trace
+// record (static ID, work, CP, child instance link), used to report the
+// log size an uncompressed tracer would have written.
+const RawRecordBytes = 28
+
+// Dict is the compression dictionary (the "alphabet").
+type Dict struct {
+	Entries []Entry
+	index   map[string]int32
+
+	// RawCount is the number of dynamic region summaries interned,
+	// i.e. the record count of the equivalent uncompressed trace.
+	RawCount uint64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int32)}
+}
+
+// Intern returns the character for the given dynamic region summary,
+// extending the alphabet if it is new. children maps character → count and
+// may be nil.
+func (d *Dict) Intern(staticID int32, work, cp uint64, children map[int32]int64) int32 {
+	d.RawCount++
+	kids := make([]Child, 0, len(children))
+	for c, n := range children {
+		kids = append(kids, Child{Char: c, Count: n})
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Char < kids[j].Char })
+
+	key := makeKey(staticID, work, cp, kids)
+	if c, ok := d.index[key]; ok {
+		return c
+	}
+	c := int32(len(d.Entries))
+	d.Entries = append(d.Entries, Entry{StaticID: staticID, Work: work, CP: cp, Children: kids})
+	d.index[key] = c
+	return c
+}
+
+func makeKey(staticID int32, work, cp uint64, kids []Child) string {
+	buf := make([]byte, 0, 20+len(kids)*12)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(staticID))
+	put(work)
+	put(cp)
+	for _, k := range kids {
+		put(uint64(k.Char))
+		put(uint64(k.Count))
+	}
+	return string(buf)
+}
+
+// Profile is a complete parallelism profile: the dictionary plus one root
+// character per profiled run (Kremlin supports aggregating multiple runs).
+type Profile struct {
+	Dict  *Dict
+	Roots []int32
+}
+
+// New returns an empty profile.
+func New() *Profile { return &Profile{Dict: NewDict()} }
+
+// AddRoot records the root (main) character of one completed run.
+func (p *Profile) AddRoot(c int32) { p.Roots = append(p.Roots, c) }
+
+// InstanceCounts computes, for every character, how many dynamic region
+// instances it stands for, by propagating multiplicities down from the
+// roots. Because children are always interned before their parents, a
+// single descending sweep suffices.
+func (p *Profile) InstanceCounts() []int64 {
+	counts := make([]int64, len(p.Dict.Entries))
+	for _, r := range p.Roots {
+		counts[r]++
+	}
+	for c := len(p.Dict.Entries) - 1; c >= 0; c-- {
+		n := counts[c]
+		if n == 0 {
+			continue
+		}
+		for _, k := range p.Dict.Entries[c].Children {
+			counts[k.Char] += n * k.Count
+		}
+	}
+	return counts
+}
+
+// TotalWork returns the summed work of the root runs.
+func (p *Profile) TotalWork() uint64 {
+	var w uint64
+	for _, r := range p.Roots {
+		w += p.Dict.Entries[r].Work
+	}
+	return w
+}
+
+// RawBytes reports the size of the uncompressed trace an instance-per-record
+// tracer would have produced.
+func (p *Profile) RawBytes() uint64 { return p.Dict.RawCount * RawRecordBytes }
+
+// Merge folds other into p, re-interning other's alphabet. Used for
+// multi-run aggregation: run the instrumented binary on several inputs and
+// plan over the union.
+func (p *Profile) Merge(other *Profile) {
+	remap := make([]int32, len(other.Dict.Entries))
+	for c, e := range other.Dict.Entries {
+		kids := make(map[int32]int64, len(e.Children))
+		for _, k := range e.Children {
+			kids[remap[k.Char]] += k.Count
+		}
+		remap[c] = p.Dict.Intern(e.StaticID, e.Work, e.CP, kids)
+	}
+	// Interning during a merge double-counts raw records; correct to the
+	// true dynamic-instance count.
+	p.Dict.RawCount += other.Dict.RawCount - uint64(len(other.Dict.Entries))
+	for _, r := range other.Roots {
+		p.Roots = append(p.Roots, remap[r])
+	}
+}
+
+const magic = "KRPF1\n"
+
+// WriteTo serializes the profile in a compact varint format.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	buf = append(buf, magic...)
+	put(uint64(len(p.Dict.Entries)))
+	for _, e := range p.Dict.Entries {
+		put(uint64(e.StaticID))
+		put(e.Work)
+		put(e.CP)
+		put(uint64(len(e.Children)))
+		for _, k := range e.Children {
+			put(uint64(k.Char))
+			put(uint64(k.Count))
+		}
+	}
+	put(p.Dict.RawCount)
+	put(uint64(len(p.Roots)))
+	for _, r := range p.Roots {
+		put(uint64(r))
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// MarshalSize returns the serialized size in bytes (the paper's
+// "compressed log size").
+func (p *Profile) MarshalSize() uint64 {
+	var cw countWriter
+	_, _ = p.WriteTo(&cw)
+	return cw.n
+}
+
+type countWriter struct{ n uint64 }
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	c.n += uint64(len(b))
+	return len(b), nil
+}
+
+// ReadFrom deserializes a profile written by WriteTo.
+func ReadFrom(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, errors.New("profile: bad magic")
+	}
+	data = data[len(magic):]
+	pos := 0
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("profile: truncated at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	p := New()
+	nEntries, err := get()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nEntries; i++ {
+		var e Entry
+		sid, err := get()
+		if err != nil {
+			return nil, err
+		}
+		e.StaticID = int32(sid)
+		if e.Work, err = get(); err != nil {
+			return nil, err
+		}
+		if e.CP, err = get(); err != nil {
+			return nil, err
+		}
+		nk, err := get()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nk; j++ {
+			ch, err := get()
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if int32(ch) >= int32(i) {
+				return nil, fmt.Errorf("profile: entry %d references forward child %d", i, ch)
+			}
+			e.Children = append(e.Children, Child{Char: int32(ch), Count: int64(cnt)})
+		}
+		kids := make(map[int32]int64, len(e.Children))
+		for _, k := range e.Children {
+			kids[k.Char] = k.Count
+		}
+		p.Dict.Intern(e.StaticID, e.Work, e.CP, kids)
+	}
+	raw, err := get()
+	if err != nil {
+		return nil, err
+	}
+	p.Dict.RawCount = raw
+	nRoots, err := get()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nRoots; i++ {
+		r, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if r >= nEntries {
+			return nil, fmt.Errorf("profile: root %d out of range", r)
+		}
+		p.AddRoot(int32(r))
+	}
+	return p, nil
+}

@@ -1,0 +1,256 @@
+package regions
+
+import (
+	"testing"
+
+	"kremlin/internal/analysis"
+	"kremlin/internal/ir"
+	"kremlin/internal/irbuild"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+func analyze(t *testing.T, src string) *Program {
+	t.Helper()
+	errs := &source.ErrorList{}
+	file := source.NewFile("t.kr", src)
+	tree := parser.Parse(file, errs)
+	info := types.Check(tree, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("frontend: %v", errs.Err())
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("build: %v", errs.Err())
+	}
+	analysis.Run(mod)
+	return Analyze(mod, file)
+}
+
+const nestedSrc = `
+int work(int x) {
+	int s = 0;
+	for (int i = 0; i < x; i++) {       // outer loop
+		for (int j = 0; j < i; j++) {   // inner loop
+			s += j;
+		}
+	}
+	return s;
+}
+int main() {
+	int t = 0;
+	for (int k = 0; k < 3; k++) {
+		t += work(k);
+	}
+	return t;
+}
+`
+
+func TestRegionTreeShape(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	var funcs, loops, bodies int
+	for _, r := range p.Regions {
+		switch r.Kind {
+		case FuncRegion:
+			funcs++
+		case LoopRegion:
+			loops++
+		case BodyRegion:
+			bodies++
+		}
+	}
+	if funcs != 2 || loops != 3 || bodies != 3 {
+		t.Errorf("funcs=%d loops=%d bodies=%d, want 2/3/3", funcs, loops, bodies)
+	}
+	// Every loop has exactly one body child; every body's parent is a loop.
+	for _, r := range p.Regions {
+		switch r.Kind {
+		case LoopRegion:
+			if len(r.Children) != 1 || r.Children[0].Kind != BodyRegion {
+				t.Errorf("loop %s children: %v", r.Name, r.Children)
+			}
+		case BodyRegion:
+			if r.Parent == nil || r.Parent.Kind != LoopRegion {
+				t.Errorf("body %s parent: %v", r.Name, r.Parent)
+			}
+		}
+	}
+}
+
+func TestRegionIDsAreDense(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	for i, r := range p.Regions {
+		if r.ID != i {
+			t.Errorf("region %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestNestPaths(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	work := p.Module.ByName["work"]
+	fi := p.PerFunc[work]
+	for _, b := range work.Blocks {
+		path := fi.NestPath[b]
+		if len(path) == 0 || path[0] != fi.Root {
+			t.Fatalf("path for %s does not start at the function region", b)
+		}
+		// Path alternates correctly: func, then (loop, body)*.
+		for i := 1; i < len(path); i++ {
+			want := LoopRegion
+			if i%2 == 0 {
+				want = BodyRegion
+			}
+			if path[i].Kind != want {
+				t.Errorf("path[%d] for %s is %v, want %v", i, b, path[i].Kind, want)
+			}
+			if path[i].Parent != path[i-1] {
+				t.Errorf("path[%d] parent mismatch", i)
+			}
+		}
+	}
+	// Depth 2 nest exists: some block has path length 5 (func,loop,body,loop,body).
+	max := 0
+	for _, b := range work.Blocks {
+		if l := len(fi.NestPath[b]); l > max {
+			max = l
+		}
+	}
+	if max != 5 {
+		t.Errorf("max nest path = %d, want 5", max)
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	work := p.Module.ByName["work"]
+	// The call to work() is inside main's k-loop body: that body region
+	// must list work as a callee.
+	found := false
+	for _, r := range p.Regions {
+		for _, callee := range r.Callees {
+			if callee == work {
+				found = true
+				if r.Kind != BodyRegion || r.Func.Name != "main" {
+					t.Errorf("call edge attached to %v, want main's loop body", r)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("missing call edge to work")
+	}
+}
+
+func TestEdgeEvents(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	work := p.Module.ByName["work"]
+	fi := p.PerFunc[work]
+
+	var header *ir.Block
+	for b, lr := range fi.HeaderOf {
+		// outer loop header: its loop region's parent is the func region
+		if lr.Parent == fi.Root {
+			header = b
+		}
+	}
+	if header == nil {
+		t.Fatal("no outer loop header found")
+	}
+
+	// Entry edge (preheader -> header): enters loop then body.
+	var pre *ir.Block
+	lr := fi.HeaderOf[header]
+	l := fi.LoopOf[lr]
+	for _, pblk := range header.Preds {
+		if !l.Contains(pblk) {
+			pre = pblk
+		}
+	}
+	if pre == nil {
+		t.Fatal("no preheader")
+	}
+	ev := fi.Edge(pre, header)
+	if len(ev.Enter) != 2 || ev.Enter[0].Kind != LoopRegion || ev.Enter[1].Kind != BodyRegion {
+		t.Errorf("entry edge events = %+v", ev)
+	}
+	if ev.Iterate != nil || len(ev.Exit) != 0 {
+		t.Errorf("entry edge should not iterate/exit: %+v", ev)
+	}
+
+	// Back edge (latch -> header): iterates the body.
+	var latch *ir.Block
+	for _, pblk := range header.Preds {
+		if l.Contains(pblk) {
+			latch = pblk
+		}
+	}
+	ev = fi.Edge(latch, header)
+	if ev.Iterate == nil || ev.Iterate.Kind != BodyRegion {
+		t.Errorf("back edge events = %+v", ev)
+	}
+
+	// Exit edge (header -> exit): leaves body then loop.
+	var exit *ir.Block
+	for _, s := range header.Succs {
+		if !l.Contains(s) {
+			exit = s
+		}
+	}
+	ev = fi.Edge(header, exit)
+	if len(ev.Exit) != 2 || ev.Exit[0].Kind != BodyRegion || ev.Exit[1].Kind != LoopRegion {
+		t.Errorf("exit edge events = %+v", ev)
+	}
+}
+
+func TestLabelsStableAndUnique(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	seen := map[string]bool{}
+	for _, r := range p.Regions {
+		if r.Kind == BodyRegion {
+			continue // bodies share lines with their loops
+		}
+		l := r.Label()
+		if seen[l] {
+			t.Errorf("duplicate label %q", l)
+		}
+		seen[l] = true
+		if p.ByLabel(l) == nil {
+			t.Errorf("ByLabel(%q) = nil", l)
+		}
+	}
+	if p.ByLabel("no such region") != nil {
+		t.Error("ByLabel of garbage should be nil")
+	}
+}
+
+func TestLoopLineExtents(t *testing.T) {
+	p := analyze(t, nestedSrc)
+	for _, r := range p.Regions {
+		if r.Kind != LoopRegion {
+			continue
+		}
+		if r.StartLine <= 0 || r.EndLine < r.StartLine {
+			t.Errorf("loop %s lines %d-%d", r.Name, r.StartLine, r.EndLine)
+		}
+	}
+	// The outer loop in work spans the inner one.
+	work := p.Module.ByName["work"]
+	fi := p.PerFunc[work]
+	var outer, inner *Region
+	for _, lr := range fi.HeaderOf {
+		if lr.Parent == fi.Root {
+			outer = lr
+		} else {
+			inner = lr
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("loops not found")
+	}
+	if outer.StartLine > inner.StartLine || outer.EndLine < inner.EndLine {
+		t.Errorf("outer %d-%d should span inner %d-%d",
+			outer.StartLine, outer.EndLine, inner.StartLine, inner.EndLine)
+	}
+}

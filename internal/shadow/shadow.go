@@ -1,0 +1,160 @@
+// Package shadow implements Kremlin's hierarchical shadow memory (§4.2).
+//
+// Every shadowed location (a simulated heap address or an SSA register)
+// carries a vector of availability times, one per active region-nesting
+// depth, because HCPA runs an independent critical path analysis at every
+// level of the dynamic region tree. Each time is tagged with the instance
+// ID of the region that was active at that depth when the value was
+// written; on a read, a tag mismatch means the value was produced before
+// the current region began, so for the purposes of that region's analysis
+// the value is available at time 0 — this is exactly the paper's mechanism
+// for restarting time at region entry without copying the whole table.
+//
+// Heap shadow state lives in a two-level table (page directory → page),
+// dynamically allocated as the simulated address space is touched and
+// released again when the program frees the underlying memory.
+package shadow
+
+// Entry is one (availability time, region-instance tag) pair.
+type Entry struct {
+	Time uint64
+	Tag  uint64
+}
+
+// Vec is a per-depth vector of entries; index i is region-nesting depth i.
+type Vec []Entry
+
+// Read returns the availability time of the vector at depth level for the
+// region instance tag, applying the tag-mismatch-is-zero rule.
+func (v Vec) Read(level int, tag uint64) uint64 {
+	if level >= len(v) {
+		return 0
+	}
+	if v[level].Tag != tag {
+		return 0
+	}
+	return v[level].Time
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page struct {
+	vecs [pageSize]Vec
+}
+
+// Memory is the two-level shadow table over the simulated address space.
+type Memory struct {
+	pages map[uint64]*page
+
+	// Stats for the compression/overhead experiments.
+	PagesAllocated uint64
+	Writes         uint64
+	Reads          uint64
+}
+
+// NewMemory returns an empty shadow memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// ReadVec returns the vector stored at addr, or nil.
+func (m *Memory) ReadVec(addr uint64) Vec {
+	m.Reads++
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return nil
+	}
+	return p.vecs[addr&pageMask]
+}
+
+// WriteVec stores the first n entries of src at addr, reusing the existing
+// vector's storage when possible (the common case in loops).
+func (m *Memory) WriteVec(addr uint64, src Vec, n int) {
+	m.Writes++
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	if p == nil {
+		p = &page{}
+		m.pages[idx] = p
+		m.PagesAllocated++
+	}
+	dst := p.vecs[addr&pageMask]
+	if cap(dst) < n {
+		dst = make(Vec, n)
+	} else {
+		dst = dst[:n]
+	}
+	copy(dst, src[:n])
+	p.vecs[addr&pageMask] = dst
+}
+
+// Free clears the shadow state for the address range [base, base+size),
+// mirroring the paper's use of free() as a deallocation signal. Pages that
+// become fully contained in the range are released to the allocator.
+func (m *Memory) Free(base, size uint64) {
+	if size == 0 {
+		return
+	}
+	end := base + size
+	firstPage := base >> pageShift
+	lastPage := (end - 1) >> pageShift
+	for pg := firstPage; pg <= lastPage; pg++ {
+		p := m.pages[pg]
+		if p == nil {
+			continue
+		}
+		pgStart := pg << pageShift
+		pgEnd := pgStart + pageSize
+		if base <= pgStart && end >= pgEnd {
+			delete(m.pages, pg)
+			continue
+		}
+		lo := base
+		if lo < pgStart {
+			lo = pgStart
+		}
+		hi := end
+		if hi > pgEnd {
+			hi = pgEnd
+		}
+		for a := lo; a < hi; a++ {
+			p.vecs[a&pageMask] = nil
+		}
+	}
+}
+
+// NumPages reports the number of live shadow pages.
+func (m *Memory) NumPages() int { return len(m.pages) }
+
+// RegisterTable is the directly-addressed shadow table for a function
+// frame's SSA values — the paper's "shadow register table for local
+// variables", which avoids the two-level lookup on the common local-access
+// path.
+type RegisterTable struct {
+	vecs []Vec
+}
+
+// NewRegisterTable sizes a table for n values.
+func NewRegisterTable(n int) *RegisterTable {
+	return &RegisterTable{vecs: make([]Vec, n)}
+}
+
+// Get returns the vector of value id.
+func (t *RegisterTable) Get(id int) Vec { return t.vecs[id] }
+
+// Set stores the first n entries of src as the vector of value id,
+// reusing storage.
+func (t *RegisterTable) Set(id int, src Vec, n int) {
+	dst := t.vecs[id]
+	if cap(dst) < n {
+		dst = make(Vec, n)
+	} else {
+		dst = dst[:n]
+	}
+	copy(dst, src[:n])
+	t.vecs[id] = dst
+}

@@ -1,0 +1,153 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecReadTagRule(t *testing.T) {
+	v := Vec{{Time: 10, Tag: 1}, {Time: 20, Tag: 2}}
+	if got := v.Read(0, 1); got != 10 {
+		t.Errorf("Read(0,1) = %d", got)
+	}
+	if got := v.Read(0, 99); got != 0 {
+		t.Errorf("tag mismatch should read 0, got %d", got)
+	}
+	if got := v.Read(5, 1); got != 0 {
+		t.Errorf("beyond-length read should be 0, got %d", got)
+	}
+	if got := Vec(nil).Read(0, 1); got != 0 {
+		t.Errorf("nil vec read should be 0, got %d", got)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	src := Vec{{Time: 5, Tag: 7}, {Time: 6, Tag: 8}, {Time: 7, Tag: 9}}
+	m.WriteVec(0x1234, src, 2) // only first 2 levels
+	got := m.ReadVec(0x1234)
+	if len(got) != 2 || got[0] != src[0] || got[1] != src[1] {
+		t.Errorf("roundtrip = %v", got)
+	}
+	if m.ReadVec(0x9999) != nil {
+		t.Error("unwritten address should read nil")
+	}
+}
+
+func TestMemoryOverwriteShrinks(t *testing.T) {
+	m := NewMemory()
+	m.WriteVec(1, Vec{{1, 1}, {2, 2}, {3, 3}}, 3)
+	m.WriteVec(1, Vec{{9, 9}}, 1)
+	got := m.ReadVec(1)
+	if len(got) != 1 || got[0].Time != 9 {
+		t.Errorf("overwrite = %v", got)
+	}
+}
+
+func TestMemoryPagesAllocatedOnDemand(t *testing.T) {
+	m := NewMemory()
+	if m.NumPages() != 0 {
+		t.Error("fresh memory should have no pages")
+	}
+	m.WriteVec(0, Vec{{1, 1}}, 1)
+	m.WriteVec(pageSize-1, Vec{{1, 1}}, 1) // same page
+	if m.NumPages() != 1 {
+		t.Errorf("pages = %d, want 1", m.NumPages())
+	}
+	m.WriteVec(pageSize, Vec{{1, 1}}, 1) // next page
+	if m.NumPages() != 2 {
+		t.Errorf("pages = %d, want 2", m.NumPages())
+	}
+	if m.PagesAllocated != 2 {
+		t.Errorf("PagesAllocated = %d", m.PagesAllocated)
+	}
+}
+
+func TestFreeWholePages(t *testing.T) {
+	m := NewMemory()
+	for a := uint64(0); a < 3*pageSize; a += 64 {
+		m.WriteVec(a, Vec{{Time: a, Tag: 1}}, 1)
+	}
+	m.Free(0, 2*pageSize)
+	if got := m.ReadVec(10); got != nil {
+		t.Errorf("freed address still shadowed: %v", got)
+	}
+	if got := m.ReadVec(2*pageSize + 64); got == nil {
+		t.Error("unfreed address lost its shadow")
+	}
+	if m.NumPages() != 1 {
+		t.Errorf("pages after free = %d, want 1", m.NumPages())
+	}
+}
+
+func TestFreePartialPage(t *testing.T) {
+	m := NewMemory()
+	m.WriteVec(100, Vec{{1, 1}}, 1)
+	m.WriteVec(200, Vec{{2, 2}}, 1)
+	m.Free(150, 100) // clears [150,250)
+	if m.ReadVec(100) == nil {
+		t.Error("address below the freed range lost")
+	}
+	if m.ReadVec(200) != nil {
+		t.Error("freed address still shadowed")
+	}
+	m.Free(0, 0) // no-op
+}
+
+func TestRegisterTable(t *testing.T) {
+	rt := NewRegisterTable(4)
+	if rt.Get(2) != nil {
+		t.Error("fresh register should be nil")
+	}
+	rt.Set(2, Vec{{5, 5}, {6, 6}}, 2)
+	got := rt.Get(2)
+	if len(got) != 2 || got[1].Time != 6 {
+		t.Errorf("register roundtrip = %v", got)
+	}
+	// Set copies: mutating the source must not alias.
+	src := Vec{{9, 9}}
+	rt.Set(0, src, 1)
+	src[0].Time = 100
+	if rt.Get(0)[0].Time != 9 {
+		t.Error("Set aliased the source slice")
+	}
+}
+
+// TestMemoryWriteReadProperty: any (addr, vec) write is read back exactly,
+// and reads at other addresses within other pages are unaffected.
+func TestMemoryWriteReadProperty(t *testing.T) {
+	m := NewMemory()
+	check := func(addr uint32, times []uint64, tag uint64) bool {
+		if len(times) == 0 {
+			return true
+		}
+		if len(times) > 16 {
+			times = times[:16]
+		}
+		v := make(Vec, len(times))
+		for i, tm := range times {
+			v[i] = Entry{Time: tm, Tag: tag + uint64(i)}
+		}
+		a := uint64(addr)
+		m.WriteVec(a, v, len(v))
+		got := m.ReadVec(a)
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+			if got.Read(i, v[i].Tag) != v[i].Time {
+				return false
+			}
+			if got.Read(i, v[i].Tag+12345) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

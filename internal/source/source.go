@@ -1,0 +1,161 @@
+// Package source provides source positions, spans, and diagnostics shared by
+// every stage of the Kr compiler pipeline.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position within a source file, expressed as a byte offset plus the
+// human-readable line/column derived from it. The zero Pos is "no position".
+type Pos struct {
+	Offset int // byte offset, 0-based
+	Line   int // 1-based
+	Col    int // 1-based, in bytes
+}
+
+// IsValid reports whether p refers to an actual location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Span is a half-open region [Start, End) of a file.
+type Span struct {
+	Start, End Pos
+}
+
+func (s Span) String() string {
+	if s.Start.Line == s.End.Line {
+		return s.Start.String()
+	}
+	return s.Start.String() + "-" + s.End.String()
+}
+
+// File associates a name with source text and answers offset→Pos queries.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of each line start
+}
+
+// NewFile builds a File, indexing line starts for position lookup.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Pos converts a byte offset into a full position.
+func (f *File) Pos(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	// Find the last line start <= offset.
+	i := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > offset }) - 1
+	return Pos{Offset: offset, Line: i + 1, Col: offset - f.lines[i] + 1}
+}
+
+// NumLines reports the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lines) }
+
+// Line returns the text of the 1-based line n, without the trailing newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Error marks diagnostics that prevent successful compilation.
+	Error Severity = iota
+	// Warning marks diagnostics that do not stop compilation.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is a single compiler message anchored at a source location.
+type Diagnostic struct {
+	File     string
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Severity, d.Message)
+}
+
+// ErrorList collects diagnostics and satisfies the error interface when
+// non-empty, so a compilation stage can return it directly.
+type ErrorList struct {
+	Diags []Diagnostic
+}
+
+// Add appends an error-severity diagnostic.
+func (e *ErrorList) Add(file string, pos Pos, format string, args ...interface{}) {
+	e.Diags = append(e.Diags, Diagnostic{File: file, Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warn appends a warning-severity diagnostic.
+func (e *ErrorList) Warn(file string, pos Pos, format string, args ...interface{}) {
+	e.Diags = append(e.Diags, Diagnostic{File: file, Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostics are present.
+func (e *ErrorList) HasErrors() bool {
+	for _, d := range e.Diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns e if it holds errors, nil otherwise.
+func (e *ErrorList) Err() error {
+	if e.HasErrors() {
+		return e
+	}
+	return nil
+}
+
+func (e *ErrorList) Error() string {
+	var b strings.Builder
+	for i, d := range e.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+	}
+	return b.String()
+}

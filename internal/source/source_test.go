@@ -1,0 +1,130 @@
+package source
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPosConversion(t *testing.T) {
+	f := NewFile("t.kr", "abc\ndef\n\nx")
+	cases := []struct {
+		off  int
+		line int
+		col  int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 1, 4}, // newline itself is on line 1
+		{4, 2, 1}, {7, 2, 4},
+		{8, 3, 1},
+		{9, 4, 1},
+	}
+	for _, c := range cases {
+		p := f.Pos(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("Pos(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Col, c.line, c.col)
+		}
+		if p.Offset != c.off {
+			t.Errorf("Pos(%d).Offset = %d", c.off, p.Offset)
+		}
+	}
+}
+
+func TestPosClamping(t *testing.T) {
+	f := NewFile("t.kr", "ab")
+	if p := f.Pos(-5); p.Offset != 0 {
+		t.Errorf("negative offset should clamp to 0, got %+v", p)
+	}
+	if p := f.Pos(100); p.Offset != 2 {
+		t.Errorf("overlong offset should clamp to len, got %+v", p)
+	}
+}
+
+func TestLineText(t *testing.T) {
+	f := NewFile("t.kr", "first\nsecond\nthird")
+	if got := f.Line(2); got != "second" {
+		t.Errorf("Line(2) = %q", got)
+	}
+	if got := f.Line(3); got != "third" {
+		t.Errorf("Line(3) = %q", got)
+	}
+	if got := f.Line(0); got != "" {
+		t.Errorf("Line(0) = %q, want empty", got)
+	}
+	if got := f.Line(99); got != "" {
+		t.Errorf("Line(99) = %q, want empty", got)
+	}
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d, want 3", f.NumLines())
+	}
+}
+
+func TestPosRoundTripProperty(t *testing.T) {
+	content := "alpha\nbeta gamma\n\n\ndelta\nepsilon"
+	f := NewFile("t.kr", content)
+	check := func(off uint8) bool {
+		o := int(off) % (len(content) + 1)
+		p := f.Pos(o)
+		if p.Line < 1 || p.Col < 1 {
+			return false
+		}
+		// The line's start offset plus col-1 must reproduce the offset.
+		lineStart := 0
+		for i := 1; i < p.Line; i++ {
+			lineStart += len(f.Line(i)) + 1
+		}
+		return lineStart+p.Col-1 == o
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidPos(t *testing.T) {
+	var p Pos
+	if p.IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if p.String() != "-" {
+		t.Errorf("invalid Pos renders %q", p.String())
+	}
+	q := Pos{Line: 3, Col: 7}
+	if q.String() != "3:7" {
+		t.Errorf("Pos renders %q", q.String())
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	s := Span{Start: Pos{Line: 1, Col: 2}, End: Pos{Line: 1, Col: 9}}
+	if s.String() != "1:2" {
+		t.Errorf("same-line span = %q", s.String())
+	}
+	s.End.Line = 4
+	if s.String() != "1:2-4:9" {
+		t.Errorf("multi-line span = %q", s.String())
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var e ErrorList
+	if e.Err() != nil {
+		t.Error("empty list should not be an error")
+	}
+	e.Warn("f.kr", Pos{Line: 1, Col: 1}, "heads up %d", 1)
+	if e.HasErrors() {
+		t.Error("warnings are not errors")
+	}
+	if e.Err() != nil {
+		t.Error("warnings alone should not produce an error")
+	}
+	e.Add("f.kr", Pos{Line: 2, Col: 5}, "bad %s", "thing")
+	if !e.HasErrors() {
+		t.Error("expected errors")
+	}
+	msg := e.Err().Error()
+	if !strings.Contains(msg, "f.kr:2:5: error: bad thing") {
+		t.Errorf("message %q missing formatted diagnostic", msg)
+	}
+	if !strings.Contains(msg, "warning: heads up 1") {
+		t.Errorf("message %q missing warning", msg)
+	}
+}

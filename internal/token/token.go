@@ -1,0 +1,141 @@
+// Package token defines the lexical tokens of the Kr language, the C-like
+// mini-language that this repository's Kremlin toolchain compiles, profiles,
+// and plans parallelizations for.
+package token
+
+import "strconv"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// The token kinds. Literal and identifier kinds carry the scanned text.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT  // imageBlur
+	INT    // 12345
+	FLOAT  // 12.34e-5
+	STRING // "hello" (only for print)
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	ASSIGN     // =
+	ADDASSIGN  // +=
+	SUBASSIGN  // -=
+	MULASSIGN  // *=
+	QUOASSIGN  // /=
+	INC        // ++
+	DEC        // --
+	EQL        // ==
+	NEQ        // !=
+	LSS        // <
+	LEQ        // <=
+	GTR        // >
+	GEQ        // >=
+	LAND       // &&
+	LOR        // ||
+	NOT        // !
+	LPAREN     // (
+	RPAREN     // )
+	LBRACK     // [
+	RBRACK     // ]
+	LBRACE     // {
+	RBRACE     // }
+	COMMA      // ,
+	SEMICOLON  // ;
+	keywordBeg // keywords below
+
+	INT_KW   // int
+	FLOAT_KW // float
+	BOOL_KW  // bool
+	VOID     // void
+	IF       // if
+	ELSE     // else
+	FOR      // for
+	WHILE    // while
+	BREAK    // break
+	CONTINUE // continue
+	RETURN   // return
+	TRUE     // true
+	FALSE    // false
+
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	ASSIGN: "=", ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=", QUOASSIGN: "/=",
+	INC: "++", DEC: "--",
+	EQL: "==", NEQ: "!=", LSS: "<", LEQ: "<=", GTR: ">", GEQ: ">=",
+	LAND: "&&", LOR: "||", NOT: "!",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{", RBRACE: "}",
+	COMMA: ",", SEMICOLON: ";",
+	INT_KW: "int", FLOAT_KW: "float", BOOL_KW: "bool", VOID: "void",
+	IF: "if", ELSE: "else", FOR: "for", WHILE: "while",
+	BREAK: "break", CONTINUE: "continue", RETURN: "return", TRUE: "true", FALSE: "false",
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(" + strconv.Itoa(int(k)) + ")"
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier to its keyword kind, or IDENT if not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsTypeKeyword reports whether k names a type (int, float, bool, void).
+func (k Kind) IsTypeKeyword() bool {
+	return k == INT_KW || k == FLOAT_KW || k == BOOL_KW || k == VOID
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ:
+		return 3
+	case LSS, LEQ, GTR, GEQ:
+		return 4
+	case ADD, SUB:
+		return 5
+	case MUL, QUO, REM:
+		return 6
+	}
+	return 0
+}
+
+// Token is a single scanned token: its kind, literal text, and offset.
+type Token struct {
+	Kind   Kind
+	Lit    string // literal text for IDENT, INT, FLOAT, STRING
+	Offset int    // byte offset of the first character
+}

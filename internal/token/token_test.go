@@ -1,0 +1,72 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"int": INT_KW, "float": FLOAT_KW, "bool": BOOL_KW, "void": VOID,
+		"if": IF, "else": ELSE, "for": FOR, "while": WHILE,
+		"break": BREAK, "continue": CONTINUE, "return": RETURN,
+		"true": TRUE, "false": FALSE,
+		"foo": IDENT, "If": IDENT, "INT": IDENT, "": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, k := range []Kind{INT_KW, IF, RETURN, FALSE} {
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+	}
+	for _, k := range []Kind{IDENT, ADD, EOF, LBRACE} {
+		if k.IsKeyword() {
+			t.Errorf("%v should not be a keyword", k)
+		}
+	}
+}
+
+func TestIsTypeKeyword(t *testing.T) {
+	for _, k := range []Kind{INT_KW, FLOAT_KW, BOOL_KW, VOID} {
+		if !k.IsTypeKeyword() {
+			t.Errorf("%v should be a type keyword", k)
+		}
+	}
+	if IF.IsTypeKeyword() {
+		t.Error("if is not a type keyword")
+	}
+}
+
+func TestPrecedenceOrdering(t *testing.T) {
+	// Tighter binding must have strictly higher precedence.
+	chains := [][]Kind{
+		{LOR, LAND, EQL, LSS, ADD, MUL},
+		{LOR, LAND, NEQ, GEQ, SUB, REM},
+	}
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			if chain[i].Precedence() <= chain[i-1].Precedence() {
+				t.Errorf("%v (%d) should bind tighter than %v (%d)",
+					chain[i], chain[i].Precedence(), chain[i-1], chain[i-1].Precedence())
+			}
+		}
+	}
+	for _, k := range []Kind{ASSIGN, NOT, LPAREN, IDENT, EOF} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v is not a binary operator, precedence should be 0", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ADD.String() != "+" || LEQ.String() != "<=" || INT_KW.String() != "int" {
+		t.Error("operator rendering broken")
+	}
+	if s := Kind(9999).String(); s != "token(9999)" {
+		t.Errorf("unknown kind renders %q", s)
+	}
+}

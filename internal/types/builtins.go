@@ -1,0 +1,130 @@
+package types
+
+import (
+	"kremlin/internal/ast"
+)
+
+// numeric1 builds a checker for a one-argument numeric builtin returning ret
+// (or the argument's own type when ret is Invalid).
+func numeric1(name string, ret ast.BasicKind) *Builtin {
+	return &Builtin{Name: name, Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 1 {
+			c.errorf(call, "%s takes 1 argument, got %d", name, len(args))
+			return Scalar(ast.Float)
+		}
+		if !args[0].IsNumeric() {
+			c.errorf(call, "%s requires a numeric argument, got %s", name, args[0])
+		}
+		if ret == ast.Invalid {
+			return args[0]
+		}
+		return Scalar(ret)
+	}}
+}
+
+// numeric2 builds a checker for a two-argument float builtin.
+func numeric2(name string) *Builtin {
+	return &Builtin{Name: name, Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 2 {
+			c.errorf(call, "%s takes 2 arguments, got %d", name, len(args))
+			return Scalar(ast.Float)
+		}
+		for _, a := range args {
+			if !a.IsNumeric() {
+				c.errorf(call, "%s requires numeric arguments, got %s", name, a)
+			}
+		}
+		return Scalar(ast.Float)
+	}}
+}
+
+// builtins is the table of Kr built-in functions.
+var builtins = map[string]*Builtin{
+	"sqrt":  numeric1("sqrt", ast.Float),
+	"fabs":  numeric1("fabs", ast.Float),
+	"floor": numeric1("floor", ast.Float),
+	"exp":   numeric1("exp", ast.Float),
+	"log":   numeric1("log", ast.Float),
+	"sin":   numeric1("sin", ast.Float),
+	"cos":   numeric1("cos", ast.Float),
+	"pow":   numeric2("pow"),
+	"abs": {Name: "abs", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 1 || args[0] != Scalar(ast.Int) {
+			c.errorf(call, "abs takes one int argument")
+		}
+		return Scalar(ast.Int)
+	}},
+	"min": minmax("min"),
+	"max": minmax("max"),
+	"int": {Name: "int", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 1 || !args[0].IsNumeric() {
+			c.errorf(call, "int() takes one numeric argument")
+		}
+		return Scalar(ast.Int)
+	}},
+	"float": {Name: "float", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 1 || !args[0].IsNumeric() {
+			c.errorf(call, "float() takes one numeric argument")
+		}
+		return Scalar(ast.Float)
+	}},
+	"rand": {Name: "rand", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 0 {
+			c.errorf(call, "rand takes no arguments")
+		}
+		return Scalar(ast.Int)
+	}},
+	"frand": {Name: "frand", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 0 {
+			c.errorf(call, "frand takes no arguments")
+		}
+		return Scalar(ast.Float)
+	}},
+	"srand": {Name: "srand", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 1 || args[0] != Scalar(ast.Int) {
+			c.errorf(call, "srand takes one int argument")
+		}
+		return Scalar(ast.Void)
+	}},
+	"dim": {Name: "dim", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 2 || args[0].Dims == 0 || args[1] != Scalar(ast.Int) {
+			c.errorf(call, "dim takes an array and an int dimension index")
+		}
+		return Scalar(ast.Int)
+	}},
+	"print": {Name: "print", Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		for i, a := range args {
+			if a.Elem == ast.Invalid && a.Dims == 0 {
+				continue // string literal marker
+			}
+			if !a.IsScalar() || a.Elem == ast.Void {
+				c.errorf(call.Args[i], "print argument must be scalar or string")
+			}
+		}
+		return Scalar(ast.Void)
+	}},
+}
+
+func minmax(name string) *Builtin {
+	return &Builtin{Name: name, Check: func(c *checker, call *ast.CallExpr, args []Type) Type {
+		if len(args) != 2 {
+			c.errorf(call, "%s takes 2 arguments, got %d", name, len(args))
+			return Scalar(ast.Int)
+		}
+		for _, a := range args {
+			if !a.IsNumeric() {
+				c.errorf(call, "%s requires numeric arguments, got %s", name, a)
+			}
+		}
+		if args[0].Elem == ast.Float || args[1].Elem == ast.Float {
+			return Scalar(ast.Float)
+		}
+		return Scalar(ast.Int)
+	}}
+}
+
+// IsBuiltin reports whether name refers to a Kr builtin.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[name]
+	return ok
+}

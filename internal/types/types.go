@@ -1,0 +1,478 @@
+// Package types implements symbol resolution and type checking for Kr.
+package types
+
+import (
+	"fmt"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/source"
+	"kremlin/internal/token"
+)
+
+// Type describes a Kr value: a scalar when Dims == 0, otherwise an array
+// reference with Dims dimensions of Elem scalars.
+type Type struct {
+	Elem ast.BasicKind
+	Dims int
+}
+
+// Scalar constructs a scalar type.
+func Scalar(k ast.BasicKind) Type { return Type{Elem: k} }
+
+// IsScalar reports whether t is a non-array type.
+func (t Type) IsScalar() bool { return t.Dims == 0 }
+
+// IsNumeric reports whether t is a scalar int or float.
+func (t Type) IsNumeric() bool {
+	return t.Dims == 0 && (t.Elem == ast.Int || t.Elem == ast.Float)
+}
+
+func (t Type) String() string {
+	s := t.Elem.String()
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	GlobalVar SymKind = iota
+	LocalVar
+	Param
+)
+
+// Symbol is a declared variable or parameter.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type Type
+	Decl ast.Node // *ast.VarDecl or *ast.ParamDecl
+	// Index is the symbol's slot: global index for globals, stable per-function
+	// index for locals and params.
+	Index int
+}
+
+// FuncSym is a declared function.
+type FuncSym struct {
+	Name    string
+	Ret     ast.BasicKind
+	Params  []*Symbol
+	Locals  []*Symbol // params first, then locals, in declaration order
+	Decl    *ast.FuncDecl
+	Globals bool // whether the function touches any global (informational)
+}
+
+// Builtin describes one of the language's built-in functions.
+type Builtin struct {
+	Name string
+	// Check validates the argument types and returns the call's result type.
+	Check func(c *checker, call *ast.CallExpr, args []Type) Type
+}
+
+// Info holds the results of type checking a file.
+type Info struct {
+	Exprs    map[ast.Expr]Type
+	Uses     map[*ast.Ident]*Symbol
+	Defs     map[ast.Node]*Symbol // *ast.VarDecl / *ast.ParamDecl -> symbol
+	Funcs    map[string]*FuncSym
+	Globals  []*Symbol
+	FuncList []*FuncSym // declaration order
+}
+
+// Check resolves and type-checks file, reporting problems to errs.
+func Check(file *ast.File, src *source.File, errs *source.ErrorList) *Info {
+	c := &checker{
+		src:  src,
+		errs: errs,
+		info: &Info{
+			Exprs: make(map[ast.Expr]Type),
+			Uses:  make(map[*ast.Ident]*Symbol),
+			Defs:  make(map[ast.Node]*Symbol),
+			Funcs: make(map[string]*FuncSym),
+		},
+	}
+	c.checkFile(file)
+	return c.info
+}
+
+type checker struct {
+	src    *source.File
+	errs   *source.ErrorList
+	info   *Info
+	scopes []map[string]*Symbol
+	fn     *FuncSym
+	loop   int // nesting depth of loops, for break/continue checking
+}
+
+func (c *checker) errorf(n ast.Node, format string, args ...interface{}) {
+	c.errs.Add(c.src.Name, c.src.Pos(n.Pos()), format, args...)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, n ast.Node) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, exists := top[sym.Name]; exists {
+		c.errorf(n, "%s redeclared in this scope", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+	c.info.Defs[n] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFile(file *ast.File) {
+	c.push() // global scope
+	defer c.pop()
+	for _, g := range file.Globals {
+		t := Type{Elem: g.Elem, Dims: len(g.Dims)}
+		if g.Elem == ast.Void {
+			c.errorf(g, "variable %q cannot have void type", g.Name)
+			t.Elem = ast.Int
+		}
+		sym := &Symbol{Name: g.Name, Kind: GlobalVar, Type: t, Decl: g, Index: len(c.info.Globals)}
+		c.declare(sym, g)
+		c.info.Globals = append(c.info.Globals, sym)
+		for _, d := range g.Dims {
+			dt := c.expr(d)
+			if !(dt.IsScalar() && dt.Elem == ast.Int) {
+				c.errorf(d, "array dimension must be int, got %s", dt)
+			}
+		}
+		if g.Init != nil {
+			it := c.expr(g.Init)
+			c.assignable(g.Init, t, it, "initializer")
+		}
+	}
+	// Pre-declare all functions, signatures included, so call sites can be
+	// checked regardless of declaration order.
+	for _, f := range file.Funcs {
+		if _, dup := c.info.Funcs[f.Name]; dup {
+			c.errorf(f, "function %q redeclared", f.Name)
+			continue
+		}
+		if _, isBuiltin := builtins[f.Name]; isBuiltin {
+			c.errorf(f, "function %q shadows a builtin", f.Name)
+			continue
+		}
+		fs := &FuncSym{Name: f.Name, Ret: f.Ret, Decl: f}
+		for _, p := range f.Params {
+			t := Type{Elem: p.Elem, Dims: p.NumDims}
+			sym := &Symbol{Name: p.Name, Kind: Param, Type: t, Decl: p, Index: len(fs.Locals)}
+			fs.Params = append(fs.Params, sym)
+			fs.Locals = append(fs.Locals, sym)
+		}
+		c.info.Funcs[f.Name] = fs
+		c.info.FuncList = append(c.info.FuncList, fs)
+	}
+	for _, f := range file.Funcs {
+		fs := c.info.Funcs[f.Name]
+		if fs == nil || fs.Decl != f {
+			continue
+		}
+		c.checkFunc(fs)
+	}
+	if main, ok := c.info.Funcs["main"]; ok {
+		if len(main.Params) != 0 {
+			c.errorf(main.Decl, "main must take no parameters")
+		}
+	} else {
+		c.errs.Add(c.src.Name, source.Pos{Line: 1, Col: 1}, "program has no main function")
+	}
+}
+
+func (c *checker) checkFunc(fs *FuncSym) {
+	c.fn = fs
+	c.push()
+	defer func() { c.pop(); c.fn = nil }()
+	for _, sym := range fs.Params {
+		c.declare(sym, sym.Decl)
+	}
+	c.block(fs.Decl.Body)
+}
+
+func (c *checker) block(b *ast.Block) {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.block(s)
+	case *ast.DeclStmt:
+		c.localDecl(s.Decl)
+	case *ast.AssignStmt:
+		lt := c.lvalue(s.LHS)
+		rt := c.expr(s.RHS)
+		if s.Op != token.ASSIGN {
+			if !lt.IsNumeric() {
+				c.errorf(s.LHS, "operator %s requires numeric operand, got %s", s.Op, lt)
+			}
+			if s.Op == token.QUOASSIGN && lt.Elem == ast.Int && rt.Elem == ast.Float {
+				c.errorf(s.RHS, "cannot /= int by float")
+			}
+		}
+		c.assignable(s.RHS, lt, rt, "assignment")
+	case *ast.IncDecStmt:
+		lt := c.lvalue(s.LHS)
+		if !(lt.IsScalar() && lt.Elem == ast.Int) {
+			c.errorf(s.LHS, "%s requires an int lvalue, got %s", s.Op, lt)
+		}
+	case *ast.IfStmt:
+		c.condExpr(s.Cond)
+		c.block(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		c.push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.condExpr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.loop++
+		c.block(s.Body)
+		c.loop--
+		c.pop()
+	case *ast.WhileStmt:
+		c.condExpr(s.Cond)
+		c.loop++
+		c.block(s.Body)
+		c.loop--
+	case *ast.BreakStmt:
+		if c.loop == 0 {
+			c.errorf(s, "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(s, "continue outside loop")
+		}
+	case *ast.ReturnStmt:
+		if s.Result == nil {
+			if c.fn.Ret != ast.Void {
+				c.errorf(s, "missing return value in %s returning %s", c.fn.Name, c.fn.Ret)
+			}
+			return
+		}
+		if c.fn.Ret == ast.Void {
+			c.errorf(s, "void function %s returns a value", c.fn.Name)
+			c.expr(s.Result)
+			return
+		}
+		rt := c.expr(s.Result)
+		c.assignable(s.Result, Scalar(c.fn.Ret), rt, "return")
+	case *ast.ExprStmt:
+		t := c.expr(s.X)
+		if call, ok := s.X.(*ast.CallExpr); !ok {
+			c.errorf(s.X, "expression statement must be a call")
+		} else {
+			_ = call
+			_ = t
+		}
+	default:
+		panic(fmt.Sprintf("types: unknown statement %T", s))
+	}
+}
+
+func (c *checker) localDecl(d *ast.VarDecl) {
+	t := Type{Elem: d.Elem, Dims: len(d.Dims)}
+	for _, dim := range d.Dims {
+		dt := c.expr(dim)
+		if !(dt.IsScalar() && dt.Elem == ast.Int) {
+			c.errorf(dim, "array dimension must be int, got %s", dt)
+		}
+	}
+	if d.Init != nil {
+		it := c.expr(d.Init)
+		c.assignable(d.Init, t, it, "initializer")
+	}
+	sym := &Symbol{Name: d.Name, Kind: LocalVar, Type: t, Decl: d, Index: len(c.fn.Locals)}
+	c.declare(sym, d)
+	c.fn.Locals = append(c.fn.Locals, sym)
+}
+
+// assignable checks that a value of type rt can be assigned to lt,
+// permitting implicit int→float widening.
+func (c *checker) assignable(n ast.Node, lt, rt Type, what string) {
+	if lt == rt {
+		return
+	}
+	if lt.IsScalar() && rt.IsScalar() && lt.Elem == ast.Float && rt.Elem == ast.Int {
+		return // implicit widening
+	}
+	c.errorf(n, "%s: cannot use %s as %s", what, rt, lt)
+}
+
+func (c *checker) condExpr(e ast.Expr) {
+	t := c.expr(e)
+	if !(t.IsScalar() && t.Elem == ast.Bool) {
+		c.errorf(e, "condition must be bool, got %s", t)
+	}
+}
+
+func (c *checker) lvalue(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.IndexExpr:
+		t := c.expr(e)
+		if !t.IsScalar() {
+			c.errorf(e, "cannot assign to array %s", t)
+		}
+		return t
+	}
+	c.errorf(e, "cannot assign to this expression")
+	return c.expr(e)
+}
+
+func (c *checker) expr(e ast.Expr) Type {
+	t := c.exprInner(e)
+	c.info.Exprs[e] = t
+	return t
+}
+
+func (c *checker) exprInner(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Scalar(ast.Int)
+	case *ast.FloatLit:
+		return Scalar(ast.Float)
+	case *ast.BoolLit:
+		return Scalar(ast.Bool)
+	case *ast.StringLit:
+		c.errorf(e, "string literal only allowed as print argument")
+		return Scalar(ast.Int)
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e, "undefined: %s", e.Name)
+			return Scalar(ast.Int)
+		}
+		c.info.Uses[e] = sym
+		return sym.Type
+	case *ast.IndexExpr:
+		xt := c.expr(e.X)
+		it := c.expr(e.Index)
+		if !(it.IsScalar() && it.Elem == ast.Int) {
+			c.errorf(e.Index, "array index must be int, got %s", it)
+		}
+		if xt.Dims == 0 {
+			c.errorf(e, "cannot index non-array %s", xt)
+			return Scalar(xt.Elem)
+		}
+		return Type{Elem: xt.Elem, Dims: xt.Dims - 1}
+	case *ast.CallExpr:
+		return c.call(e)
+	case *ast.BinaryExpr:
+		return c.binary(e)
+	case *ast.UnaryExpr:
+		xt := c.expr(e.X)
+		switch e.Op {
+		case token.SUB:
+			if !xt.IsNumeric() {
+				c.errorf(e, "unary - requires numeric operand, got %s", xt)
+				return Scalar(ast.Int)
+			}
+			return xt
+		case token.NOT:
+			if !(xt.IsScalar() && xt.Elem == ast.Bool) {
+				c.errorf(e, "! requires bool operand, got %s", xt)
+			}
+			return Scalar(ast.Bool)
+		}
+	}
+	panic(fmt.Sprintf("types: unknown expression %T", e))
+}
+
+func (c *checker) binary(e *ast.BinaryExpr) Type {
+	xt := c.expr(e.X)
+	yt := c.expr(e.Y)
+	switch e.Op {
+	case token.LAND, token.LOR:
+		for _, p := range []struct {
+			t Type
+			n ast.Expr
+		}{{xt, e.X}, {yt, e.Y}} {
+			if !(p.t.IsScalar() && p.t.Elem == ast.Bool) {
+				c.errorf(p.n, "%s requires bool operands, got %s", e.Op, p.t)
+			}
+		}
+		return Scalar(ast.Bool)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		if !xt.IsNumeric() || !yt.IsNumeric() {
+			// Allow bool == bool.
+			if (e.Op == token.EQL || e.Op == token.NEQ) && xt == Scalar(ast.Bool) && yt == Scalar(ast.Bool) {
+				return Scalar(ast.Bool)
+			}
+			c.errorf(e, "cannot compare %s and %s", xt, yt)
+		}
+		return Scalar(ast.Bool)
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		if !xt.IsNumeric() || !yt.IsNumeric() {
+			c.errorf(e, "operator %s requires numeric operands, got %s and %s", e.Op, xt, yt)
+			return Scalar(ast.Int)
+		}
+		if xt.Elem == ast.Float || yt.Elem == ast.Float {
+			return Scalar(ast.Float)
+		}
+		return Scalar(ast.Int)
+	case token.REM:
+		if xt != Scalar(ast.Int) || yt != Scalar(ast.Int) {
+			c.errorf(e, "operator %% requires int operands, got %s and %s", xt, yt)
+		}
+		return Scalar(ast.Int)
+	}
+	panic(fmt.Sprintf("types: unknown binary operator %s", e.Op))
+}
+
+func (c *checker) call(e *ast.CallExpr) Type {
+	if b, ok := builtins[e.Name]; ok {
+		args := make([]Type, len(e.Args))
+		for i, a := range e.Args {
+			if _, isStr := a.(*ast.StringLit); isStr && e.Name == "print" {
+				args[i] = Type{Elem: ast.Invalid} // marker: string
+				continue
+			}
+			args[i] = c.expr(a)
+		}
+		return b.Check(c, e, args)
+	}
+	fs, ok := c.info.Funcs[e.Name]
+	if !ok {
+		c.errorf(e, "undefined function %q", e.Name)
+		for _, a := range e.Args {
+			c.expr(a)
+		}
+		return Scalar(ast.Int)
+	}
+	if len(e.Args) != len(fs.Params) {
+		c.errorf(e, "%s takes %d arguments, got %d", e.Name, len(fs.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.expr(a)
+		if i < len(fs.Params) {
+			c.assignable(a, fs.Params[i].Type, at, "argument")
+		}
+	}
+	return Scalar(fs.Ret)
+}

@@ -1,0 +1,257 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+)
+
+func check(t *testing.T, src string) (*Info, *source.ErrorList) {
+	t.Helper()
+	errs := &source.ErrorList{}
+	file := source.NewFile("t.kr", src)
+	tree := parser.Parse(file, errs)
+	if errs.HasErrors() {
+		t.Fatalf("parse: %v", errs.Err())
+	}
+	info := Check(tree, file, errs)
+	return info, errs
+}
+
+func checkOK(t *testing.T, src string) *Info {
+	t.Helper()
+	info, errs := check(t, src)
+	if errs.HasErrors() {
+		t.Fatalf("check: %v", errs.Err())
+	}
+	return info
+}
+
+func expectError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, errs := check(t, src)
+	if !errs.HasErrors() {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if !strings.Contains(errs.Error(), fragment) {
+		t.Fatalf("errors %q do not contain %q", errs.Error(), fragment)
+	}
+}
+
+func TestValidProgram(t *testing.T) {
+	info := checkOK(t, `
+float grid[8][8];
+int counter;
+
+float cell(int i, int j) {
+	return grid[i][j] * 2.0;
+}
+
+void fill(float g[][], int n) {
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			g[i][j] = float(i * j);
+		}
+	}
+}
+
+int main() {
+	fill(grid, 8);
+	counter = counter + 1;
+	float v = cell(1, 2);
+	bool ok = v > 0.0 && counter != 0;
+	if (ok) { print("v", v); }
+	return counter;
+}
+`)
+	if len(info.Globals) != 2 {
+		t.Errorf("globals = %d", len(info.Globals))
+	}
+	if info.Funcs["cell"].Ret != ast.Float {
+		t.Errorf("cell return type wrong")
+	}
+	if len(info.Funcs["fill"].Params) != 2 {
+		t.Errorf("fill params wrong")
+	}
+}
+
+func TestImplicitWidening(t *testing.T) {
+	checkOK(t, `
+int main() {
+	float f = 3;     // int -> float in initializer
+	f = f + 2;       // mixed arithmetic
+	float g = f * 2;
+	if (g > 1) { g = 0.0; }
+	return 0;
+}`)
+}
+
+func TestNarrowingRejected(t *testing.T) {
+	expectError(t, "int main() { int i = 2.5; return i; }", "cannot use float as int")
+}
+
+func TestUndefinedSymbols(t *testing.T) {
+	expectError(t, "int main() { return missing; }", "undefined: missing")
+	expectError(t, "int main() { ghost(); return 0; }", `undefined function "ghost"`)
+}
+
+func TestRedeclaration(t *testing.T) {
+	expectError(t, "int main() { int x = 1; int x = 2; return x; }", "redeclared")
+	expectError(t, "int f() { return 0; } int f() { return 1; } int main() { return 0; }", `function "f" redeclared`)
+}
+
+func TestShadowingAllowedInNestedScope(t *testing.T) {
+	checkOK(t, `int main() { int x = 1; if (x > 0) { int x = 2; print(x); } return x; }`)
+}
+
+func TestBuiltinShadowRejected(t *testing.T) {
+	expectError(t, "float sqrt(float x) { return x; } int main() { return 0; }", "shadows a builtin")
+}
+
+func TestConditionMustBeBool(t *testing.T) {
+	expectError(t, "int main() { if (1) { } return 0; }", "condition must be bool")
+	expectError(t, "int main() { while (2.0) { } return 0; }", "condition must be bool")
+}
+
+func TestComparisonsYieldBool(t *testing.T) {
+	expectError(t, "int main() { int x = 1 < 2; return x; }", "cannot use bool as int")
+	checkOK(t, "int main() { bool b = 1 < 2; bool c = b == true; if (c) {} return 0; }")
+}
+
+func TestModuloIntOnly(t *testing.T) {
+	checkOK(t, "int main() { int x = 3 % 2; return x; }")
+	expectError(t, "int main() { int x = int(5.0 % 2.0); return x; }", "requires int operands")
+}
+
+func TestArrayRules(t *testing.T) {
+	expectError(t, "int a[3]; int main() { a = 5; return 0; }", "cannot assign")
+	expectError(t, "int a[3]; int main() { return a[1][2]; }", "cannot index non-array")
+	expectError(t, "int x; int main() { return x[0]; }", "cannot index non-array")
+	expectError(t, "int a[3]; int main() { return a[1.5]; }", "array index must be int")
+	expectError(t, "int main() { float b[2.5]; return 0; }", "array dimension must be int")
+	checkOK(t, "int a[3]; int main() { a[0] = 1; return a[0]; }")
+}
+
+func TestVoidRules(t *testing.T) {
+	expectError(t, "void x; int main() { return 0; }", "cannot have void type")
+	expectError(t, "void f() { return 1; } int main() { return 0; }", "void function f returns a value")
+	expectError(t, "int f() { return; } int main() { return 0; }", "missing return value")
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	expectError(t, "int main() { break; return 0; }", "break outside loop")
+	expectError(t, "int main() { continue; return 0; }", "continue outside loop")
+	checkOK(t, "int main() { for (int i = 0; i < 3; i++) { if (i == 1) { break; } continue; } return 0; }")
+}
+
+func TestCallArity(t *testing.T) {
+	expectError(t, "int f(int a) { return a; } int main() { return f(1, 2); }", "takes 1 arguments, got 2")
+	expectError(t, "int f(int a) { return a; } int main() { return f(); }", "takes 1 arguments, got 0")
+}
+
+func TestArgumentTypes(t *testing.T) {
+	expectError(t, `
+void g(float a[][]) { a[0][0] = 1.0; }
+float b[4];
+int main() { g(b); return 0; }`, "argument: cannot use float[] as float[][]")
+	checkOK(t, `
+void g(float x) { print(x); }
+int main() { g(3); return 0; }`)
+}
+
+func TestMainRequired(t *testing.T) {
+	expectError(t, "int f() { return 0; }", "no main function")
+	expectError(t, "int main(int x) { return x; }", "main must take no parameters")
+}
+
+func TestExprStatementMustBeCall(t *testing.T) {
+	expectError(t, "int main() { 1 + 2; return 0; }", "expression statement must be a call")
+}
+
+func TestBuiltins(t *testing.T) {
+	checkOK(t, `
+float a[5];
+int main() {
+	srand(7);
+	int r = rand();
+	float f = frand() + sqrt(2.0) + fabs(-1.0) + floor(1.5)
+		+ exp(1.0) + log(2.0) + sin(0.5) + cos(0.5) + pow(2.0, 3.0);
+	int i = abs(-3) + min(1, 2) + max(3, 4) + dim(a, 0);
+	float m = min(1.0, f);
+	print("vals", r, f, i, m, true);
+	return 0;
+}`)
+	expectError(t, "int main() { float f = sqrt(1.0, 2.0); return 0; }", "sqrt takes 1 argument")
+	expectError(t, "int main() { int x = abs(1.5); return x; }", "abs takes one int argument")
+	expectError(t, "int main() { int d = dim(5, 0); return d; }", "dim takes an array")
+	expectError(t, "int main() { srand(1.5); return 0; }", "srand takes one int")
+	expectError(t, "int main() { rand(3); return 0; }", "rand takes no arguments")
+}
+
+func TestStringLiteralOnlyInPrint(t *testing.T) {
+	expectError(t, `int main() { int x = "nope"; return x; }`, "string literal only allowed as print argument")
+	checkOK(t, `int main() { print("fine", 1); return 0; }`)
+}
+
+func TestCompoundAssignRules(t *testing.T) {
+	checkOK(t, "int main() { int i = 0; i += 2; i -= 1; i *= 3; i /= 2; return i; }")
+	expectError(t, "int main() { bool b = true; b += true; return 0; }", "requires numeric operand")
+	expectError(t, "int main() { int i = 4; i /= 2.0; return i; }", "cannot /= int by float")
+}
+
+func TestIncDecIntOnly(t *testing.T) {
+	expectError(t, "int main() { float f = 0.0; f++; return 0; }", "requires an int lvalue")
+	checkOK(t, "int main() { int i = 0; i++; i--; return i; }")
+}
+
+func TestSymbolIndices(t *testing.T) {
+	info := checkOK(t, `
+int g1;
+float g2;
+int f(int p0, float p1) {
+	int l0 = p0;
+	return l0;
+}
+int main() { return f(1, 2.0); }
+`)
+	if info.Globals[0].Index != 0 || info.Globals[1].Index != 1 {
+		t.Error("global indices not dense")
+	}
+	fs := info.Funcs["f"]
+	if len(fs.Locals) != 3 { // p0, p1, l0
+		t.Fatalf("locals = %d, want 3", len(fs.Locals))
+	}
+	for i, sym := range fs.Locals {
+		if sym.Index != i {
+			t.Errorf("local %s index = %d, want %d", sym.Name, sym.Index, i)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if s := (Type{Elem: ast.Float, Dims: 2}).String(); s != "float[][]" {
+		t.Errorf("type renders %q", s)
+	}
+	if !Scalar(ast.Int).IsNumeric() || Scalar(ast.Bool).IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if (Type{Elem: ast.Int, Dims: 1}).IsNumeric() {
+		t.Error("arrays are not numeric")
+	}
+}
+
+func TestForwardCallArityChecked(t *testing.T) {
+	// Regression: calls to functions declared later in the file must be
+	// checked against their real signature.
+	expectError(t, `
+int main() { return later(1, 2); }
+int later(int a) { return a; }
+`, "takes 1 arguments, got 2")
+	checkOK(t, `
+int main() { return later(1); }
+int later(int a) { return a; }
+`)
+}

@@ -1,0 +1,170 @@
+// Package kremlin is a from-scratch Go implementation of Kremlin, the
+// parallelism-discovery and parallelism-planning tool of Garcia, Jeon,
+// Louie & Taylor, "Kremlin: Rethinking and Rebooting gprof for the
+// Multicore Age" (PLDI 2011).
+//
+// Given the serial source of a program written in Kr (a small C-like
+// language compiled by this package), Kremlin answers the question "which
+// parts of this program should I parallelize first?":
+//
+//	prog, err := kremlin.Compile("blur.kr", src)        // kremlin-cc
+//	prof, _, err := prog.Profile(nil)                   // run instrumented binary
+//	plan := prog.Plan(prof, planner.OpenMP())           // kremlin --personality=openmp
+//	for _, rec := range plan.Recommendations { ... }
+//
+// The pipeline is the paper's: static instrumentation over a compiler IR in
+// SSA form, hierarchical critical path analysis (HCPA) through a
+// multi-level shadow memory at run time, on-line dictionary compression of
+// the dynamic region trace, self-parallelism computation directly on the
+// compressed profile, and a personality-driven planner (OpenMP, Cilk++)
+// that turns the profile into a ranked list of regions with estimated
+// whole-program speedups.
+package kremlin
+
+import (
+	"io"
+
+	"kremlin/internal/analysis"
+	"kremlin/internal/ast"
+	"kremlin/internal/hcpa"
+	"kremlin/internal/instrument"
+	"kremlin/internal/interp"
+	"kremlin/internal/ir"
+	"kremlin/internal/irbuild"
+	"kremlin/internal/kremlib"
+	"kremlin/internal/opt"
+	"kremlin/internal/parser"
+	"kremlin/internal/planner"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+// Program is a compiled, analyzed, instrumentation-ready Kr program.
+type Program struct {
+	File    *source.File
+	AST     *ast.File
+	Info    *types.Info
+	Module  *ir.Module
+	Regions *regions.Program
+	Instr   *instrument.Module
+	// Analysis reports how many induction/reduction dependencies the static
+	// analysis broke.
+	Analysis analysis.Stats
+	// Opt reports what the optimizer did (zero unless Optimize was set).
+	Opt opt.Stats
+}
+
+// CompileOptions tunes the compilation pipeline.
+type CompileOptions struct {
+	// Optimize runs the SSA optimizer (constant folding, dead-value
+	// elimination, branch folding) before region analysis, mirroring the
+	// paper's post-instrumentation optimization of the instrumented binary.
+	Optimize bool
+	// DisableDependenceBreaking skips induction/reduction detection — the
+	// §2.4 ablation showing how easy-to-break dependencies masquerade as
+	// seriality under plain CPA.
+	DisableDependenceBreaking bool
+}
+
+// Compile parses, type-checks, lowers, and statically instruments src with
+// default options. This is the library form of `make CC=kremlin-cc`.
+func Compile(name, src string) (*Program, error) {
+	return CompileWith(name, src, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit pipeline options.
+func CompileWith(name, src string, o CompileOptions) (*Program, error) {
+	file := source.NewFile(name, src)
+	errs := &source.ErrorList{}
+	tree := parser.Parse(file, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	info := types.Check(tree, file, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	var ostats opt.Stats
+	if o.Optimize {
+		ostats = opt.Run(mod)
+	}
+	var stats analysis.Stats
+	if o.DisableDependenceBreaking {
+		analysis.Init(mod)
+	} else {
+		stats = analysis.Run(mod)
+	}
+	regs := regions.Analyze(mod, file)
+	return &Program{
+		File:     file,
+		AST:      tree,
+		Info:     info,
+		Module:   mod,
+		Regions:  regs,
+		Instr:    instrument.Build(regs),
+		Analysis: stats,
+		Opt:      ostats,
+	}, nil
+}
+
+// RunConfig tunes an execution.
+type RunConfig struct {
+	Out      io.Writer // program output; nil discards
+	MaxSteps uint64    // instruction budget; 0 = default
+	// MinDepth/MaxDepth bound the HCPA depth collection window.
+	MinDepth, MaxDepth int
+}
+
+func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
+	ic := interp.Config{Mode: mode, Prog: p.Regions, Instr: p.Instr}
+	if cfg != nil {
+		ic.Out = cfg.Out
+		ic.MaxSteps = cfg.MaxSteps
+		ic.Opts = kremlib.Options{MinDepth: cfg.MinDepth, MaxDepth: cfg.MaxDepth}
+	}
+	return ic
+}
+
+// Run executes the program uninstrumented.
+func (p *Program) Run(cfg *RunConfig) (*interp.Result, error) {
+	return interp.Run(p.Module, p.interpConfig(cfg, interp.Plain))
+}
+
+// RunGprof executes with gprof-style (work-only) region profiling, the
+// baseline of the paper's overhead comparison.
+func (p *Program) RunGprof(cfg *RunConfig) (*interp.Result, error) {
+	return interp.Run(p.Module, p.interpConfig(cfg, interp.Gprof))
+}
+
+// Profile executes the instrumented program, producing the compressed
+// parallelism profile of one run. This is the library form of running the
+// kremlin-cc-built binary.
+func (p *Program) Profile(cfg *RunConfig) (*profile.Profile, *interp.Result, error) {
+	res, err := interp.Run(p.Module, p.interpConfig(cfg, interp.HCPA))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Profile, res, nil
+}
+
+// Summarize aggregates a profile into per-static-region HCPA metrics
+// (work, coverage, self-parallelism, total-parallelism, DOALL detection).
+func (p *Program) Summarize(prof *profile.Profile) *hcpa.Summary {
+	return hcpa.Summarize(prof, p.Regions)
+}
+
+// Plan produces the ordered parallelism plan for a profile under the given
+// planner personality. This is the library form of
+// `kremlin prog --personality=...`.
+func (p *Program) Plan(prof *profile.Profile, pers planner.Personality) *planner.Plan {
+	return planner.Make(p.Summarize(prof), pers)
+}
+
+// Func returns the named IR function, or nil (test/debug convenience).
+func (p *Program) Func(name string) *ir.Func { return p.Module.ByName[name] }
