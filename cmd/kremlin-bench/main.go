@@ -4,20 +4,51 @@
 //
 // Usage:
 //
-//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|ablation|personality]
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|ablation|personality]
+//	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
+//	              [-cpuprofile f] [-memprofile f]
+//
+// The shards experiment measures the parallel depth-window sharded
+// profiler (wall-clock, allocations, plan equivalence vs the sequential
+// run); -json writes its rows as a machine-readable artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"kremlin/internal/eval"
 )
 
+var (
+	benches     = flag.String("benches", "", "comma-separated benchmark subset for the shards experiment (default: all)")
+	shardCounts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shards experiment")
+	jsonOut     = flag.String("json", "", "write the shards experiment rows as JSON to this path")
+)
+
 func main() {
 	which := flag.String("experiment", "all", "experiment to run")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProf := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
@@ -37,8 +68,22 @@ func main() {
 	run("spclass", spclass)
 	run("sensitivity", sensitivity)
 	run("scaling", scaling)
+	run("shards", shards)
 	run("ablation", ablation)
 	run("personality", personality)
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }
 
 func header(s string) {
@@ -248,6 +293,50 @@ func personality() error {
 		fmt.Println()
 	}
 	fmt.Println("(geomean best-config speedup across the suite)")
+	return nil
+}
+
+func shards() error {
+	header("Parallel sharded profiling: depth-window shards vs sequential")
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	var counts []int
+	for _, s := range strings.Split(*shardCounts, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -shard-counts entry %q: %v", s, err)
+		}
+		counts = append(counts, k)
+	}
+	rows, err := eval.ShardScaling(names, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s", "bench")
+	for _, k := range counts {
+		fmt.Printf(" %9s %11s", fmt.Sprintf("K=%d", k), "allocs")
+	}
+	fmt.Printf(" %8s %6s\n", "best-spd", "equal")
+	for _, r := range rows {
+		fmt.Printf("%-8s", r.Name)
+		for _, p := range r.Points {
+			fmt.Printf(" %9v %11d", p.Time.Round(10_000), p.Allocs)
+		}
+		fmt.Printf(" %7.2fx %6t\n", r.BestSpeedup, r.PlanEqual)
+	}
+	fmt.Printf("(GOMAXPROCS=%d; shard counts beyond the core count cannot win wall-clock)\n", runtime.GOMAXPROCS(0))
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 	return nil
 }
 

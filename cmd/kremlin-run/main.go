@@ -7,15 +7,23 @@
 // Multiple runs can append into the same profile (-merge), the paper's
 // multi-run aggregation that reduces input sensitivity.
 //
+// With -shards K > 1, HCPA collection is split across K complementary
+// region-depth windows profiled concurrently and stitched back into one
+// full-depth profile — the paper's scheme for making the profiler itself
+// exploit multicore.
+//
 // Usage:
 //
-//	kremlin-run [-mode=hcpa|gprof] [-o prog.krpf] [-merge] [-mindepth N] [-maxdepth N] prog.kr
+//	kremlin-run [-mode=hcpa|gprof] [-o prog.krpf] [-merge] [-mindepth N] [-maxdepth N]
+//	            [-shards K] [-cpuprofile f] [-memprofile f] prog.kr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"kremlin"
@@ -27,11 +35,40 @@ func main() {
 	merge := flag.Bool("merge", false, "merge into an existing profile instead of replacing it")
 	maxDepth := flag.Int("maxdepth", 0, "region-depth collection window upper bound (0 = default)")
 	minDepth := flag.Int("mindepth", 0, "region-depth collection window lower bound")
+	shards := flag.Int("shards", 1, "split HCPA collection across K concurrent depth-window shard runs")
 	mode := flag.String("mode", "hcpa", "instrumentation mode: hcpa (parallelism profile) or gprof (serial hotspot list)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProf := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kremlin-run [-o prog.krpf] [-merge] [-maxdepth N] prog.kr")
+		fmt.Fprintln(os.Stderr, "usage: kremlin-run [-o prog.krpf] [-merge] [-maxdepth N] [-shards K] prog.kr")
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			}
+			f.Close()
+		}()
 	}
 	path := flag.Arg(0)
 	if *out == "" {
@@ -58,10 +95,28 @@ func main() {
 		fmt.Print(kremlin.RenderHotspots(prog.Hotspots(res)))
 		return
 	}
-	prof, res, err := prog.Profile(&kremlin.RunConfig{Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kremlin-run:", err)
-		os.Exit(1)
+	cfg := &kremlin.RunConfig{Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth}
+	var prof *profile.Profile
+	var work uint64
+	if *shards > 1 {
+		sprof, sres, err := prog.ProfileSharded(cfg, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			os.Exit(1)
+		}
+		prof, work = sprof, sres.Work()
+		fmt.Fprintf(os.Stderr, "kremlin-run: %d depth-window shards:", len(sres.Windows))
+		for _, w := range sres.Windows {
+			fmt.Fprintf(os.Stderr, " [%d,%d)", w.Lo, w.Hi)
+		}
+		fmt.Fprintln(os.Stderr)
+	} else {
+		fprof, res, err := prog.Profile(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+			os.Exit(1)
+		}
+		prof, work = fprof, res.Work
 	}
 
 	if *merge {
@@ -90,5 +145,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "kremlin-run: %d work units; %d dynamic regions compressed to %d dictionary entries (%d bytes, raw %d bytes); profile written to %s\n",
-		res.Work, prof.Dict.RawCount, len(prof.Dict.Entries), prof.MarshalSize(), prof.RawBytes(), *out)
+		work, prof.Dict.RawCount, len(prof.Dict.Entries), prof.MarshalSize(), prof.RawBytes(), *out)
 }

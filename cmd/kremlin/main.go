@@ -28,6 +28,8 @@ func main() {
 	profPath := flag.String("profile", "", "profile file from kremlin-run (default: profile on the fly)")
 	exclude := flag.String("exclude", "", "comma-separated region labels to exclude")
 	labels := flag.Bool("labels", false, "print region labels usable with -exclude")
+	shards := flag.Int("shards", 1, "profile with K concurrent depth-window shard runs (on-the-fly profiling only)")
+	flag.IntVar(shards, "j", 1, "shorthand for -shards")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin [-personality=p] [-profile f.krpf] [-exclude a,b] prog.kr")
@@ -54,6 +56,12 @@ func main() {
 		}
 		prof, err = profile.ReadFrom(f)
 		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin:", err)
+			os.Exit(1)
+		}
+	} else if *shards > 1 {
+		prof, _, err = prog.ProfileSharded(nil, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kremlin:", err)
 			os.Exit(1)

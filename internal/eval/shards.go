@@ -1,0 +1,102 @@
+package eval
+
+// Shard-scaling experiment: wall-clock and allocation behaviour of the
+// parallel depth-window sharded profiler at increasing shard counts, plus
+// the equivalence check that every shard count plans identically to the
+// full-depth run. This is the repo's evidence for the "profile the
+// profiler on multicore" claim.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/planner"
+)
+
+// ShardPoint is one (shard count, cost) measurement.
+type ShardPoint struct {
+	Shards  int           `json:"shards"`
+	Time    time.Duration `json:"time_ns"`
+	Allocs  uint64        `json:"allocs"`
+	Windows int           `json:"windows"` // windows actually used (≤ Shards)
+}
+
+// ShardRow is the shard-scaling measurement for one benchmark.
+type ShardRow struct {
+	Name string `json:"name"`
+	// Points are ordered by shard count; Points[0] is the sequential
+	// (K=1) baseline.
+	Points []ShardPoint `json:"points"`
+	// BestSpeedup is baseline time / best sharded time.
+	BestSpeedup float64 `json:"best_speedup"`
+	// PlanEqual reports whether every shard count produced a plan
+	// identical to the sequential run's.
+	PlanEqual bool `json:"plan_equal"`
+}
+
+// ShardScaling measures sharded profiling at the given shard counts over
+// the named benchmarks (nil names = the whole suite; counts defaults to
+// 1, 2, 4, 8).
+func ShardScaling(names []string, counts []int) ([]ShardRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	benches := bench.All()
+	if len(names) > 0 {
+		benches = benches[:0:0]
+		for _, n := range names {
+			b := bench.ByName(n)
+			if b == nil {
+				return nil, fmt.Errorf("eval: unknown benchmark %q", n)
+			}
+			benches = append(benches, b)
+		}
+	}
+	var rows []ShardRow
+	for _, b := range benches {
+		prog, err := kremlin.Compile(b.Name+".kr", b.Source)
+		if err != nil {
+			return nil, err
+		}
+		row := ShardRow{Name: b.Name, PlanEqual: true}
+		var basePlan string
+		var baseTime time.Duration
+		best := time.Duration(0)
+		for i, k := range counts {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			prof, res, err := prog.ProfileSharded(nil, k)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s shards=%d: %w", b.Name, k, err)
+			}
+			plan := prog.Plan(prof, planner.OpenMP()).Render()
+			if i == 0 {
+				basePlan, baseTime, best = plan, elapsed, elapsed
+			} else {
+				if plan != basePlan {
+					row.PlanEqual = false
+				}
+				if elapsed < best {
+					best = elapsed
+				}
+			}
+			row.Points = append(row.Points, ShardPoint{
+				Shards:  k,
+				Time:    elapsed,
+				Allocs:  ms1.Mallocs - ms0.Mallocs,
+				Windows: len(res.Windows),
+			})
+		}
+		if best > 0 {
+			row.BestSpeedup = float64(baseTime) / float64(best)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -22,21 +22,26 @@ type FuncInstr struct {
 	// postdominator is the function exit (the entry then pops with the
 	// frame).
 	PopAt map[*ir.Block]*ir.Block
-	// Events memoizes the region transitions of each CFG edge,
-	// keyed by from.ID<<32|to.ID.
+	// Events holds the precomputed region transitions of every CFG edge,
+	// keyed by from.ID<<32|to.ID. Populated eagerly in Build so the table
+	// is read-only afterwards and safe to share across concurrent shard
+	// runs.
 	Events map[uint64]regions.EdgeEvents
 	Info   *regions.FuncInfo
 }
 
-// EdgeEvents returns the (memoized) region events of the edge from→to.
+func edgeKey(from, to *ir.Block) uint64 {
+	return uint64(from.ID)<<32 | uint64(uint32(to.ID))
+}
+
+// EdgeEvents returns the region events of the edge from→to. All edges in
+// the function CFG are precomputed; unknown edges (not in any block's Succs)
+// are computed on the fly without mutating the table.
 func (fi *FuncInstr) EdgeEvents(from, to *ir.Block) regions.EdgeEvents {
-	key := uint64(from.ID)<<32 | uint64(uint32(to.ID))
-	ev, ok := fi.Events[key]
-	if !ok {
-		ev = fi.Info.Edge(from, to)
-		fi.Events[key] = ev
+	if ev, ok := fi.Events[edgeKey(from, to)]; ok {
+		return ev
 	}
-	return ev
+	return fi.Info.Edge(from, to)
 }
 
 // Module is the instrumentation table for a whole program.
@@ -59,6 +64,9 @@ func Build(prog *regions.Program) *Module {
 		ipdom := g.Postdominators()
 		n := len(f.Blocks)
 		for i, b := range f.Blocks {
+			for _, s := range b.Succs {
+				fi.Events[edgeKey(b, s)] = fi.Info.Edge(b, s)
+			}
 			if len(b.Succs) < 2 {
 				continue
 			}

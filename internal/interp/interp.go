@@ -29,6 +29,7 @@ const (
 	Plain Mode = iota // no profiling
 	Gprof             // per-region work only (a serial time profiler)
 	HCPA              // full hierarchical critical path analysis
+	Probe             // per-depth work histogram (sizes sharded depth windows)
 )
 
 // Config configures a run.
@@ -58,6 +59,10 @@ type Result struct {
 	// ShadowPages/ShadowWrites report shadow-memory pressure (HCPA mode).
 	ShadowPages  int
 	ShadowWrites uint64
+	// DepthWork[d] is the work executed while d regions were active (Probe
+	// mode); MaxRegionDepth is the deepest nesting observed.
+	DepthWork      []uint64
+	MaxRegionDepth int
 }
 
 // RuntimeError is an execution failure annotated with a source offset.
@@ -110,6 +115,13 @@ type machine struct {
 	gpTotal []uint64
 	gpCount []int64
 	gpStack []gpFrame
+
+	// probe mode: work is attributed to the nesting depth it ran at,
+	// flushed lazily at region boundaries (O(region events), not O(steps)).
+	probeDepth int
+	probeMax   int
+	probeMark  uint64
+	depthWork  []uint64
 
 	// HCPA mode
 	rt   *kremlib.Runtime
@@ -166,6 +178,11 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 		res.Profile = m.prof
 		res.ShadowPages = m.rt.Mem().NumPages()
 		res.ShadowWrites = m.rt.Mem().Writes
+	case Probe:
+		m.probeFlush()
+		res.Work = m.work
+		res.DepthWork = m.depthWork
+		res.MaxRegionDepth = m.probeMax
 	case Gprof:
 		res.Work = m.work
 		for id := range m.gpTotal {
@@ -227,6 +244,16 @@ func (m *machine) alloc(n int64) uint64 {
 	return base
 }
 
+// probeFlush attributes work since the last region boundary to the depth
+// it ran at.
+func (m *machine) probeFlush() {
+	for m.probeDepth >= len(m.depthWork) {
+		m.depthWork = append(m.depthWork, 0)
+	}
+	m.depthWork[m.probeDepth] += m.work - m.probeMark
+	m.probeMark = m.work
+}
+
 // regionEnter/regionExit/regionIterate dispatch to whichever profiler is on.
 func (m *machine) regionEnter(r *regions.Region) {
 	switch m.cfg.Mode {
@@ -235,6 +262,12 @@ func (m *machine) regionEnter(r *regions.Region) {
 	case Gprof:
 		m.gpStack = append(m.gpStack, gpFrame{regionID: r.ID, entryWork: m.work})
 		m.gpCount[r.ID]++
+	case Probe:
+		m.probeFlush()
+		m.probeDepth++
+		if m.probeDepth > m.probeMax {
+			m.probeMax = m.probeDepth
+		}
 	}
 }
 
@@ -251,6 +284,9 @@ func (m *machine) regionExit() {
 		if n := len(m.gpStack); n > 0 {
 			m.gpStack[n-1].childWork += total
 		}
+	case Probe:
+		m.probeFlush()
+		m.probeDepth--
 	}
 }
 
@@ -282,6 +318,7 @@ func (m *machine) call(f *ir.Func, args []val, argVecs []shadow.Vec, callerFS *k
 	var fs *kremlib.FrameState
 	var fi *instrument.FuncInstr
 	gpEntryDepth := len(m.gpStack)
+	probeEntryDepth := m.probeDepth
 	if m.cfg.Mode == HCPA {
 		fs = m.rt.NewFrame(f, callerFS)
 	}
@@ -500,9 +537,14 @@ func (m *machine) call(f *ir.Func, args []val, argVecs []shadow.Vec, callerFS *k
 
 	if profiled {
 		// Exit any loops left open plus the function region.
-		if m.cfg.Mode == HCPA {
+		switch m.cfg.Mode {
+		case HCPA:
 			m.rt.Unwind(fs.EntryDepth)
-		} else {
+		case Probe:
+			for m.probeDepth > probeEntryDepth {
+				m.regionExit()
+			}
+		default:
 			for len(m.gpStack) > gpEntryDepth {
 				m.regionExit()
 			}
@@ -515,6 +557,11 @@ func (m *machine) call(f *ir.Func, args []val, argVecs []shadow.Vec, callerFS *k
 		}
 		m.heapTop = watermark
 	}
+	if fs != nil {
+		// RetVec stays readable until the caller's FinishCall, which runs
+		// before any further NewFrame.
+		m.rt.ReleaseFrame(fs)
+	}
 	return retVal, retVec, nil
 }
 
@@ -526,11 +573,13 @@ func (m *machine) doCall(regs []val, ins *ir.Instr, fs *kremlib.FrameState) erro
 	var argVecs []shadow.Vec
 	if fs != nil {
 		m.rt.Step(fs, ins, 0, -1)
+		// The callee's Regs.Set copies before anything can mutate the
+		// caller's register table, so the live vectors can be passed
+		// without a defensive copy.
 		argVecs = make([]shadow.Vec, len(ins.Args))
 		for i, a := range ins.Args {
 			if ai, ok := a.(*ir.Instr); ok {
-				src := fs.Regs.Get(ai.ID)
-				argVecs[i] = append(shadow.Vec(nil), src...)
+				argVecs[i] = fs.Regs.Get(ai.ID)
 			}
 		}
 	}

@@ -1,0 +1,134 @@
+package kremlib
+
+// Aliasing contract of Runtime.Step: the returned Vec is the runtime's
+// scratch buffer, overwritten by the next Step. Every sink that stores a
+// step result — shadow memory, the register table, RetVec — must therefore
+// copy it. These tests pin that contract so storage-layout rewrites (the
+// struct-of-arrays shadow pages, the pooled frames) cannot silently turn
+// the copies into aliases.
+
+import (
+	"testing"
+
+	"kremlin/internal/ir"
+)
+
+func stepTimes(rt *Runtime, fs *FrameState, ins *ir.Instr, addr uint64) []uint64 {
+	out := rt.Step(fs, ins, addr, -1)
+	ts := make([]uint64, len(out))
+	for i, e := range out {
+		ts[i] = e.Time
+	}
+	return ts
+}
+
+// TestStepScratchReuse verifies the documented hazard: the Vec returned by
+// Step is invalidated by the next Step.
+func TestStepScratchReuse(t *testing.T) {
+	rt, fs, f := benchRuntime(4)
+	a := addInstr(f)
+	b := addInstr(f)
+	b.Args = []ir.Value{a, a} // b depends on a: strictly later time
+
+	va := rt.Step(fs, a, 0, -1)
+	t0 := va[0].Time
+	vb := rt.Step(fs, b, 0, -1)
+	if &va[0] != &vb[0] {
+		t.Fatalf("Step returned distinct buffers; scratch reuse contract changed")
+	}
+	if va[0].Time == t0 {
+		t.Fatalf("second Step left scratch untouched; expected overwrite")
+	}
+}
+
+// TestStepStoreCopiesIntoShadowMemory: a store's written vector must
+// survive the scratch being reused.
+func TestStepStoreCopiesIntoShadowMemory(t *testing.T) {
+	rt, fs, f := benchRuntime(4)
+	const addr = 0x1234
+
+	st := rawInstr(ir.OpStore)
+	st.Args = []ir.Value{&ir.ConstInt{V: 0}, &ir.ConstInt{V: 1}}
+	want := stepTimes(rt, fs, st, addr)
+
+	// Hammer the scratch with dependent work so a retained alias would
+	// show different times.
+	prev := addInstr(f)
+	rt.Step(fs, prev, 0, -1)
+	for i := 0; i < 8; i++ {
+		ins := addInstr(f)
+		ins.Args = []ir.Value{prev, prev}
+		rt.Step(fs, ins, 0, -1)
+		prev = ins
+	}
+
+	got := rt.Mem().ReadVec(addr)
+	for l, w := range want {
+		if g := got.Read(l, rt.tags[l]); g != w {
+			t.Fatalf("level %d: shadow memory holds %d, store wrote %d (aliased scratch?)", l, g, w)
+		}
+	}
+}
+
+// TestStepResultCopiesIntoRegisterTable: Regs.Set must copy the step
+// result, not retain the scratch.
+func TestStepResultCopiesIntoRegisterTable(t *testing.T) {
+	rt, fs, f := benchRuntime(4)
+
+	a := addInstr(f)
+	want := stepTimes(rt, fs, a, 0)
+
+	b := addInstr(f)
+	b.Args = []ir.Value{a, a}
+	rt.Step(fs, b, 0, -1)
+
+	got := fs.Regs.Get(a.ID)
+	for l, w := range want {
+		if g := got.Read(l, rt.tags[l]); g != w {
+			t.Fatalf("level %d: register table holds %d, step produced %d (aliased scratch?)", l, g, w)
+		}
+	}
+}
+
+// TestRetVecCopies: OpRet snapshots the scratch into RetVec.
+func TestRetVecCopies(t *testing.T) {
+	rt, fs, f := benchRuntime(4)
+
+	a := addInstr(f)
+	rt.Step(fs, a, 0, -1)
+	ret := rawInstr(ir.OpRet)
+	ret.Args = []ir.Value{a}
+	want := stepTimes(rt, fs, ret, 0)
+
+	later := addInstr(f)
+	later.Args = []ir.Value{a, a}
+	rt.Step(fs, later, 0, -1)
+
+	for l, w := range want {
+		if g := fs.RetVec.Read(l, rt.tags[l]); g != w {
+			t.Fatalf("level %d: RetVec holds %d, ret step produced %d (aliased scratch?)", l, g, w)
+		}
+	}
+}
+
+// TestPooledFrameDoesNotLeakRegisters: a frame recycled through the pool
+// must read zero availability for values the previous tenant wrote.
+func TestPooledFrameDoesNotLeakRegisters(t *testing.T) {
+	rt, _, f := benchRuntime(2)
+
+	fs1 := rt.NewFrame(f, nil)
+	a := addInstr(f)
+	rt.Step(fs1, a, 0, -1)
+	if fs1.Regs.Get(a.ID).Read(0, rt.tags[0]) == 0 {
+		t.Fatal("setup: expected nonzero availability time")
+	}
+	rt.ReleaseFrame(fs1)
+
+	fs2 := rt.NewFrame(f, nil)
+	if fs1 != fs2 {
+		t.Skip("frame pool did not recycle; nothing to check")
+	}
+	if got := fs2.Regs.Get(a.ID).Read(0, rt.tags[0]); got != 0 {
+		t.Fatalf("recycled frame leaked availability time %d for stale register", got)
+	}
+}

@@ -44,6 +44,7 @@ type Runtime struct {
 
 	totalWork    uint64
 	nextInstance uint64
+	maxDepth     int
 
 	// ioVec serializes observable output (print) — an explicit dependence
 	// chain, since output order is a true serial constraint.
@@ -53,6 +54,13 @@ type Runtime struct {
 
 	scratch shadow.Vec
 	tags    []uint64
+
+	// vecPool recycles control-dependence vectors (popped by AtBlock /
+	// PopSameBranch / same-branch replacement) so steady-state branches
+	// allocate nothing.
+	vecPool []shadow.Vec
+	// framePool recycles FrameState records across calls.
+	framePool []*FrameState
 }
 
 // NewRuntime returns a runtime recording into prof.
@@ -98,9 +106,15 @@ func (rt *Runtime) lowLevel() int {
 	return lo
 }
 
+// MaxDepthSeen returns the deepest region nesting observed so far.
+func (rt *Runtime) MaxDepthSeen() int { return rt.maxDepth }
+
 // EnterRegion pushes a new dynamic region instance.
 func (rt *Runtime) EnterRegion(r *regions.Region) {
 	rt.nextInstance++
+	if d := len(rt.stack) + 1; d > rt.maxDepth {
+		rt.maxDepth = d
+	}
 	rt.stack = append(rt.stack, active{
 		region:    r,
 		instance:  rt.nextInstance,
@@ -187,31 +201,81 @@ type ctrlEntry struct {
 // control time becomes the frame's control baseline, which propagates
 // interprocedural control dependence (a function called under an if is
 // control dependent on the if, at every level the caller shares). Call
-// before entering the callee's function region.
+// before entering the callee's function region. Frames come from a pool;
+// pair with ReleaseFrame when the call returns.
 func (rt *Runtime) NewFrame(f *ir.Func, caller *FrameState) *FrameState {
-	fs := &FrameState{Regs: shadow.NewRegisterTable(f.NumValues()), EntryDepth: len(rt.stack)}
+	var fs *FrameState
+	if n := len(rt.framePool); n > 0 {
+		fs = rt.framePool[n-1]
+		rt.framePool = rt.framePool[:n-1]
+		fs.Regs.Reset(f.NumValues())
+		fs.ctrl = fs.ctrl[:0]
+		fs.RetVec = fs.RetVec[:0]
+	} else {
+		fs = &FrameState{Regs: shadow.NewRegisterTable(f.NumValues())}
+	}
+	fs.EntryDepth = len(rt.stack)
 	d := rt.level()
-	base := make(shadow.Vec, d)
+	base := fs.base
+	if cap(base) < d {
+		base = make(shadow.Vec, d, d+16)
+	}
+	base = base[:d]
+	var cv shadow.Vec
+	if caller != nil {
+		cv = caller.ctrlVec()
+	}
 	for l := 0; l < d; l++ {
-		var t uint64
-		if caller != nil {
-			t = rt.ctrlTime(caller, l)
-		}
-		base[l] = shadow.Entry{Time: t, Tag: rt.tags[l]}
+		base[l] = shadow.Entry{Time: cv.Read(l, rt.tags[l]), Tag: rt.tags[l]}
 	}
 	fs.base = base
 	return fs
 }
 
+// ReleaseFrame recycles a frame after its call has returned, returning its
+// unpopped control vectors to the pool. The frame's RetVec stays readable
+// until the next NewFrame (FinishCall runs before any further call setup).
+func (rt *Runtime) ReleaseFrame(fs *FrameState) {
+	for _, e := range fs.ctrl {
+		rt.recycleVec(e.vec)
+	}
+	fs.ctrl = fs.ctrl[:0]
+	if len(rt.framePool) < 64 {
+		rt.framePool = append(rt.framePool, fs)
+	}
+}
+
+// ctrlVec returns the vector holding the frame's current control time: the
+// top of the control stack, else the inherited baseline. A nil result
+// reads as zero at every level.
+func (fs *FrameState) ctrlVec() shadow.Vec {
+	if n := len(fs.ctrl); n > 0 {
+		return fs.ctrl[n-1].vec
+	}
+	return fs.base
+}
+
 // ctrlTime returns the current control-dependence time at level l.
 func (rt *Runtime) ctrlTime(fs *FrameState, l int) uint64 {
-	if n := len(fs.ctrl); n > 0 {
-		return fs.ctrl[n-1].vec.Read(l, rt.tags[l])
+	return fs.ctrlVec().Read(l, rt.tags[l])
+}
+
+// getVec returns a pooled vector of length d (contents undefined).
+func (rt *Runtime) getVec(d int) shadow.Vec {
+	if n := len(rt.vecPool); n > 0 {
+		v := rt.vecPool[n-1]
+		rt.vecPool = rt.vecPool[:n-1]
+		if cap(v) >= d {
+			return v[:d]
+		}
 	}
-	if fs.base != nil {
-		return fs.base.Read(l, rt.tags[l])
+	return make(shadow.Vec, d, d+16)
+}
+
+func (rt *Runtime) recycleVec(v shadow.Vec) {
+	if cap(v) > 0 && len(rt.vecPool) < 64 {
+		rt.vecPool = append(rt.vecPool, v)
 	}
-	return 0
 }
 
 // PushCtrl pushes a control-dependence entry whose availability is the
@@ -224,16 +288,19 @@ func (rt *Runtime) ctrlTime(fs *FrameState, l int) uint64 {
 // the loop branch would serialize DOALL iterations at the loop level.
 func (rt *Runtime) PushCtrl(fs *FrameState, branch, popAt *ir.Block, brVec shadow.Vec) {
 	if n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].branch == branch {
+		rt.recycleVec(fs.ctrl[n-1].vec)
 		fs.ctrl = fs.ctrl[:n-1]
 	}
 	d := rt.level()
-	vec := make(shadow.Vec, d)
+	vec := rt.getVec(d)
+	cv := fs.ctrlVec()
+	tags := rt.tags
 	for l := 0; l < d; l++ {
-		t := rt.ctrlTime(fs, l)
-		if bt := brVec.Read(l, rt.tags[l]); bt > t {
+		t := cv.Read(l, tags[l])
+		if bt := brVec.Read(l, tags[l]); bt > t {
 			t = bt
 		}
-		vec[l] = shadow.Entry{Time: t, Tag: rt.tags[l]}
+		vec[l] = shadow.Entry{Time: t, Tag: tags[l]}
 	}
 	fs.ctrl = append(fs.ctrl, ctrlEntry{branch: branch, popAt: popAt, vec: vec})
 }
@@ -243,6 +310,7 @@ func (rt *Runtime) PushCtrl(fs *FrameState, branch, popAt *ir.Block, brVec shado
 // own availability nor its new entry chains on its previous execution.
 func (rt *Runtime) PopSameBranch(fs *FrameState, branch *ir.Block) {
 	if n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].branch == branch {
+		rt.recycleVec(fs.ctrl[n-1].vec)
 		fs.ctrl = fs.ctrl[:n-1]
 	}
 }
@@ -252,6 +320,7 @@ func (rt *Runtime) PopSameBranch(fs *FrameState, branch *ir.Block) {
 // multiple entries can share a pop point (loop back edges), so pop in a loop.
 func (rt *Runtime) AtBlock(fs *FrameState, blk *ir.Block) {
 	for n := len(fs.ctrl); n > 0 && fs.ctrl[n-1].popAt == blk; n = len(fs.ctrl) {
+		rt.recycleVec(fs.ctrl[n-1].vec)
 		fs.ctrl = fs.ctrl[:n-1]
 	}
 }
@@ -265,54 +334,94 @@ func (rt *Runtime) argVec(fs *FrameState, v ir.Value) shadow.Vec {
 	return nil
 }
 
+// maxInto folds vec's availability times into out over levels [lo, d),
+// applying the tag-mismatch-is-zero rule. A free function (not a closure)
+// so Step's level loops compile without a closure environment.
+func maxInto(out shadow.Vec, tags []uint64, vec shadow.Vec, lo, d int) {
+	if n := len(vec); n < d {
+		d = n
+	}
+	for l := lo; l < d; l++ {
+		if e := vec[l]; e.Tag == tags[l] && e.Time > out[l].Time {
+			out[l].Time = e.Time
+		}
+	}
+}
+
+// maxIntoSlot is maxInto over a borrowed shadow-memory slot (the
+// allocation-free load path).
+func maxIntoSlot(out shadow.Vec, tags []uint64, s shadow.Slot, lo, d int) {
+	if n := len(s.Times); n < d {
+		d = n
+	}
+	for l := lo; l < d; l++ {
+		if t := s.Times[l]; s.Tags[l] == tags[l] && t > out[l].Time {
+			out[l].Time = t
+		}
+	}
+}
+
 // Step performs the HCPA availability-time update for one executed
 // instruction. addr is the simulated address touched by OpLoad/OpStore
 // (otherwise ignored); predIdx is the incoming-predecessor index for OpPhi.
-// It returns the instruction's time vector (valid until the next Step).
+// It returns the instruction's time vector (valid until the next Step) —
+// callers must copy, never retain it.
 func (rt *Runtime) Step(fs *FrameState, ins *ir.Instr, addr uint64, predIdx int) shadow.Vec {
 	lat := ins.Latency()
 	rt.totalWork += lat
 	d := rt.level()
 	lo := rt.lowLevel()
 	out := rt.scratch[:d]
+	tags := rt.tags
 
 	for l := 0; l < lo; l++ {
 		out[l] = shadow.Entry{}
 	}
-	for l := lo; l < d; l++ {
-		out[l] = shadow.Entry{Time: rt.ctrlTime(fs, l), Tag: rt.tags[l]}
-	}
-
-	maxIn := func(vec shadow.Vec) {
-		for l := lo; l < d; l++ {
-			if t := vec.Read(l, rt.tags[l]); t > out[l].Time {
-				out[l].Time = t
+	if lo < d {
+		// Control time: the top of the control stack (else the frame
+		// baseline), resolved once instead of per level.
+		cv := fs.ctrlVec()
+		cn := len(cv)
+		if cn > d {
+			cn = d
+		}
+		for l := lo; l < cn; l++ {
+			var t uint64
+			if e := cv[l]; e.Tag == tags[l] {
+				t = e.Time
 			}
+			out[l] = shadow.Entry{Time: t, Tag: tags[l]}
+		}
+		if cn < lo {
+			cn = lo
+		}
+		for l := cn; l < d; l++ {
+			out[l] = shadow.Entry{Tag: tags[l]}
 		}
 	}
 
 	switch ins.Op {
 	case ir.OpPhi:
 		if !ins.Induction && predIdx >= 0 && predIdx < len(ins.Args) {
-			maxIn(rt.argVec(fs, ins.Args[predIdx]))
+			maxInto(out, tags, rt.argVec(fs, ins.Args[predIdx]), lo, d)
 		}
 		// Induction phi: dependence on the carried value is broken; only the
 		// control time remains.
 	case ir.OpLoad:
-		maxIn(rt.argVec(fs, ins.Args[0])) // address computation
-		maxIn(rt.mem.ReadVec(addr))
+		maxInto(out, tags, rt.argVec(fs, ins.Args[0]), lo, d) // address computation
+		maxIntoSlot(out, tags, rt.mem.Load(addr), lo, d)
 	default:
 		for i, a := range ins.Args {
 			if i == ins.BreakArg {
 				continue // induction/reduction old-value dependence: ignored
 			}
-			maxIn(rt.argVec(fs, a))
+			maxInto(out, tags, rt.argVec(fs, a), lo, d)
 		}
 		switch ins.Builtin {
 		case "rand", "frand", "srand":
-			maxIn(rt.randVec)
+			maxInto(out, tags, rt.randVec, lo, d)
 		case "printval", "printstr", "printnl":
-			maxIn(rt.ioVec)
+			maxInto(out, tags, rt.ioVec, lo, d)
 		}
 	}
 

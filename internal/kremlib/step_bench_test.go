@@ -1,0 +1,94 @@
+package kremlib
+
+// Microbenchmarks for the per-instruction profiling path. Step runs once
+// per executed IR instruction, so ns/op and allocs/op here bound HCPA
+// instrumentation overhead end to end. Run with -benchmem; the hot-path
+// rewrite targets zero steady-state allocations.
+
+import (
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/ir"
+	"kremlin/internal/profile"
+	"kremlin/internal/types"
+)
+
+// benchRuntime builds a runtime nested depth regions deep, the typical
+// main→func→loop→body shape.
+func benchRuntime(depth int) (*Runtime, *FrameState, *ir.Func) {
+	prof := profile.New()
+	rt := NewRuntime(prof, Options{})
+	f := synthFunc()
+	fs := rt.NewFrame(f, nil)
+	for _, r := range synthRegions(depth) {
+		rt.EnterRegion(r)
+	}
+	return rt, fs, f
+}
+
+// BenchmarkStepALU measures the register-only update: a chain of dependent
+// adds, no memory traffic.
+func BenchmarkStepALU(b *testing.B) {
+	rt, fs, f := benchRuntime(4)
+	ins := addInstr(f)
+	prev := addInstr(f)
+	rt.Step(fs, prev, 0, -1)
+	ins.Args = []ir.Value{prev, &ir.ConstInt{V: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Step(fs, ins, 0, -1)
+	}
+}
+
+// BenchmarkStepStoreLoad measures the shadow-memory path: alternating
+// stores and loads over a strided working set, as array kernels produce.
+func BenchmarkStepStoreLoad(b *testing.B) {
+	rt, fs, f := benchRuntime(4)
+	st := rawInstr(ir.OpStore)
+	st.Args = []ir.Value{&ir.ConstInt{V: 0}, &ir.ConstFloat{V: 1}}
+	ld := rawInstr(ir.OpLoad)
+	ld.Typ = types.Type{Elem: ast.Float}
+	ld.Args = []ir.Value{&ir.ConstInt{V: 0}}
+	_ = f
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i*8) & 0x3FFF
+		rt.Step(fs, st, addr, -1)
+		rt.Step(fs, ld, addr, -1)
+	}
+}
+
+// BenchmarkStepBranchCtrl measures the control-dependence path: every
+// iteration executes a branch, pushing (and same-branch-replacing) a
+// control entry, as every profiled loop header does.
+func BenchmarkStepBranchCtrl(b *testing.B) {
+	rt, fs, f := benchRuntime(4)
+	branch := f.NewBlock("hdr")
+	popAt := f.NewBlock("join")
+	cond := addInstr(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.PopSameBranch(fs, branch)
+		vec := rt.Step(fs, cond, 0, -1)
+		rt.PushCtrl(fs, branch, popAt, vec)
+	}
+}
+
+// BenchmarkStepDeepWindow measures Step with a deep tracked window (16
+// levels), the per-level loop cost the specialization targets.
+func BenchmarkStepDeepWindow(b *testing.B) {
+	rt, fs, f := benchRuntime(16)
+	ins := addInstr(f)
+	prev := addInstr(f)
+	rt.Step(fs, prev, 0, -1)
+	ins.Args = []ir.Value{prev, &ir.ConstInt{V: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Step(fs, ins, 0, -1)
+	}
+}

@@ -1,0 +1,195 @@
+// Package parallel runs HCPA data collection sharded across complementary
+// region-depth windows — the paper's answer to "who profiles the profiler":
+// because the per-level critical-path updates are independent, the depth
+// dimension can be partitioned into K windows, each collected by an
+// independent instrumented run with its own Runtime and shadow memory, and
+// the windowed profiles merged afterwards. On a multicore host the K runs
+// execute concurrently, so the profiler itself exploits the parallelism it
+// is hunting for.
+//
+// A cheap pre-pass (interp.Probe) measures how much work executes at each
+// nesting depth; windows are then sized so each shard pays a near-equal
+// share of the tracking cost, rather than uniformly (real programs nest a
+// handful of levels deep, so uniform windows over [0, 48) would leave every
+// shard but the first idle).
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"kremlin/internal/instrument"
+	"kremlin/internal/interp"
+	"kremlin/internal/ir"
+	"kremlin/internal/kremlib"
+	"kremlin/internal/profile"
+	"kremlin/internal/regions"
+)
+
+// Window is a half-open interval [Lo, Hi) of region-depth levels collected
+// by one shard.
+type Window struct {
+	Lo, Hi int
+}
+
+// LevelCosts converts a per-depth work histogram (DepthWork[d] = work
+// executed while d regions were active) into per-level tracking costs: an
+// instruction running under d active regions updates levels [0, d), so
+// the cost of tracking level l is Σ_{d > l} DepthWork[d].
+func LevelCosts(depthWork []uint64, levels int) []uint64 {
+	costs := make([]uint64, levels)
+	var suffix uint64
+	for d := len(depthWork) - 1; d >= 1; d-- {
+		suffix += depthWork[d]
+		if d-1 < levels {
+			costs[d-1] = suffix
+		}
+	}
+	return costs
+}
+
+// BalancedWindows partitions levels [0, len(costs)) into at most k
+// contiguous windows with near-equal summed cost. Fewer than k windows are
+// returned when there are fewer levels than shards.
+func BalancedWindows(costs []uint64, k int) []Window {
+	l := len(costs)
+	if l == 0 {
+		return []Window{{0, 0}}
+	}
+	if k > l {
+		k = l
+	}
+	if k <= 1 {
+		return []Window{{0, l}}
+	}
+	prefix := make([]uint64, l+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	total := prefix[l]
+	wins := make([]Window, 0, k)
+	lo := 0
+	for i := 1; i < k; i++ {
+		target := total / uint64(k) * uint64(i)
+		hi := lo + 1
+		maxHi := l - (k - i) // leave ≥1 level for each remaining window
+		for hi < maxHi && prefix[hi] < target {
+			hi++
+		}
+		wins = append(wins, Window{lo, hi})
+		lo = hi
+	}
+	return append(wins, Window{lo, l})
+}
+
+// Config configures a sharded profiling run.
+type Config struct {
+	// Shards is the number of depth windows (and concurrent runs); values
+	// ≤ 1 fall back to one sequential full-window run.
+	Shards int
+	// Out receives the program's print output (written exactly once, by
+	// the probe pre-pass, or by the single run when Shards ≤ 1).
+	Out      io.Writer
+	MaxSteps uint64
+	// MaxDepth caps the collection window (0 = kremlib.DefaultMaxDepth).
+	MaxDepth int
+}
+
+// Result is the outcome of a sharded profiling run.
+type Result struct {
+	// Profile is the stitched full-depth profile.
+	Profile *profile.Profile
+	// Windows are the depth windows actually used, one per shard run.
+	Windows []Window
+	// Probe is the depth pre-pass result (nil when Shards ≤ 1).
+	Probe *interp.Result
+	// Runs are the per-shard interpreter results, parallel to Windows.
+	Runs []*interp.Result
+}
+
+// Work returns the instrumented work measure (identical in every shard).
+func (r *Result) Work() uint64 {
+	if len(r.Runs) == 0 {
+		return 0
+	}
+	return r.Runs[0].Work
+}
+
+// Run executes cfg.Shards depth-window shard runs of the instrumented
+// program concurrently and stitches their profiles. mod, prog, and instr
+// are shared read-only across the shard goroutines; each run owns its
+// Runtime and shadow memory.
+func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Config) (*Result, error) {
+	maxDepth := cfg.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = kremlib.DefaultMaxDepth
+	}
+	if cfg.Shards <= 1 {
+		res, err := interp.Run(mod, interp.Config{
+			Mode: interp.HCPA, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
+			Opts: kremlib.Options{MaxDepth: maxDepth},
+			Prog: prog, Instr: instr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Profile: res.Profile,
+			Windows: []Window{{0, maxDepth}},
+			Runs:    []*interp.Result{res},
+		}, nil
+	}
+
+	probe, err := interp.Run(mod, interp.Config{
+		Mode: interp.Probe, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
+		Prog: prog, Instr: instr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	levels := probe.MaxRegionDepth
+	if levels > maxDepth {
+		levels = maxDepth
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	wins := BalancedWindows(LevelCosts(probe.DepthWork, levels), cfg.Shards)
+	// The deepest window absorbs the rest of the configured cap so the
+	// windows are complementary over the full [0, maxDepth) range.
+	if wins[len(wins)-1].Hi < maxDepth {
+		wins[len(wins)-1].Hi = maxDepth
+	}
+
+	runs := make([]*interp.Result, len(wins))
+	errs := make([]error, len(wins))
+	var wg sync.WaitGroup
+	for s, w := range wins {
+		wg.Add(1)
+		go func(s int, w Window) {
+			defer wg.Done()
+			runs[s], errs[s] = interp.Run(mod, interp.Config{
+				Mode: interp.HCPA, MaxSteps: cfg.MaxSteps,
+				Opts: kremlib.Options{MinDepth: w.Lo, MaxDepth: w.Hi},
+				Prog: prog, Instr: instr,
+			})
+		}(s, w)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: shard %d [%d,%d): %w", s, wins[s].Lo, wins[s].Hi, err)
+		}
+	}
+
+	profs := make([]*profile.Profile, len(runs))
+	for s, r := range runs {
+		profs[s] = r.Profile
+	}
+	stitched, err := Stitch(profs, wins)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Profile: stitched, Windows: wins, Probe: probe, Runs: runs}, nil
+}

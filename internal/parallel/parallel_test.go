@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"testing"
+
+	"kremlin/internal/profile"
+)
+
+func TestLevelCosts(t *testing.T) {
+	// depthWork[d] = work run under d active regions; an instruction at
+	// depth d updates levels [0, d).
+	costs := LevelCosts([]uint64{5, 10, 20, 30}, 3)
+	want := []uint64{60, 50, 30}
+	for l, w := range want {
+		if costs[l] != w {
+			t.Errorf("cost[%d] = %d, want %d", l, costs[l], w)
+		}
+	}
+}
+
+func checkPartition(t *testing.T, wins []Window, levels int) {
+	t.Helper()
+	if wins[0].Lo != 0 || wins[len(wins)-1].Hi != levels {
+		t.Fatalf("windows %v do not cover [0,%d)", wins, levels)
+	}
+	for i := 1; i < len(wins); i++ {
+		if wins[i].Lo != wins[i-1].Hi {
+			t.Fatalf("windows %v are not contiguous", wins)
+		}
+	}
+	for _, w := range wins {
+		if w.Lo >= w.Hi {
+			t.Fatalf("empty window in %v", wins)
+		}
+	}
+}
+
+func TestBalancedWindowsUniform(t *testing.T) {
+	costs := []uint64{10, 10, 10, 10, 10, 10, 10, 10}
+	wins := BalancedWindows(costs, 4)
+	checkPartition(t, wins, len(costs))
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4: %v", len(wins), wins)
+	}
+	for _, w := range wins {
+		if w.Hi-w.Lo != 2 {
+			t.Errorf("uniform costs should split evenly, got %v", wins)
+		}
+	}
+}
+
+func TestBalancedWindowsSkewed(t *testing.T) {
+	// Nearly all tracking cost sits at level 0 (shallow programs under a
+	// deep default cap): the first window must stay narrow.
+	costs := []uint64{1000, 10, 5, 3, 2, 1}
+	wins := BalancedWindows(costs, 3)
+	checkPartition(t, wins, len(costs))
+	if wins[0].Hi != 1 {
+		t.Errorf("skewed costs: first window %v should be [0,1)", wins[0])
+	}
+}
+
+func TestBalancedWindowsMoreShardsThanLevels(t *testing.T) {
+	wins := BalancedWindows([]uint64{7, 7}, 8)
+	checkPartition(t, wins, 2)
+	if len(wins) != 2 {
+		t.Fatalf("expected 2 windows for 2 levels, got %v", wins)
+	}
+}
+
+// buildShardProfiles hand-builds the two windowed views of one execution:
+//
+//	root (static 1, work 100)
+//	├── loopA ×2 (static 2, work 30 each)
+//	└── loopB ×1 (static 3, work 40)
+//
+// Shard 0 owns level 0 (root CP real, children fall back cp = work);
+// shard 1 owns level 1 (children CP real, root falls back cp = work).
+func buildShardProfiles() ([]*profile.Profile, []Window, *profile.Profile) {
+	shard0 := profile.New()
+	a0 := shard0.Dict.Intern(2, 30, 30, nil) // out of window: cp = work
+	b0 := shard0.Dict.Intern(3, 40, 40, nil)
+	r0 := shard0.Dict.Intern(1, 100, 55, map[int32]int64{a0: 2, b0: 1})
+	shard0.AddRoot(r0)
+	shard0.Dict.RawCount = 4
+
+	shard1 := profile.New()
+	b1 := shard1.Dict.Intern(3, 40, 8, nil) // in window: real CP
+	a1 := shard1.Dict.Intern(2, 30, 5, nil)
+	r1 := shard1.Dict.Intern(1, 100, 100, map[int32]int64{a1: 2, b1: 1})
+	shard1.AddRoot(r1)
+	shard1.Dict.RawCount = 4
+
+	want := profile.New()
+	aw := want.Dict.Intern(2, 30, 5, nil)
+	bw := want.Dict.Intern(3, 40, 8, nil)
+	rw := want.Dict.Intern(1, 100, 55, map[int32]int64{aw: 2, bw: 1})
+	want.AddRoot(rw)
+	want.Dict.RawCount = 4
+
+	return []*profile.Profile{shard0, shard1}, []Window{{0, 1}, {1, 2}}, want
+}
+
+func TestStitchTakesCPFromOwningShard(t *testing.T) {
+	profs, wins, want := buildShardProfiles()
+	got, err := Stitch(profs, wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dict.RawCount != want.Dict.RawCount {
+		t.Errorf("RawCount = %d, want %d", got.Dict.RawCount, want.Dict.RawCount)
+	}
+	if len(got.Roots) != 1 {
+		t.Fatalf("roots = %v", got.Roots)
+	}
+	root := got.Dict.Entries[got.Roots[0]]
+	if root.StaticID != 1 || root.Work != 100 || root.CP != 55 {
+		t.Errorf("root = %+v, want static 1 work 100 cp 55 (owner shard 0)", root)
+	}
+	cps := map[int32]uint64{}
+	for _, k := range root.Children {
+		e := got.Dict.Entries[k.Char]
+		cps[e.StaticID] = e.CP
+		if e.StaticID == 2 && k.Count != 2 {
+			t.Errorf("loopA count = %d, want 2", k.Count)
+		}
+	}
+	if cps[2] != 5 || cps[3] != 8 {
+		t.Errorf("child CPs = %v, want loopA 5, loopB 8 (owner shard 1)", cps)
+	}
+}
+
+func TestStitchSingleShardPassthrough(t *testing.T) {
+	p := profile.New()
+	p.AddRoot(p.Dict.Intern(1, 10, 3, nil))
+	got, err := Stitch([]*profile.Profile{p}, []Window{{0, 48}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Error("single-shard stitch should pass the profile through")
+	}
+}
+
+func TestStitchDetectsDivergence(t *testing.T) {
+	profs, wins, _ := buildShardProfiles()
+	// Corrupt shard 1's root work: the shards no longer describe the same
+	// execution.
+	bad := profile.New()
+	b := bad.Dict.Intern(3, 40, 8, nil)
+	a := bad.Dict.Intern(2, 30, 5, nil)
+	r := bad.Dict.Intern(1, 999, 999, map[int32]int64{a: 2, b: 1})
+	bad.AddRoot(r)
+	profs[1] = bad
+	if _, err := Stitch(profs, wins); err == nil {
+		t.Fatal("stitch accepted diverged shards")
+	}
+}

@@ -1,0 +1,251 @@
+// Stitching complementary depth-window profiles back into one full-depth
+// profile. A naive Profile.Merge of the K shard profiles would keep K
+// separate roots, each carrying the serial cp = work fallback for its
+// out-of-window levels, which pollutes every work-weighted metric the
+// planner computes. Instead the K region trees — structurally identical,
+// because every shard replays the same deterministic execution — are
+// co-walked, and each node's critical path is taken from the one shard
+// whose window owns that node's depth. The result has exactly the full
+// run's per-region work and critical-path values.
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"kremlin/internal/profile"
+)
+
+// Stitch merges profiles collected over the complementary depth windows
+// wins (profs[i] collected over wins[i]) into a single full-depth profile.
+// Every shard must come from the same deterministic execution; divergence
+// is reported as an error.
+func Stitch(profs []*profile.Profile, wins []Window) (*profile.Profile, error) {
+	if len(profs) == 0 || len(profs) != len(wins) {
+		return nil, fmt.Errorf("parallel: %d profiles for %d windows", len(profs), len(wins))
+	}
+	if len(profs) == 1 {
+		return profs[0], nil
+	}
+	for s := 1; s < len(profs); s++ {
+		if len(profs[s].Roots) != len(profs[0].Roots) {
+			return nil, fmt.Errorf("parallel: shard %d has %d roots, shard 0 has %d",
+				s, len(profs[s].Roots), len(profs[0].Roots))
+		}
+	}
+	st := &stitcher{
+		profs:  profs,
+		wins:   wins,
+		hashes: make([][]uint64, len(profs)),
+		out:    profile.New(),
+		memo:   make(map[string]int32),
+		cap:    wins[len(wins)-1].Hi,
+	}
+	for s, p := range profs {
+		st.hashes[s] = structHashes(p.Dict)
+	}
+	tuple := make([]int32, len(profs))
+	for i := range profs[0].Roots {
+		for s, p := range profs {
+			tuple[s] = p.Roots[i]
+		}
+		c, err := st.node(0, tuple)
+		if err != nil {
+			return nil, err
+		}
+		st.out.AddRoot(c)
+	}
+	// Interning during the co-walk counted each unique region shape once;
+	// restore the true dynamic-instance count (identical in every shard).
+	st.out.Dict.RawCount = profs[0].Dict.RawCount
+	return st.out, nil
+}
+
+type stitcher struct {
+	profs  []*profile.Profile
+	wins   []Window
+	hashes [][]uint64 // per shard: window-invariant structural hash per char
+	out    *profile.Profile
+	memo   map[string]int32
+	cap    int // levels ≥ cap are untracked in every shard (cp = work)
+}
+
+// owner returns the shard whose window contains depth level idx.
+func (st *stitcher) owner(idx int) int {
+	for s, w := range st.wins {
+		if idx >= w.Lo && idx < w.Hi {
+			return s
+		}
+	}
+	// Beyond the cap every shard recorded the cp = work fallback; any
+	// shard's value is the right one.
+	return len(st.wins) - 1
+}
+
+func (st *stitcher) memoKey(idx int, chars []int32) string {
+	// Nodes deeper than the cap are depth-independent (no shard tracked
+	// them), so clamping idx lets deep recursions share memo entries.
+	if idx > st.cap {
+		idx = st.cap
+	}
+	buf := make([]byte, 0, 4+5*len(chars))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(idx))
+	buf = append(buf, tmp[:n]...)
+	for _, c := range chars {
+		n = binary.PutUvarint(tmp[:], uint64(c))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// node stitches the region-tree node at depth level idx whose per-shard
+// dictionary characters are chars, returning its character in the output
+// dictionary. Children are aligned across shards by window-invariant
+// structural hash; within a hash group, each shard's char classes are
+// zipped in char order, which is exact whenever structurally identical
+// siblings have identical critical paths (always true for deterministic
+// replays of the same execution point).
+func (st *stitcher) node(idx int, chars []int32) (int32, error) {
+	key := st.memoKey(idx, chars)
+	if c, ok := st.memo[key]; ok {
+		return c, nil
+	}
+	k := len(chars)
+	e0 := st.profs[0].Dict.Entries[chars[0]]
+	for s := 1; s < k; s++ {
+		es := st.profs[s].Dict.Entries[chars[s]]
+		if es.StaticID != e0.StaticID || es.Work != e0.Work {
+			return 0, fmt.Errorf("parallel: shards 0 and %d diverged at depth %d (region %d/%d, work %d/%d)",
+				s, idx, e0.StaticID, es.StaticID, e0.Work, es.Work)
+		}
+	}
+	own := st.owner(idx)
+	cp := st.profs[own].Dict.Entries[chars[own]].CP
+
+	// Group each shard's compressed child classes by the structural hash of
+	// the dynamic children they stand for.
+	type group struct {
+		total int64
+		per   [][]profile.Child // per shard, char-ascending
+	}
+	groups := make(map[uint64]*group)
+	var order []uint64
+	for s := 0; s < k; s++ {
+		for _, ch := range st.profs[s].Dict.Entries[chars[s]].Children {
+			h := st.hashes[s][ch.Char]
+			g := groups[h]
+			if g == nil {
+				if s != 0 {
+					return 0, fmt.Errorf("parallel: shard %d has child structure at depth %d absent from shard 0", s, idx+1)
+				}
+				g = &group{per: make([][]profile.Child, k)}
+				groups[h] = g
+				order = append(order, h)
+			}
+			g.per[s] = append(g.per[s], ch)
+			if s == 0 {
+				g.total += ch.Count
+			}
+		}
+	}
+
+	kids := make(map[int32]int64, len(order))
+	tuple := make([]int32, k)
+	pos := make([]int, k)
+	rem := make([]int64, k)
+	for _, h := range order {
+		g := groups[h]
+		for s := 0; s < k; s++ {
+			var tot int64
+			for _, c := range g.per[s] {
+				tot += c.Count
+			}
+			if tot != g.total {
+				return 0, fmt.Errorf("parallel: shard %d diverged at depth %d: child group has %d instances, shard 0 has %d",
+					s, idx+1, tot, g.total)
+			}
+			pos[s] = 0
+			rem[s] = g.per[s][0].Count
+		}
+		// Zip the per-shard class runs: each segment where every shard's
+		// class is constant becomes one stitched child class.
+		for n := g.total; n > 0; {
+			seg := n
+			for s := 0; s < k; s++ {
+				if rem[s] < seg {
+					seg = rem[s]
+				}
+				tuple[s] = g.per[s][pos[s]].Char
+			}
+			cc, err := st.node(idx+1, tuple)
+			if err != nil {
+				return 0, err
+			}
+			kids[cc] += seg
+			n -= seg
+			for s := 0; s < k; s++ {
+				if rem[s] -= seg; rem[s] == 0 && n > 0 {
+					pos[s]++
+					rem[s] = g.per[s][pos[s]].Count
+				}
+			}
+		}
+	}
+
+	c := st.out.Dict.Intern(e0.StaticID, e0.Work, cp, kids)
+	st.memo[key] = c
+	return c, nil
+}
+
+// structHashes computes a window-invariant structural hash for every
+// character of a shard dictionary: it folds the static region, the work,
+// and the multiset of child hashes — but never the critical path, which is
+// the one field that differs between depth windows. Identical dynamic
+// subtrees therefore hash identically in every shard.
+func structHashes(d *profile.Dict) []uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hs := make([]uint64, len(d.Entries))
+	type hc struct {
+		h uint64
+		n int64
+	}
+	var pairs []hc
+	for c, e := range d.Entries { // children intern before parents
+		pairs = pairs[:0]
+		for _, k := range e.Children {
+			pairs = append(pairs, hc{hs[k.Char], k.Count})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].h < pairs[j].h })
+		// Merge classes sharing a structural hash (CP-divergent twins in
+		// this shard's view) so the multiset matches shards that view them
+		// as one class.
+		merged := pairs[:0]
+		for _, p := range pairs {
+			if m := len(merged); m > 0 && merged[m-1].h == p.h {
+				merged[m-1].n += p.n
+			} else {
+				merged = append(merged, p)
+			}
+		}
+		h := uint64(offset64)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xFF
+				h *= prime64
+			}
+		}
+		mix(uint64(e.StaticID))
+		mix(e.Work)
+		for _, p := range merged {
+			mix(p.h)
+			mix(uint64(p.n))
+		}
+		hs[c] = h
+	}
+	return hs
+}

@@ -1,0 +1,115 @@
+package shadow
+
+import "testing"
+
+// Edge cases of Memory.Free: ranges straddling page boundaries, sub-page
+// frees, double frees, and the page accounting after whole pages are
+// released (they move to the pool and must come back clean).
+
+func fillRange(m *Memory, lo, hi, stride uint64) {
+	for a := lo; a < hi; a += stride {
+		m.WriteVec(a, Vec{{Time: a + 1, Tag: 7}}, 1)
+	}
+}
+
+func TestFreeStraddlesPageBoundary(t *testing.T) {
+	m := NewMemory()
+	fillRange(m, 0, 2*pageSize, 64)
+	// Free the back half of page 0 and the front half of page 1: both
+	// pages survive (partially live), only the range is cleared.
+	m.Free(pageSize/2, pageSize)
+	if m.NumPages() != 2 {
+		t.Fatalf("partial frees released pages: NumPages = %d, want 2", m.NumPages())
+	}
+	for _, a := range []uint64{0, pageSize/2 - 64} {
+		if m.ReadVec(a) == nil {
+			t.Errorf("addr %#x below the range lost its shadow", a)
+		}
+	}
+	for _, a := range []uint64{pageSize / 2, pageSize, 3*pageSize/2 - 64} {
+		if m.ReadVec(a) != nil {
+			t.Errorf("addr %#x inside the freed range still shadowed", a)
+		}
+	}
+	for a := uint64(3 * pageSize / 2); a < 2*pageSize; a += 64 {
+		if m.ReadVec(a) == nil {
+			t.Fatalf("addr %#x above the range lost its shadow", a)
+		}
+	}
+}
+
+func TestFreeSubPageRange(t *testing.T) {
+	m := NewMemory()
+	fillRange(m, 0, pageSize, 1)
+	m.Free(10, 5) // clears [10, 15) only
+	for a := uint64(0); a < pageSize; a++ {
+		got := m.ReadVec(a)
+		if a >= 10 && a < 15 {
+			if got != nil {
+				t.Fatalf("addr %d inside sub-page free still shadowed", a)
+			}
+		} else if got == nil {
+			t.Fatalf("addr %d outside sub-page free lost its shadow", a)
+		}
+	}
+	if m.NumPages() != 1 {
+		t.Fatalf("sub-page free changed page count: %d", m.NumPages())
+	}
+}
+
+func TestFreeDouble(t *testing.T) {
+	m := NewMemory()
+	fillRange(m, 0, 2*pageSize, 128)
+	m.Free(0, 2*pageSize)
+	if m.NumPages() != 0 {
+		t.Fatalf("NumPages after full free = %d, want 0", m.NumPages())
+	}
+	// Freeing again — whole range, then a sub-range — must be a no-op.
+	m.Free(0, 2*pageSize)
+	m.Free(100, 10)
+	if m.NumPages() != 0 {
+		t.Fatalf("double free resurrected pages: %d", m.NumPages())
+	}
+	if m.ReadVec(128) != nil {
+		t.Fatal("double free resurrected shadow state")
+	}
+}
+
+// TestFreeInvalidatesPageCache: the one-entry page cache must not serve a
+// page that Free released.
+func TestFreeInvalidatesPageCache(t *testing.T) {
+	m := NewMemory()
+	m.WriteVec(100, Vec{{1, 1}}, 1) // page 0 is now the cached page
+	m.Free(0, pageSize)
+	if got := m.ReadVec(100); got != nil {
+		t.Fatalf("read through stale page cache returned %v", got)
+	}
+	if m.NumPages() != 0 {
+		t.Fatalf("NumPages = %d, want 0", m.NumPages())
+	}
+}
+
+// TestFreedPageComesBackClean: pages recycled through the pool must not
+// leak the previous tenant's vectors.
+func TestFreedPageComesBackClean(t *testing.T) {
+	m := NewMemory()
+	fillRange(m, 0, pageSize, 1)
+	m.Free(0, pageSize)
+	// Next page allocation draws from the pool (different page index so
+	// the slot offsets line up with the old contents).
+	m.WriteVec(5*pageSize+3, Vec{{9, 9}}, 1)
+	if m.NumPages() != 1 {
+		t.Fatalf("NumPages = %d, want 1", m.NumPages())
+	}
+	for a := uint64(5 * pageSize); a < 6*pageSize; a++ {
+		if a == 5*pageSize+3 {
+			continue
+		}
+		if got := m.ReadVec(a); got != nil {
+			t.Fatalf("recycled page leaked stale vector at %#x: %v", a, got)
+		}
+	}
+	if got := m.ReadVec(5*pageSize + 3); got == nil || got[0].Time != 9 {
+		t.Fatalf("write to recycled page lost: %v", got)
+	}
+}

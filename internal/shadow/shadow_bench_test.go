@@ -1,0 +1,86 @@
+package shadow
+
+import "testing"
+
+// The shadow write/read path runs once per executed load/store, so its
+// per-operation allocation behaviour dominates HCPA overhead. These
+// benchmarks pin the steady-state costs the hot-path rewrite targets:
+// run with -benchmem and compare allocs/op against the seed numbers in
+// EXPERIMENTS.md / CI artifacts.
+
+const benchDepth = 8
+
+func benchVec() Vec {
+	v := make(Vec, benchDepth)
+	for i := range v {
+		v[i] = Entry{Time: uint64(i + 1), Tag: uint64(i + 100)}
+	}
+	return v
+}
+
+// BenchmarkWriteVecSteadyState models a loop body rewriting the same small
+// working set over and over — the common case, where the rewrite must not
+// allocate at all.
+func BenchmarkWriteVecSteadyState(b *testing.B) {
+	m := NewMemory()
+	src := benchVec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.WriteVec(uint64(i&1023), src, benchDepth)
+	}
+}
+
+// BenchmarkWriteVecColdPages models a streaming workload touching fresh
+// pages (array initialization): page allocation is amortized but the
+// per-address cost must stay flat.
+func BenchmarkWriteVecColdPages(b *testing.B) {
+	src := benchVec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m *Memory
+	for i := 0; i < b.N; i++ {
+		if i&0xFFFF == 0 {
+			m = NewMemory() // bound live pages; cost amortizes out
+		}
+		m.WriteVec(uint64(i&0xFFFF), src, benchDepth)
+	}
+}
+
+// BenchmarkReadAfterWrite interleaves stores and loads over a small strided
+// working set, the load/store mix Step drives.
+func BenchmarkReadAfterWrite(b *testing.B) {
+	m := NewMemory()
+	src := benchVec()
+	for a := uint64(0); a < 4096; a += 8 {
+		m.WriteVec(a, src, benchDepth)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		a := uint64(i*8) & 4095
+		s := m.Load(a)
+		sink += s.Read(benchDepth-1, uint64(benchDepth-1+100))
+		m.WriteVec(a, src, benchDepth)
+	}
+	_ = sink
+}
+
+// BenchmarkFreeReuse models the per-call frame free the interpreter issues:
+// allocate a span, shadow it, free it, repeat. Freed page storage should be
+// recycled, not re-allocated.
+func BenchmarkFreeReuse(b *testing.B) {
+	m := NewMemory()
+	src := benchVec()
+	const span = 2 * pageSize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(1 << 16)
+		for a := base; a < base+span; a += 512 {
+			m.WriteVec(a, src, benchDepth)
+		}
+		m.Free(base, span)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"kremlin/internal/irbuild"
 	"kremlin/internal/kremlib"
 	"kremlin/internal/opt"
+	"kremlin/internal/parallel"
 	"kremlin/internal/parser"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
@@ -147,6 +148,25 @@ func (p *Program) RunGprof(cfg *RunConfig) (*interp.Result, error) {
 // kremlin-cc-built binary.
 func (p *Program) Profile(cfg *RunConfig) (*profile.Profile, *interp.Result, error) {
 	res, err := interp.Run(p.Module, p.interpConfig(cfg, interp.HCPA))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Profile, res, nil
+}
+
+// ProfileSharded splits HCPA collection across shards complementary
+// region-depth windows executed concurrently (each with its own runtime and
+// shadow memory) and stitches the windowed profiles into one full-depth
+// profile. A probe pre-pass sizes the windows so the tracking cost is
+// balanced. shards ≤ 1 degenerates to one sequential full-window run.
+func (p *Program) ProfileSharded(cfg *RunConfig, shards int) (*profile.Profile, *parallel.Result, error) {
+	pc := parallel.Config{Shards: shards}
+	if cfg != nil {
+		pc.Out = cfg.Out
+		pc.MaxSteps = cfg.MaxSteps
+		pc.MaxDepth = cfg.MaxDepth
+	}
+	res, err := parallel.Run(p.Module, p.Regions, p.Instr, pc)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,79 @@
+package kremlin_test
+
+// Equivalence property: profiling K complementary depth windows
+// concurrently and stitching the windowed profiles must reproduce the
+// full-depth profile exactly — same region ranking, same speedup
+// estimates, same aggregate metrics. This is the correctness contract that
+// makes -shards safe to use by default.
+
+import (
+	"math"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/planner"
+)
+
+func TestShardedEquivalence(t *testing.T) {
+	benches := bench.All()
+	if testing.Short() {
+		benches = benches[:3]
+	}
+	for _, bm := range benches {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := kremlin.Compile(bm.Name+".kr", bm.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, fullRes, err := prog.Profile(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullPlan := prog.Plan(full, planner.OpenMP()).Render()
+			fullSum := prog.Summarize(full)
+
+			for _, k := range []int{2, 3} {
+				prof, res, err := prog.ProfileSharded(nil, k)
+				if err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				if len(res.Windows) < 2 {
+					t.Fatalf("K=%d: expected ≥2 windows, got %v", k, res.Windows)
+				}
+				if got := res.Work(); got != fullRes.Work {
+					t.Errorf("K=%d: sharded work %d, full %d", k, got, fullRes.Work)
+				}
+				if prof.TotalWork() != full.TotalWork() {
+					t.Errorf("K=%d: stitched TotalWork %d, full %d", k, prof.TotalWork(), full.TotalWork())
+				}
+				if prof.Dict.RawCount != full.Dict.RawCount {
+					t.Errorf("K=%d: stitched RawCount %d, full %d", k, prof.Dict.RawCount, full.Dict.RawCount)
+				}
+				if plan := prog.Plan(prof, planner.OpenMP()).Render(); plan != fullPlan {
+					t.Errorf("K=%d: plan diverged from full-depth run\n--- full ---\n%s\n--- sharded ---\n%s", k, fullPlan, plan)
+				}
+				sum := prog.Summarize(prof)
+				for id, st := range sum.Stats {
+					fst := fullSum.Stats[id]
+					if (st == nil) != (fst == nil) {
+						t.Errorf("K=%d: region %d executed in one profile only", k, id)
+						continue
+					}
+					if st == nil {
+						continue
+					}
+					if st.TotalWork != fst.TotalWork || st.TotalCP != fst.TotalCP || st.Instances != fst.Instances {
+						t.Errorf("K=%d: region %d aggregates diverged: work %d/%d cp %d/%d n %d/%d",
+							k, id, st.TotalWork, fst.TotalWork, st.TotalCP, fst.TotalCP, st.Instances, fst.Instances)
+					}
+					if math.Abs(st.SelfP-fst.SelfP) > 1e-9*math.Max(1, fst.SelfP) {
+						t.Errorf("K=%d: region %d self-parallelism diverged: %g vs %g", k, id, st.SelfP, fst.SelfP)
+					}
+				}
+			}
+		})
+	}
+}
