@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|ablation|personality]
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|ablation|personality|fuzz]
 //	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
+//	              [-fuzz-n 200] [-seed 1] [-fuzz-out dir]
 //	              [-cpuprofile f] [-memprofile f]
 //
 // The shards experiment measures the parallel depth-window sharded
 // profiler (wall-clock, allocations, plan equivalence vs the sequential
 // run); -json writes its rows as a machine-readable artifact.
+//
+// The fuzz experiment runs a differential/metamorphic fuzzing campaign:
+// -fuzz-n generated programs (seeds -seed .. -seed+n-1) through every
+// pipeline configuration, reporting generator construct coverage and
+// writing shrunk reproducers for any oracle failure to -fuzz-out. The
+// fuzz experiment is excluded from -experiment all (it is a correctness
+// campaign, not an evaluation table); exit status 1 if any check fails.
 package main
 
 import (
@@ -20,16 +28,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 
 	"kremlin/internal/eval"
+	"kremlin/internal/krfuzz"
 )
 
 var (
 	benches     = flag.String("benches", "", "comma-separated benchmark subset for the shards experiment (default: all)")
 	shardCounts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shards experiment")
-	jsonOut     = flag.String("json", "", "write the shards experiment rows as JSON to this path")
+	jsonOut     = flag.String("json", "", "write the shards or fuzz experiment results as JSON to this path")
+	fuzzN       = flag.Int("fuzz-n", 200, "number of generated programs for the fuzz experiment")
+	fuzzSeed    = flag.Int64("seed", 1, "base generator seed for the fuzz experiment")
+	fuzzOut     = flag.String("fuzz-out", ".", "directory for shrunk fuzz reproducers")
 )
 
 func main() {
@@ -71,6 +84,14 @@ func main() {
 	run("shards", shards)
 	run("ablation", ablation)
 	run("personality", personality)
+	// The fuzz campaign only runs when asked for by name: it is a
+	// correctness check, not one of the paper's evaluation tables.
+	if *which == "fuzz" {
+		if err := fuzz(); err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-bench: fuzz: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
@@ -336,6 +357,66 @@ func shards() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func fuzz() error {
+	header(fmt.Sprintf("Fuzzing campaign: %d programs, seeds %d..%d, differential & metamorphic oracle",
+		*fuzzN, *fuzzSeed, *fuzzSeed+int64(*fuzzN)-1))
+	if err := os.MkdirAll(*fuzzOut, 0o755); err != nil {
+		return err
+	}
+	lastTick := 0
+	res, err := krfuzz.RunCampaign(krfuzz.CampaignConfig{
+		N:      *fuzzN,
+		Seed:   *fuzzSeed,
+		OutDir: *fuzzOut,
+		Progress: func(done, failed int) {
+			// One status line per ~10% so long campaigns show life.
+			if step := *fuzzN / 10; step > 0 && done/step > lastTick {
+				lastTick = done / step
+				fmt.Printf("  checked %d/%d (%d failing)\n", done, *fuzzN, failed)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\npassed %d / %d programs\n", res.Passed, res.N)
+	fmt.Println("\ngenerator construct coverage (occurrences across the campaign):")
+	// Deterministic order: sort the construct names.
+	names := make([]string, 0, len(res.Coverage))
+	for name := range res.Coverage {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-14s %6d\n", name, res.Coverage[name])
+	}
+	if len(res.Missing) > 0 {
+		fmt.Printf("constructs never generated: %s\n", strings.Join(res.Missing, ", "))
+	} else {
+		fmt.Println("all constructs covered.")
+	}
+
+	for _, f := range res.Failures {
+		fmt.Printf("\nFAIL seed %d: check %q: %s\n", f.Seed, f.Check, f.Detail)
+		fmt.Printf("  reproducer (%d bytes, shrunk from %d): %s\n", f.ReproLen, f.OrigLen, f.Path)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d programs failed the oracle", res.Failed, res.N)
 	}
 	return nil
 }

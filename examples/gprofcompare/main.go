@@ -7,6 +7,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,42 +15,11 @@ import (
 	"kremlin/internal/planner"
 )
 
-const src = `
-float state[6000];
-float field[3000];
-float checksum;
-
-// Hotspot #1 by time: a serial recurrence. gprof ranks it first;
-// parallelizing it is wasted effort.
-void simulate(int steps) {
-	for (int t = 1; t < steps; t++) {
-		state[t] = state[t-1] * 0.9995 + sin(float(t) * 0.001);
-	}
-}
-
-// Hotspot #2 by time: fully parallel. This is where the speedup is.
-void relax(int n) {
-	for (int i = 0; i < n; i++) {
-		field[i] = sqrt(fabs(field[i])) + float(i % 17) * 0.25;
-	}
-}
-
-// A small reduction tail.
-void fold(int n) {
-	for (int i = 0; i < n; i++) {
-		checksum = checksum + field[i] + state[i % 6000];
-	}
-}
-
-int main() {
-	state[0] = 1.0;
-	simulate(6000);
-	relax(3000);
-	fold(3000);
-	print("checksum", checksum);
-	return 0;
-}
-`
+// The Kr source lives in its own file so tests (golden plans, fuzz-target
+// corpus) can load the identical program from disk.
+//
+//go:embed compare.kr
+var src string
 
 func main() {
 	prog, err := kremlin.Compile("compare.kr", src)

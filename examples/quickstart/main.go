@@ -4,6 +4,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"os"
@@ -12,44 +13,11 @@ import (
 	"kremlin/internal/planner"
 )
 
-const src = `
-float a[2000];
-float b[2000];
-float total;
-
-// Independent iterations: a textbook DOALL loop.
-void scale(int n) {
-	for (int i = 0; i < n; i++) {
-		b[i] = 3.0 * a[i] + 1.0;
-	}
-}
-
-// Loop-carried dependence: b[i] needs b[i-1]. Serial.
-void smooth(int n) {
-	for (int i = 1; i < n; i++) {
-		b[i] = 0.5 * (b[i] + b[i-1]);
-	}
-}
-
-// A reduction: parallel once the accumulation dependence is broken.
-void sum(int n) {
-	for (int i = 0; i < n; i++) {
-		total = total + b[i];
-	}
-}
-
-int main() {
-	int n = 2000;
-	for (int i = 0; i < n; i++) {
-		a[i] = float(i % 13);
-	}
-	scale(n);
-	smooth(n);
-	sum(n);
-	print("total", total);
-	return 0;
-}
-`
+// The Kr source lives in its own file so tests (golden plans, fuzz-target
+// corpus) can load the identical program from disk.
+//
+//go:embed quickstart.kr
+var src string
 
 func main() {
 	// 1. Compile (the library form of `make CC=kremlin-cc`).

@@ -1,0 +1,104 @@
+package kremlin_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/planner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden plan snapshots under testdata/golden/")
+
+// goldenPrograms maps each example program to its Kr source. The
+// quickstart and gprofcompare sources are loaded from the .kr files the
+// example binaries embed; tracking, whatif, and npb use the same bench
+// sources their main.go files load.
+func goldenPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	load := func(path string) string {
+		src, err := os.ReadFile(filepath.FromSlash(path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(src)
+	}
+	return map[string]string{
+		"quickstart":   load("examples/quickstart/quickstart.kr"),
+		"gprofcompare": load("examples/gprofcompare/compare.kr"),
+		"tracking":     bench.Tracking().Source,
+		"whatif":       bench.ByName("cg").Source, // examples/whatif profiles cg
+		"npb":          bench.ByName("sp").Source, // examples/npb defaults to sp
+	}
+}
+
+// TestGoldenPlans snapshots the rendered OpenMP plan for every example
+// program. The plan is the tool's user-facing answer; any change to the
+// pipeline that moves a recommendation, reorders the ranking, or shifts an
+// estimate shows up as a readable diff here. Refresh intentionally with
+//
+//	go test -run TestGoldenPlans -update .
+func TestGoldenPlans(t *testing.T) {
+	for name, src := range goldenPrograms(t) {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			prog, err := kremlin.Compile(name+".kr", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, _, err := prog.Profile(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.Plan(prof, planner.OpenMP()).Render()
+
+			path := filepath.Join("testdata", "golden", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan diverged from golden snapshot %s\n--- got ---\n%s--- want ---\n%s\n(rerun with -update if the change is intentional)",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenPlansStable guards the snapshot mechanism itself: two
+// independent profile+plan runs of the same program must render
+// identically, otherwise the golden files would flake.
+func TestGoldenPlansStable(t *testing.T) {
+	src := goldenPrograms(t)["quickstart"]
+	render := func() string {
+		prog, err := kremlin.Compile("quickstart.kr", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, _, err := prog.Profile(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog.Plan(prof, planner.OpenMP()).Render()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("plan rendering is not deterministic:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "scale") {
+		t.Fatalf("quickstart plan misses the DOALL loop in scale():\n%s", a)
+	}
+}

@@ -1,0 +1,127 @@
+package instrument_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/instrument"
+	"kremlin/internal/krfuzz"
+	"kremlin/internal/regions"
+)
+
+// checkWellFormed replays every CFG edge's precomputed EdgeEvents against
+// the region nest paths and asserts the events transform the source
+// block's open-region stack exactly into the destination block's:
+//
+//   - exits come innermost-first and each must match the current stack top
+//   - an iterated body region must be the innermost open region after exits
+//   - enters come outermost-first and each entered region's parent must be
+//     the current stack top
+//   - the resulting stack must equal NestPath[to] element for element
+//
+// With the entry block sitting directly in the function Root, it follows
+// by induction over paths that every region Enter the interpreter performs
+// has a matching Exit on all CFG paths (returns pop the remainder with the
+// frame) — the invariant the HCPA runtime's region stack depends on.
+func checkWellFormed(t *testing.T, name string, mi *instrument.Module) {
+	t.Helper()
+	for f, fi := range mi.PerFunc {
+		info := fi.Info
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		where := func(b fmt.Stringer, s fmt.Stringer) string {
+			return fmt.Sprintf("%s: %s: edge %s->%s", name, f.Name, b, s)
+		}
+
+		entry := f.Blocks[0]
+		ep := info.NestPath[entry]
+		if len(ep) != 1 || ep[0] != info.Root {
+			t.Errorf("%s: %s: entry block path is %d regions deep; must be exactly [Root]", name, f.Name, len(ep))
+		}
+
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs {
+				ev := fi.EdgeEvents(b, s)
+				stack := append([]*regions.Region{}, info.NestPath[b]...)
+				ok := true
+				for _, r := range ev.Exit {
+					if len(stack) == 0 || stack[len(stack)-1] != r {
+						t.Errorf("%s: exit of region %d does not match the innermost open region", where(b, s), r.ID)
+						ok = false
+						break
+					}
+					stack = stack[:len(stack)-1]
+				}
+				if !ok {
+					continue
+				}
+				if ev.Iterate != nil {
+					if ev.Iterate.Kind != regions.BodyRegion {
+						t.Errorf("%s: iterated region %d is not a body region", where(b, s), ev.Iterate.ID)
+					}
+					if len(stack) == 0 || stack[len(stack)-1] != ev.Iterate {
+						t.Errorf("%s: iterated region %d is not the innermost open region after exits", where(b, s), ev.Iterate.ID)
+						continue
+					}
+				}
+				for _, r := range ev.Enter {
+					if len(stack) == 0 || r.Parent != stack[len(stack)-1] {
+						t.Errorf("%s: entered region %d is not a child of the innermost open region", where(b, s), r.ID)
+						ok = false
+						break
+					}
+					stack = append(stack, r)
+				}
+				if !ok {
+					continue
+				}
+				want := info.NestPath[s]
+				if len(stack) != len(want) {
+					t.Errorf("%s: events land on a %d-deep stack, destination nests %d regions", where(b, s), len(stack), len(want))
+					continue
+				}
+				for i := range want {
+					if stack[i] != want[i] {
+						t.Errorf("%s: stack[%d] is region %d, destination path has %d", where(b, s), i, stack[i].ID, want[i].ID)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBenchInstrumentationWellFormed checks the invariant on every
+// evaluation workload — the region structures the paper's results rest on.
+func TestBenchInstrumentationWellFormed(t *testing.T) {
+	suite := append(bench.All(), bench.Tracking())
+	for _, b := range suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := kremlin.Compile(b.Name+".kr", b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWellFormed(t, b.Name, prog.Instr)
+		})
+	}
+}
+
+// TestGeneratedInstrumentationWellFormed checks the invariant on 50
+// generated programs, whose loop/branch/early-exit mixtures reach edge
+// shapes (break out of nested loops, return from inside a body region)
+// the hand-written suite may not.
+func TestGeneratedInstrumentationWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := krfuzz.Generate(seed, krfuzz.Default())
+		src := p.Source()
+		prog, err := kremlin.Compile("gen.kr", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n--- program ---\n%s", seed, err, src)
+		}
+		checkWellFormed(t, fmt.Sprintf("seed-%d", seed), prog.Instr)
+	}
+}

@@ -32,7 +32,11 @@ type active struct {
 	instance  uint64
 	entryWork uint64
 	maxTime   uint64
-	children  map[int32]int64
+	// children is the run-length-encoded child sequence in execution
+	// order: consecutive identical child summaries extend the last run.
+	// The order is load-bearing — the depth-window stitcher aligns shard
+	// dictionaries by it (see profile.InternRuns).
+	children []profile.Child
 }
 
 // Runtime is the live profiling state of one instrumented execution.
@@ -119,7 +123,6 @@ func (rt *Runtime) EnterRegion(r *regions.Region) {
 		region:    r,
 		instance:  rt.nextInstance,
 		entryWork: rt.totalWork,
-		children:  make(map[int32]int64, 4),
 	})
 	rt.syncTags()
 }
@@ -141,9 +144,14 @@ func (rt *Runtime) ExitRegion() int32 {
 	if cp == 0 {
 		cp = 1
 	}
-	char := rt.prof.Dict.Intern(int32(top.region.ID), work, cp, top.children)
+	char := rt.prof.Dict.InternRuns(int32(top.region.ID), work, cp, top.children)
 	if len(rt.stack) > 0 {
-		rt.stack[len(rt.stack)-1].children[char]++
+		parent := &rt.stack[len(rt.stack)-1]
+		if n := len(parent.children); n > 0 && parent.children[n-1].Char == char {
+			parent.children[n-1].Count++
+		} else {
+			parent.children = append(parent.children, profile.Child{Char: char, Count: 1})
+		}
 	} else {
 		rt.prof.AddRoot(char)
 	}

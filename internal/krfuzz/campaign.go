@@ -1,0 +1,95 @@
+package krfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CampaignConfig configures a fuzzing campaign: N seeded programs through
+// the full oracle, with failures shrunk and written to disk.
+type CampaignConfig struct {
+	N            int          // number of programs (seeds Seed..Seed+N-1)
+	Seed         int64        // base seed
+	Gen          Config       // generator shape (zero value → Default())
+	Oracle       OracleConfig // oracle tuning
+	ShrinkBudget int          // max oracle runs spent shrinking each failure
+	OutDir       string       // where reproducers are written ("" = cwd)
+	// Progress, if non-nil, is called after each program with the running
+	// pass/fail counts.
+	Progress func(done, failed int)
+}
+
+// CampaignFailure records one oracle violation found by a campaign.
+type CampaignFailure struct {
+	Seed     int64  `json:"seed"`
+	Check    string `json:"check"`
+	Detail   string `json:"detail"`
+	Repro    string `json:"repro"`      // shrunk reproducer source
+	ReproLen int    `json:"repro_len"`  // bytes, after shrinking
+	OrigLen  int    `json:"orig_len"`   // bytes, before shrinking
+	Path     string `json:"repro_path"` // file the reproducer was written to
+}
+
+// CampaignResult summarizes a campaign for reporting (JSON-marshalable).
+type CampaignResult struct {
+	N        int                `json:"n"`
+	Seed     int64              `json:"seed"`
+	Passed   int                `json:"passed"`
+	Failed   int                `json:"failed"`
+	Coverage map[string]int     `json:"construct_coverage"` // construct → occurrences
+	Missing  []string           `json:"constructs_missing"` // never generated
+	Failures []*CampaignFailure `json:"failures,omitempty"`
+}
+
+// RunCampaign generates and checks cfg.N programs. It never stops early:
+// every seed is checked so one failure does not mask others.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	gen := cfg.Gen
+	if gen == (Config{}) {
+		gen = Default()
+	}
+	res := &CampaignResult{N: cfg.N, Seed: cfg.Seed, Coverage: map[string]int{}}
+	var cov Coverage
+	for i := 0; i < cfg.N; i++ {
+		seed := cfg.Seed + int64(i)
+		p := Generate(seed, gen)
+		cov.Merge(p.Coverage)
+		src := p.Source()
+		err := Check(fmt.Sprintf("krfuzz-%d.kr", seed), src, cfg.Oracle)
+		if err == nil {
+			res.Passed++
+		} else {
+			res.Failed++
+			f, ok := err.(*Failure)
+			if !ok {
+				f = &Failure{Source: src, Check: "internal", Detail: err.Error()}
+			}
+			f.Seed = seed
+			cf := &CampaignFailure{
+				Seed:    seed,
+				Check:   f.Check,
+				Detail:  f.Detail,
+				OrigLen: len(src),
+			}
+			cf.Repro = Shrink(f, cfg.Oracle, cfg.ShrinkBudget)
+			cf.ReproLen = len(cf.Repro)
+			cf.Path = filepath.Join(cfg.OutDir, fmt.Sprintf("krfuzz-repro-%d.kr", seed))
+			header := fmt.Sprintf("// krfuzz reproducer: seed %d, check %q\n// %s\n", seed, f.Check, f.Detail)
+			if werr := os.WriteFile(cf.Path, []byte(header+cf.Repro), 0o644); werr != nil {
+				return res, fmt.Errorf("writing reproducer: %w", werr)
+			}
+			res.Failures = append(res.Failures, cf)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, res.Failed)
+		}
+	}
+	for c := Construct(0); c < NumConstructs; c++ {
+		res.Coverage[c.String()] = cov[c]
+	}
+	for _, c := range cov.Missing() {
+		res.Missing = append(res.Missing, c.String())
+	}
+	return res, nil
+}

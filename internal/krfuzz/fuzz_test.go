@@ -1,0 +1,73 @@
+package krfuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+)
+
+// FuzzPipeline is the native-fuzzing entry point for the whole pipeline:
+// the input is a generator seed, the body is the differential/metamorphic
+// oracle. `go test -fuzz=FuzzPipeline ./internal/krfuzz` explores seeds
+// far beyond the deterministic 200 that run in tier-1.
+//
+// Sharded equivalence is restricted to K=2 here to keep per-input cost
+// low; the campaign (kremlin-bench -experiment fuzz) covers K=2,3,4.
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	cfg := OracleConfig{ShardCounts: []int{2}}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		p := Generate(seed, Default())
+		if err := Check("fuzz.kr", p.Source(), cfg); err != nil {
+			fail := err.(*Failure)
+			t.Fatalf("seed %d: %v\n--- program ---\n%s", seed, err, fail.Source)
+		}
+	})
+}
+
+// FuzzCompileAndRun feeds arbitrary text to the full front end and, when
+// it compiles, to the interpreter. The corpus seeds with every benchmark
+// and example program, so mutation starts from realistic Kr. The
+// contract: diagnostics or clean runs, never panics or hangs. Runtime
+// errors (step-budget exhaustion, out-of-range subscripts mutated in) are
+// legitimate outcomes, not failures.
+func FuzzCompileAndRun(f *testing.F) {
+	for _, b := range bench.All() {
+		f.Add(b.Source)
+	}
+	f.Add(bench.Tracking().Source)
+	for _, kr := range []string{
+		"../../examples/quickstart/quickstart.kr",
+		"../../examples/gprofcompare/compare.kr",
+	} {
+		src, err := os.ReadFile(filepath.FromSlash(kr))
+		if err != nil {
+			f.Fatalf("corpus seed %s: %v", kr, err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("int main() { return 0; }")
+	f.Add("void broken( { if while } )")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := kremlin.Compile("fuzz.kr", src)
+		if err != nil {
+			return // diagnostics are the expected answer for malformed input
+		}
+		// Keep mutated infinite loops bounded: a small step budget turns
+		// them into ordinary errors.
+		cfg := &kremlin.RunConfig{Out: &strings.Builder{}, MaxSteps: 2_000_000}
+		if _, err := prog.Run(cfg); err != nil {
+			return
+		}
+		// A program that runs cleanly must also profile cleanly.
+		if _, _, err := prog.Profile(&kremlin.RunConfig{Out: &strings.Builder{}, MaxSteps: 2_000_000}); err != nil {
+			t.Fatalf("plain run succeeded but profiling failed: %v\n--- program ---\n%s", err, src)
+		}
+	})
+}

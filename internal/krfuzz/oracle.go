@@ -1,0 +1,370 @@
+package krfuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"kremlin"
+	"kremlin/internal/ast"
+	"kremlin/internal/parser"
+	"kremlin/internal/planner"
+	"kremlin/internal/profile"
+	"kremlin/internal/source"
+)
+
+// Failure describes one oracle violation: which check failed and on what
+// program. It satisfies error so oracle results flow through normal error
+// plumbing.
+type Failure struct {
+	Seed   int64  // generating seed, if known (0 for external sources)
+	Source string // full Kr source of the failing program
+	Check  string // the oracle check that failed, e.g. "sharded-equivalence"
+	Detail string // what differed
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("krfuzz oracle: check %q failed: %s", f.Check, f.Detail)
+}
+
+// OracleConfig tunes the differential/metamorphic oracle.
+type OracleConfig struct {
+	// MaxSteps bounds each interpreter execution (0 = 50M). Generated
+	// programs are tiny; the bound exists to turn a hypothetical
+	// non-termination bug into a reported failure instead of a hang.
+	MaxSteps uint64
+	// ShardCounts are the K values checked against the sequential K=1
+	// profile (nil = {2, 3, 4}).
+	ShardCounts []int
+	// SkipSharded drops the sharded-equivalence checks (the most expensive
+	// part) — used by the fuzz-target quick path.
+	SkipSharded bool
+}
+
+func (c OracleConfig) maxSteps() uint64 {
+	if c.MaxSteps == 0 {
+		return 50_000_000
+	}
+	return c.MaxSteps
+}
+
+func (c OracleConfig) shardCounts() []int {
+	if c.ShardCounts == nil {
+		return []int{2, 3, 4}
+	}
+	return c.ShardCounts
+}
+
+// Check runs the full oracle on one Kr program. A nil return means every
+// differential, metamorphic, and invariant check passed; otherwise the
+// error is a *Failure naming the first violated check.
+//
+// The pipeline configurations compared:
+//
+//	plain interpretation  — ground truth for output and work
+//	gprof mode            — instrumented control flow, work-only counters
+//	HCPA mode (K=1)       — full shadow-memory profiling
+//	sharded HCPA K=2,3,4  — concurrent depth-window collection + stitch
+//	optimizer on          — semantics preserved, work never increased
+//	dependence breaking off — profile changes, observable behavior must not
+func Check(name, src string, cfg OracleConfig) error {
+	fail := func(check, format string, args ...interface{}) error {
+		return &Failure{Source: src, Check: check, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	prog, err := kremlin.Compile(name, src)
+	if err != nil {
+		return fail("compile", "%v", err)
+	}
+
+	// Ground truth: uninstrumented run.
+	var plainOut strings.Builder
+	run := func(out *strings.Builder) *kremlin.RunConfig {
+		return &kremlin.RunConfig{Out: out, MaxSteps: cfg.maxSteps()}
+	}
+	plain, err := prog.Run(run(&plainOut))
+	if err != nil {
+		return fail("plain-run", "%v", err)
+	}
+
+	// Differential: gprof instrumentation must not change behavior.
+	var gprofOut strings.Builder
+	gprof, err := prog.RunGprof(run(&gprofOut))
+	if err != nil {
+		return fail("gprof-run", "%v", err)
+	}
+	if gprofOut.String() != plainOut.String() {
+		return fail("gprof-output", "gprof output differs from plain:\n--- plain ---\n%s--- gprof ---\n%s", plainOut.String(), gprofOut.String())
+	}
+	if gprof.Work != plain.Work {
+		return fail("gprof-work", "gprof work %d, plain %d", gprof.Work, plain.Work)
+	}
+
+	// Differential: HCPA instrumentation must not change behavior, and the
+	// profile's total work must equal the executed work.
+	var hcpaOut strings.Builder
+	prof, hres, err := prog.Profile(run(&hcpaOut))
+	if err != nil {
+		return fail("hcpa-run", "%v", err)
+	}
+	if hcpaOut.String() != plainOut.String() {
+		return fail("hcpa-output", "HCPA output differs from plain:\n--- plain ---\n%s--- hcpa ---\n%s", plainOut.String(), hcpaOut.String())
+	}
+	if hres.Work != plain.Work {
+		return fail("hcpa-work", "HCPA work %d, plain %d", hres.Work, plain.Work)
+	}
+	if tw := prof.TotalWork(); tw != plain.Work {
+		return fail("profile-total-work", "profile TotalWork %d, executed work %d", tw, plain.Work)
+	}
+
+	if err := checkProfileInvariants(src, prog, prof); err != nil {
+		return err
+	}
+	if err := checkPlannerBounds(src, prog, prof); err != nil {
+		return err
+	}
+
+	// Determinism: a second sequential profile must serialize to the same
+	// bytes (dictionary construction order included).
+	prof2, _, err := prog.Profile(run(&strings.Builder{}))
+	if err != nil {
+		return fail("determinism", "second profile run failed: %v", err)
+	}
+	b1, b2 := profileBytes(prof), profileBytes(prof2)
+	if !bytes.Equal(b1, b2) {
+		return fail("determinism", "two sequential profiles serialized differently (%d vs %d bytes)", len(b1), len(b2))
+	}
+
+	// Serialization: WriteTo → ReadFrom must round-trip exactly.
+	rt, err := profile.ReadFrom(bytes.NewReader(b1))
+	if err != nil {
+		return fail("serialize-roundtrip", "ReadFrom: %v", err)
+	}
+	if !bytes.Equal(profileBytes(rt), b1) {
+		return fail("serialize-roundtrip", "profile changed across WriteTo/ReadFrom")
+	}
+
+	// Metamorphic: sharded collection at every K must stitch to a profile
+	// indistinguishable from the sequential one.
+	if !cfg.SkipSharded {
+		fullPlan := prog.Plan(prof, planner.OpenMP()).Render()
+		fullSum := prog.Summarize(prof)
+		for _, k := range cfg.shardCounts() {
+			sprof, sres, err := prog.ProfileSharded(run(&strings.Builder{}), k)
+			if err != nil {
+				return fail("sharded-run", "K=%d: %v", k, err)
+			}
+			if got := sres.Work(); got != plain.Work {
+				return fail("sharded-work", "K=%d: sharded work %d, plain %d", k, got, plain.Work)
+			}
+			if sprof.TotalWork() != prof.TotalWork() {
+				return fail("sharded-equivalence", "K=%d: stitched TotalWork %d, sequential %d", k, sprof.TotalWork(), prof.TotalWork())
+			}
+			if sprof.Dict.RawCount != prof.Dict.RawCount {
+				return fail("sharded-equivalence", "K=%d: stitched RawCount %d, sequential %d", k, sprof.Dict.RawCount, prof.Dict.RawCount)
+			}
+			if plan := prog.Plan(sprof, planner.OpenMP()).Render(); plan != fullPlan {
+				return fail("sharded-plan", "K=%d: plan diverged\n--- sequential ---\n%s\n--- sharded ---\n%s", k, fullPlan, plan)
+			}
+			ssum := prog.Summarize(sprof)
+			for id, st := range ssum.Stats {
+				fst := fullSum.Stats[id]
+				if (st == nil) != (fst == nil) {
+					return fail("sharded-equivalence", "K=%d: region %d executed in only one profile", k, id)
+				}
+				if st == nil {
+					continue
+				}
+				if st.TotalWork != fst.TotalWork || st.TotalCP != fst.TotalCP || st.Instances != fst.Instances {
+					return fail("sharded-equivalence", "K=%d: region %d aggregates diverged: work %d/%d cp %d/%d n %d/%d",
+						k, id, st.TotalWork, fst.TotalWork, st.TotalCP, fst.TotalCP, st.Instances, fst.Instances)
+				}
+				if math.Abs(st.SelfP-fst.SelfP) > 1e-9*math.Max(1, fst.SelfP) {
+					return fail("sharded-equivalence", "K=%d: region %d SelfP diverged: %g vs %g", k, id, st.SelfP, fst.SelfP)
+				}
+			}
+		}
+	}
+
+	// Metamorphic: the optimizer must preserve observable behavior and
+	// never add work, and its profile must satisfy the same invariants.
+	oprog, err := kremlin.CompileWith(name, src, kremlin.CompileOptions{Optimize: true})
+	if err != nil {
+		return fail("opt-compile", "%v", err)
+	}
+	var optOut strings.Builder
+	oprof, ores, err := oprog.Profile(run(&optOut))
+	if err != nil {
+		return fail("opt-run", "%v", err)
+	}
+	if optOut.String() != plainOut.String() {
+		return fail("opt-output", "optimized output differs from plain:\n--- plain ---\n%s--- opt ---\n%s", plainOut.String(), optOut.String())
+	}
+	if ores.Work > plain.Work {
+		return fail("opt-work", "optimizer increased work: %d > %d", ores.Work, plain.Work)
+	}
+	if tw := oprof.TotalWork(); tw != ores.Work {
+		return fail("opt-profile-work", "optimized profile TotalWork %d, executed %d", tw, ores.Work)
+	}
+	if err := checkProfileInvariants(src, oprog, oprof); err != nil {
+		return err
+	}
+
+	// Metamorphic: disabling induction/reduction dependence breaking
+	// changes critical paths, never observable behavior or work.
+	dprog, err := kremlin.CompileWith(name, src, kremlin.CompileOptions{DisableDependenceBreaking: true})
+	if err != nil {
+		return fail("nodep-compile", "%v", err)
+	}
+	var depOut strings.Builder
+	dres, err := dprog.Run(run(&depOut))
+	if err != nil {
+		return fail("nodep-run", "%v", err)
+	}
+	if depOut.String() != plainOut.String() {
+		return fail("nodep-output", "output differs with dependence breaking disabled")
+	}
+	if dres.Work != plain.Work {
+		return fail("nodep-work", "work %d with dependence breaking disabled, plain %d", dres.Work, plain.Work)
+	}
+
+	// Printer fixpoint: the canonical rendering of the parse tree must
+	// itself parse, and re-render identically.
+	if err := checkPrintFixpoint(src, prog.AST); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkProfileInvariants verifies the HCPA laws on every dictionary entry
+// and every aggregated region: work ≥ cp ≥ 1, children consistent with the
+// parent, SP/TP ≥ 1, SelfP ≤ TotalP, coverage bounded.
+func checkProfileInvariants(src string, prog *kremlin.Program, prof *profile.Profile) error {
+	fail := func(check, format string, args ...interface{}) error {
+		return &Failure{Source: src, Check: check, Detail: fmt.Sprintf(format, args...)}
+	}
+	entries := prof.Dict.Entries
+	for i, e := range entries {
+		if e.CP < 1 {
+			return fail("invariant-cp", "entry %d (region %d): CP %d < 1", i, e.StaticID, e.CP)
+		}
+		if e.Work < e.CP {
+			return fail("invariant-work-cp", "entry %d (region %d): work %d < cp %d", i, e.StaticID, e.Work, e.CP)
+		}
+		var childWork uint64
+		for _, c := range e.Children {
+			if c.Char < 0 || int(c.Char) >= len(entries) {
+				return fail("invariant-child-ref", "entry %d: child char %d out of range", i, c.Char)
+			}
+			if c.Count <= 0 {
+				return fail("invariant-child-count", "entry %d: child %d count %d", i, c.Char, c.Count)
+			}
+			child := entries[c.Char]
+			if child.CP > e.CP {
+				return fail("invariant-child-cp", "entry %d: child %d cp %d exceeds parent cp %d", i, c.Char, child.CP, e.CP)
+			}
+			childWork += uint64(c.Count) * child.Work
+		}
+		if childWork > e.Work {
+			return fail("invariant-child-work", "entry %d: Σ child work %d exceeds own work %d", i, childWork, e.Work)
+		}
+	}
+	for _, r := range prof.Roots {
+		if r < 0 || int(r) >= len(entries) {
+			return fail("invariant-root", "root char %d out of range", r)
+		}
+	}
+
+	sum := prog.Summarize(prof)
+	for i, em := range sum.Entries {
+		if em.SelfP < 1 {
+			return fail("invariant-selfp", "entry %d: SelfP %g < 1", i, em.SelfP)
+		}
+		if em.TotalP < 1 {
+			return fail("invariant-totalp", "entry %d: TotalP %g < 1", i, em.TotalP)
+		}
+	}
+	for _, st := range sum.Executed {
+		if st.SelfP < 1 {
+			return fail("invariant-region-selfp", "region %s: SelfP %g < 1", st.Region.Label(), st.SelfP)
+		}
+		if st.TotalP < 1 {
+			return fail("invariant-region-totalp", "region %s: TotalP %g < 1", st.Region.Label(), st.TotalP)
+		}
+		if st.SelfP > st.TotalP+1e-9 {
+			return fail("invariant-sp-le-tp", "region %s: SelfP %g > TotalP %g", st.Region.Label(), st.SelfP, st.TotalP)
+		}
+		if st.Coverage < 0 || st.Coverage > 1.0001 {
+			return fail("invariant-coverage", "region %s: coverage %g outside [0,1]", st.Region.Label(), st.Coverage)
+		}
+		if st.Instances <= 0 {
+			return fail("invariant-instances", "region %s: %d instances", st.Region.Label(), st.Instances)
+		}
+	}
+	return nil
+}
+
+// checkPlannerBounds verifies every personality's plan stays inside its
+// mathematical bounds: per-recommendation speedup in [1, 100] (or
+// [1, cores] with a core cap), saved fractions in [0, 1), no duplicate
+// regions, whole-program estimate in [1, 100].
+func checkPlannerBounds(src string, prog *kremlin.Program, prof *profile.Profile) error {
+	fail := func(check, format string, args ...interface{}) error {
+		return &Failure{Source: src, Check: check, Detail: fmt.Sprintf(format, args...)}
+	}
+	capped := planner.OpenMP()
+	capped.Name = "openmp-8core"
+	capped.MaxCores = 8
+	for _, pers := range []planner.Personality{planner.OpenMP(), planner.Cilk(), planner.WorkOnly(), planner.WorkSP(), capped} {
+		plan := prog.Plan(prof, pers)
+		maxSpeedup := 100.0
+		if pers.MaxCores > 0 {
+			maxSpeedup = float64(pers.MaxCores)
+		}
+		seen := map[int]bool{}
+		for _, rec := range plan.Recs {
+			id := rec.Stats.Region.ID
+			if seen[id] {
+				return fail("planner-dup", "%s: region %s recommended twice", pers.Name, rec.Label())
+			}
+			seen[id] = true
+			if rec.SavedFrac < 0 || rec.SavedFrac >= 1 {
+				return fail("planner-saved-frac", "%s: region %s SavedFrac %g outside [0,1)", pers.Name, rec.Label(), rec.SavedFrac)
+			}
+			if rec.EstSpeedup < 1 || rec.EstSpeedup > maxSpeedup+1e-9 {
+				return fail("planner-speedup", "%s: region %s EstSpeedup %g outside [1,%g]", pers.Name, rec.Label(), rec.EstSpeedup, maxSpeedup)
+			}
+		}
+		if plan.EstProgramSpeedup < 1 || plan.EstProgramSpeedup > 100+1e-9 {
+			return fail("planner-program-speedup", "%s: EstProgramSpeedup %g outside [1,100]", pers.Name, plan.EstProgramSpeedup)
+		}
+		// Rendering must be deterministic.
+		if a, b := plan.Render(), prog.Plan(prof, pers).Render(); a != b {
+			return fail("planner-render-determinism", "%s: two renders of the same profile differ", pers.Name)
+		}
+	}
+	return nil
+}
+
+// checkPrintFixpoint asserts Print∘Parse is a fixpoint of Print.
+func checkPrintFixpoint(src string, tree *ast.File) error {
+	printed := ast.Print(tree)
+	errs := &source.ErrorList{}
+	reparsed := parser.Parse(source.NewFile("printed.kr", printed), errs)
+	if errs.HasErrors() {
+		return &Failure{Source: src, Check: "print-reparse", Detail: "canonical rendering does not parse: " + errs.Error()}
+	}
+	if again := ast.Print(reparsed); again != printed {
+		return &Failure{Source: src, Check: "print-fixpoint", Detail: "Print(Parse(Print(ast))) differs from Print(ast)"}
+	}
+	return nil
+}
+
+func profileBytes(p *profile.Profile) []byte {
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,95 @@
+package krfuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kremlin"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+)
+
+// TestRegressionCorpus replays the adversarial inputs that once crashed
+// or hung the front end (stack overflow on deep nesting, non-terminating
+// error recovery, unbounded diagnostic storage). Each must now finish
+// fast with ordinary diagnostics — or, if it happens to be valid Kr,
+// compile and run cleanly.
+func TestRegressionCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.kr"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no regression corpus found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			prog, cerr := kremlin.Compile(filepath.Base(path), string(src))
+			if d := time.Since(start); d > 5*time.Second {
+				t.Errorf("front end took %v on %d bytes — error recovery is not making progress", d, len(src))
+			}
+			if cerr == nil {
+				// The case turned out valid: it must then run without panicking.
+				if _, err := prog.Run(&kremlin.RunConfig{Out: &strings.Builder{}, MaxSteps: 10_000_000}); err != nil {
+					t.Logf("valid-but-failing run (acceptable): %v", err)
+				}
+				return
+			}
+			// Diagnostic storage must stay bounded no matter the input.
+			if el, ok := cerr.(*source.ErrorList); ok && len(el.Diags) > source.MaxDiags {
+				t.Errorf("%d stored diagnostics exceed the cap %d", len(el.Diags), source.MaxDiags)
+			}
+		})
+	}
+}
+
+// TestParserDepthLimits pins the exact depth-limit behavior: nesting past
+// the caps yields diagnostics (never a crash), while nesting comfortably
+// under them still parses cleanly — the limits must not reject real code.
+func TestParserDepthLimits(t *testing.T) {
+	parse := func(src string) *source.ErrorList {
+		errs := &source.ErrorList{}
+		parser.Parse(source.NewFile("depth.kr", src), errs)
+		return errs
+	}
+	over := []struct {
+		name, src string
+	}{
+		{"parens-10k", "int main() { return " + strings.Repeat("(", 10_000) + "1" + strings.Repeat(")", 10_000) + "; }"},
+		{"blocks-10k", "int main() { " + strings.Repeat("{", 10_000) + strings.Repeat("}", 10_000) + " return 0; }"},
+		{"neg-10k", "int main() { return " + strings.Repeat("-", 10_000) + "1; }"},
+		{"calls-10k", "int main() { return " + strings.Repeat("f(", 10_000) + "1" + strings.Repeat(")", 10_000) + "; }"},
+		{"unclosed-parens-10k", "int main() { return " + strings.Repeat("(", 10_000)},
+	}
+	for _, tc := range over {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := parse(tc.src)
+			if !errs.HasErrors() {
+				t.Fatal("nesting past the depth limit parsed without a diagnostic")
+			}
+			if len(errs.Diags) > source.MaxDiags {
+				t.Fatalf("%d stored diagnostics exceed the cap %d", len(errs.Diags), source.MaxDiags)
+			}
+		})
+	}
+
+	under := []struct {
+		name, src string
+	}{
+		{"parens-64", "int main() { return " + strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64) + "; }"},
+		{"blocks-64", "int main() { " + strings.Repeat("{", 64) + strings.Repeat("}", 64) + " return 0; }"},
+	}
+	for _, tc := range under {
+		t.Run(tc.name, func(t *testing.T) {
+			if errs := parse(tc.src); errs.HasErrors() {
+				t.Fatalf("reasonable nesting rejected: %v", errs)
+			}
+		})
+	}
+}

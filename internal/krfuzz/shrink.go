@@ -1,0 +1,202 @@
+package krfuzz
+
+import (
+	"kremlin/internal/ast"
+	"kremlin/internal/parser"
+	"kremlin/internal/source"
+)
+
+// Shrink greedily reduces a failing program to a smaller one that fails
+// the oracle with the same check. It enumerates structural mutations
+// (drop a global, drop a function, delete a statement, unwrap a loop or
+// branch to its body, simplify an assignment's right-hand side) in a fixed
+// order, keeps any mutant that still reproduces the original failure, and
+// restarts until no mutation helps or the oracle-run budget is exhausted.
+//
+// The result is canonical source (ast.Print) of the smallest reproducer
+// found; if nothing shrinks, it returns the original failure's source
+// re-rendered canonically, or verbatim if it does not parse.
+func Shrink(f *Failure, cfg OracleConfig, budget int) string {
+	if budget <= 0 {
+		budget = 300
+	}
+	cur, ok := reparse(f.Source)
+	if !ok {
+		return f.Source
+	}
+	curSrc := ast.Print(cur)
+	runs := 0
+	for {
+		improved := false
+		n := countMutations(cur)
+		for k := 0; k < n && runs < budget; k++ {
+			cand, ok := reparse(curSrc)
+			if !ok {
+				return curSrc
+			}
+			if !applyMutation(cand, k) {
+				continue
+			}
+			candSrc := ast.Print(cand)
+			if len(candSrc) >= len(curSrc) {
+				continue
+			}
+			runs++
+			err := Check("shrink.kr", candSrc, cfg)
+			ff, isFail := err.(*Failure)
+			if !isFail || ff.Check != f.Check {
+				continue // different (or no) bug: not our reproducer
+			}
+			cur, curSrc = cand, candSrc
+			improved = true
+			break // restart enumeration on the smaller program
+		}
+		if !improved || runs >= budget {
+			return curSrc
+		}
+	}
+}
+
+// reparse round-trips source through the parser, yielding an independent
+// tree (the shrinker's substitute for a deep-copy).
+func reparse(src string) (*ast.File, bool) {
+	errs := &source.ErrorList{}
+	f := parser.Parse(source.NewFile("shrink.kr", src), errs)
+	if errs.HasErrors() {
+		return nil, false
+	}
+	return f, true
+}
+
+// mutator visits mutation sites in a fixed order. In counting mode it
+// tallies sites; in apply mode it fires at site `target` and records that
+// it did.
+type mutator struct {
+	count   int
+	target  int // -1: count only
+	applied bool
+}
+
+func (m *mutator) at() bool {
+	hit := m.count == m.target
+	m.count++
+	if hit {
+		m.applied = true
+	}
+	return hit
+}
+
+func countMutations(f *ast.File) int {
+	m := &mutator{target: -1}
+	m.file(f)
+	return m.count
+}
+
+func applyMutation(f *ast.File, target int) bool {
+	m := &mutator{target: target}
+	m.file(f)
+	return m.applied
+}
+
+func (m *mutator) file(f *ast.File) {
+	for i := 0; i < len(f.Globals); i++ {
+		if m.at() {
+			f.Globals = append(f.Globals[:i], f.Globals[i+1:]...)
+			return
+		}
+	}
+	for i := 0; i < len(f.Funcs); i++ {
+		if f.Funcs[i].Name == "main" {
+			continue
+		}
+		if m.at() {
+			f.Funcs = append(f.Funcs[:i], f.Funcs[i+1:]...)
+			return
+		}
+	}
+	for _, fn := range f.Funcs {
+		m.block(fn.Body)
+		if m.applied {
+			return
+		}
+	}
+}
+
+func (m *mutator) block(b *ast.Block) {
+	for i := 0; i < len(b.Stmts); i++ {
+		if m.at() {
+			b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+			return
+		}
+		if rep, ok := m.stmt(b.Stmts[i]); m.applied {
+			if ok {
+				b.Stmts[i] = rep
+			}
+			return
+		}
+	}
+}
+
+// stmt visits mutation sites inside s. It returns a replacement statement
+// and true when the fired mutation replaces s itself.
+func (m *mutator) stmt(s ast.Stmt) (ast.Stmt, bool) {
+	switch s := s.(type) {
+	case *ast.Block:
+		m.block(s)
+	case *ast.IfStmt:
+		if m.at() {
+			return s.Then, true // drop the condition, keep the then-arm
+		}
+		if s.Else != nil {
+			if m.at() {
+				return s.Else, true
+			}
+		}
+		m.block(s.Then)
+		if m.applied {
+			return nil, false
+		}
+		if s.Else != nil {
+			if rep, ok := m.stmt(s.Else); m.applied {
+				if ok {
+					s.Else = rep
+				}
+				return nil, false
+			}
+		}
+	case *ast.ForStmt:
+		if m.at() {
+			return s.Body, true // unwrap: body executes once
+		}
+		m.block(s.Body)
+	case *ast.WhileStmt:
+		if m.at() {
+			return s.Body, true
+		}
+		m.block(s.Body)
+	case *ast.AssignStmt:
+		if !isLiteral(s.RHS) && m.at() {
+			s.RHS = &ast.IntLit{Value: 1}
+			return nil, false
+		}
+	case *ast.DeclStmt:
+		if s.Decl.Init != nil && !isLiteral(s.Decl.Init) && m.at() {
+			s.Decl.Init = &ast.IntLit{Value: 1}
+			return nil, false
+		}
+	case *ast.ReturnStmt:
+		if s.Result != nil && !isLiteral(s.Result) && m.at() {
+			s.Result = &ast.IntLit{Value: 1}
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+func isLiteral(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.BoolLit:
+		return true
+	}
+	return false
+}

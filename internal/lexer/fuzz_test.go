@@ -1,0 +1,30 @@
+package lexer
+
+import (
+	"testing"
+
+	"kremlin/internal/source"
+	"kremlin/internal/token"
+)
+
+// FuzzScan feeds arbitrary bytes to the lexer. The contract under fuzzing:
+// never panic, always terminate with an EOF token, and report at most
+// source.MaxDiags stored diagnostics regardless of input size.
+func FuzzScan(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`float x = 1.5e-3; // comment`)
+	f.Add(`"unterminated`)
+	f.Add("/* unterminated comment")
+	f.Add("1.2.3.4 .. @#$%^&")
+	f.Add("int\x00main\xff(){}")
+	f.Fuzz(func(t *testing.T, src string) {
+		errs := &source.ErrorList{}
+		toks := New(source.NewFile("fuzz.kr", src), errs).ScanAll()
+		if len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF {
+			t.Fatalf("token stream does not end in EOF")
+		}
+		if len(errs.Diags) > source.MaxDiags {
+			t.Fatalf("%d stored diagnostics exceed the cap %d", len(errs.Diags), source.MaxDiags)
+		}
+	})
+}

@@ -87,7 +87,9 @@ func buildShardProfiles() ([]*profile.Profile, []Window, *profile.Profile) {
 	shard1 := profile.New()
 	b1 := shard1.Dict.Intern(3, 40, 8, nil) // in window: real CP
 	a1 := shard1.Dict.Intern(2, 30, 5, nil)
-	r1 := shard1.Dict.Intern(1, 100, 100, map[int32]int64{a1: 2, b1: 1})
+	// Children are an execution-ordered sequence and must list the same
+	// instance order in every shard: loopA ×2 then loopB.
+	r1 := shard1.Dict.InternRuns(1, 100, 100, []profile.Child{{Char: a1, Count: 2}, {Char: b1, Count: 1}})
 	shard1.AddRoot(r1)
 	shard1.Dict.RawCount = 4
 

@@ -7,12 +7,22 @@
 // co-walked, and each node's critical path is taken from the one shard
 // whose window owns that node's depth. The result has exactly the full
 // run's per-region work and critical-path values.
+//
+// The co-walk leans on the dictionary storing each entry's children as a
+// run-length-encoded sequence in execution order (see profile.InternRuns).
+// Every shard observed the same execution, so at every tree node the K
+// child sequences are projections of one underlying instance sequence;
+// zipping the runs position-by-position aligns the shards' child classes
+// exactly. A char-sorted multiset would not: when one shard distinguishes
+// two sibling classes by shallow critical path and another by deep
+// structure, non-contiguous interleavings (e.g. cps A B A over three
+// structurally identical siblings) are unrecoverable from counts alone,
+// and a misalignment attaches a critical path to the wrong subtree.
 package parallel
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"kremlin/internal/profile"
 )
@@ -35,15 +45,11 @@ func Stitch(profs []*profile.Profile, wins []Window) (*profile.Profile, error) {
 		}
 	}
 	st := &stitcher{
-		profs:  profs,
-		wins:   wins,
-		hashes: make([][]uint64, len(profs)),
-		out:    profile.New(),
-		memo:   make(map[string]int32),
-		cap:    wins[len(wins)-1].Hi,
-	}
-	for s, p := range profs {
-		st.hashes[s] = structHashes(p.Dict)
+		profs: profs,
+		wins:  wins,
+		out:   profile.New(),
+		memo:  make(map[string]int32),
+		cap:   wins[len(wins)-1].Hi,
 	}
 	tuple := make([]int32, len(profs))
 	for i := range profs[0].Roots {
@@ -63,12 +69,11 @@ func Stitch(profs []*profile.Profile, wins []Window) (*profile.Profile, error) {
 }
 
 type stitcher struct {
-	profs  []*profile.Profile
-	wins   []Window
-	hashes [][]uint64 // per shard: window-invariant structural hash per char
-	out    *profile.Profile
-	memo   map[string]int32
-	cap    int // levels ≥ cap are untracked in every shard (cp = work)
+	profs []*profile.Profile
+	wins  []Window
+	out   *profile.Profile
+	memo  map[string]int32
+	cap   int // levels ≥ cap are untracked in every shard (cp = work)
 }
 
 // owner returns the shard whose window contains depth level idx.
@@ -102,11 +107,10 @@ func (st *stitcher) memoKey(idx int, chars []int32) string {
 
 // node stitches the region-tree node at depth level idx whose per-shard
 // dictionary characters are chars, returning its character in the output
-// dictionary. Children are aligned across shards by window-invariant
-// structural hash; within a hash group, each shard's char classes are
-// zipped in char order, which is exact whenever structurally identical
-// siblings have identical critical paths (always true for deterministic
-// replays of the same execution point).
+// dictionary. The K shards' child sequences describe the same dynamic
+// instance sequence, so they are zipped positionally: each maximal segment
+// where every shard's current run is constant becomes one child class of
+// the stitched node, recursively stitched from the per-shard characters.
 func (st *stitcher) node(idx int, chars []int32) (int32, error) {
 	key := st.memoKey(idx, chars)
 	if c, ok := st.memo[key]; ok {
@@ -114,138 +118,65 @@ func (st *stitcher) node(idx int, chars []int32) (int32, error) {
 	}
 	k := len(chars)
 	e0 := st.profs[0].Dict.Entries[chars[0]]
+	var total int64
+	for _, c := range e0.Children {
+		total += c.Count
+	}
 	for s := 1; s < k; s++ {
 		es := st.profs[s].Dict.Entries[chars[s]]
 		if es.StaticID != e0.StaticID || es.Work != e0.Work {
 			return 0, fmt.Errorf("parallel: shards 0 and %d diverged at depth %d (region %d/%d, work %d/%d)",
 				s, idx, e0.StaticID, es.StaticID, e0.Work, es.Work)
 		}
+		var tot int64
+		for _, c := range es.Children {
+			tot += c.Count
+		}
+		if tot != total {
+			return 0, fmt.Errorf("parallel: shard %d diverged at depth %d: %d child instances, shard 0 has %d",
+				s, idx+1, tot, total)
+		}
 	}
 	own := st.owner(idx)
 	cp := st.profs[own].Dict.Entries[chars[own]].CP
 
-	// Group each shard's compressed child classes by the structural hash of
-	// the dynamic children they stand for.
-	type group struct {
-		total int64
-		per   [][]profile.Child // per shard, char-ascending
-	}
-	groups := make(map[uint64]*group)
-	var order []uint64
-	for s := 0; s < k; s++ {
-		for _, ch := range st.profs[s].Dict.Entries[chars[s]].Children {
-			h := st.hashes[s][ch.Char]
-			g := groups[h]
-			if g == nil {
-				if s != 0 {
-					return 0, fmt.Errorf("parallel: shard %d has child structure at depth %d absent from shard 0", s, idx+1)
-				}
-				g = &group{per: make([][]profile.Child, k)}
-				groups[h] = g
-				order = append(order, h)
-			}
-			g.per[s] = append(g.per[s], ch)
-			if s == 0 {
-				g.total += ch.Count
-			}
-		}
-	}
-
-	kids := make(map[int32]int64, len(order))
+	var kids []profile.Child
 	tuple := make([]int32, k)
 	pos := make([]int, k)
 	rem := make([]int64, k)
-	for _, h := range order {
-		g := groups[h]
-		for s := 0; s < k; s++ {
-			var tot int64
-			for _, c := range g.per[s] {
-				tot += c.Count
-			}
-			if tot != g.total {
-				return 0, fmt.Errorf("parallel: shard %d diverged at depth %d: child group has %d instances, shard 0 has %d",
-					s, idx+1, tot, g.total)
-			}
-			pos[s] = 0
-			rem[s] = g.per[s][0].Count
+	for s := 0; s < k; s++ {
+		if total > 0 {
+			rem[s] = st.profs[s].Dict.Entries[chars[s]].Children[0].Count
 		}
-		// Zip the per-shard class runs: each segment where every shard's
-		// class is constant becomes one stitched child class.
-		for n := g.total; n > 0; {
-			seg := n
-			for s := 0; s < k; s++ {
-				if rem[s] < seg {
-					seg = rem[s]
-				}
-				tuple[s] = g.per[s][pos[s]].Char
+	}
+	for n := total; n > 0; {
+		seg := n
+		for s := 0; s < k; s++ {
+			runs := st.profs[s].Dict.Entries[chars[s]].Children
+			if rem[s] < seg {
+				seg = rem[s]
 			}
-			cc, err := st.node(idx+1, tuple)
-			if err != nil {
-				return 0, err
-			}
-			kids[cc] += seg
-			n -= seg
-			for s := 0; s < k; s++ {
-				if rem[s] -= seg; rem[s] == 0 && n > 0 {
-					pos[s]++
-					rem[s] = g.per[s][pos[s]].Count
-				}
+			tuple[s] = runs[pos[s]].Char
+		}
+		cc, err := st.node(idx+1, tuple)
+		if err != nil {
+			return 0, err
+		}
+		if m := len(kids); m > 0 && kids[m-1].Char == cc {
+			kids[m-1].Count += seg
+		} else {
+			kids = append(kids, profile.Child{Char: cc, Count: seg})
+		}
+		n -= seg
+		for s := 0; s < k; s++ {
+			if rem[s] -= seg; rem[s] == 0 && n > 0 {
+				pos[s]++
+				rem[s] = st.profs[s].Dict.Entries[chars[s]].Children[pos[s]].Count
 			}
 		}
 	}
 
-	c := st.out.Dict.Intern(e0.StaticID, e0.Work, cp, kids)
+	c := st.out.Dict.InternRuns(e0.StaticID, e0.Work, cp, kids)
 	st.memo[key] = c
 	return c, nil
-}
-
-// structHashes computes a window-invariant structural hash for every
-// character of a shard dictionary: it folds the static region, the work,
-// and the multiset of child hashes — but never the critical path, which is
-// the one field that differs between depth windows. Identical dynamic
-// subtrees therefore hash identically in every shard.
-func structHashes(d *profile.Dict) []uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	hs := make([]uint64, len(d.Entries))
-	type hc struct {
-		h uint64
-		n int64
-	}
-	var pairs []hc
-	for c, e := range d.Entries { // children intern before parents
-		pairs = pairs[:0]
-		for _, k := range e.Children {
-			pairs = append(pairs, hc{hs[k.Char], k.Count})
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].h < pairs[j].h })
-		// Merge classes sharing a structural hash (CP-divergent twins in
-		// this shard's view) so the multiset matches shards that view them
-		// as one class.
-		merged := pairs[:0]
-		for _, p := range pairs {
-			if m := len(merged); m > 0 && merged[m-1].h == p.h {
-				merged[m-1].n += p.n
-			} else {
-				merged = append(merged, p)
-			}
-		}
-		h := uint64(offset64)
-		mix := func(v uint64) {
-			for i := 0; i < 8; i++ {
-				h ^= (v >> (8 * i)) & 0xFF
-				h *= prime64
-			}
-		}
-		mix(uint64(e.StaticID))
-		mix(e.Work)
-		for _, p := range merged {
-			mix(p.h)
-			mix(uint64(p.n))
-		}
-		hs[c] = h
-	}
-	return hs
 }

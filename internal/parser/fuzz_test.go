@@ -1,0 +1,48 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/source"
+)
+
+// FuzzParse feeds arbitrary text to the parser. The contract under
+// fuzzing: never panic, never loop, bound diagnostic storage, and — when
+// the input parses cleanly — produce a tree whose canonical rendering
+// re-parses to the same rendering (the printer fixpoint).
+func FuzzParse(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`int g[10];
+int main() {
+	for (int i = 0; i < 10; i++) { g[i] = i * 2; }
+	if (g[3] > 4) { print("hi", g[3]); } else { g[0]++; }
+	while (g[0] < 5) { g[0] += 1; break; }
+	return g[0];
+}`)
+	f.Add("float f(float x[], int n) { return x[n % dim(x, 0)]; }")
+	f.Add("int main() { return (1 + 2) * -3 / 4 % 5; }")
+	f.Add("void broken( { if while } )")
+	f.Add(strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64))
+	f.Add(strings.Repeat("{", 64) + strings.Repeat("}", 64))
+	f.Fuzz(func(t *testing.T, src string) {
+		errs := &source.ErrorList{}
+		tree := Parse(source.NewFile("fuzz.kr", src), errs)
+		if len(errs.Diags) > source.MaxDiags {
+			t.Fatalf("%d stored diagnostics exceed the cap %d", len(errs.Diags), source.MaxDiags)
+		}
+		if errs.HasErrors() {
+			return
+		}
+		printed := ast.Print(tree)
+		errs2 := &source.ErrorList{}
+		tree2 := Parse(source.NewFile("printed.kr", printed), errs2)
+		if errs2.HasErrors() {
+			t.Fatalf("canonical rendering does not re-parse: %v\n--- rendering ---\n%s", errs2, printed)
+		}
+		if again := ast.Print(tree2); again != printed {
+			t.Fatalf("printer not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+		}
+	})
+}

@@ -16,11 +16,26 @@ func Parse(file *source.File, errs *source.ErrorList) *ast.File {
 	return p.parseFile()
 }
 
+// Nesting limits. The parser is recursive-descent, so unbounded nesting
+// (a few megabytes of "(" or "{") would exhaust the goroutine stack —
+// found by fuzzing. Past these limits the parser reports a diagnostic and
+// recovers instead of recursing further. The limits are far above anything
+// a real program uses but low enough that every later recursive stage
+// (printer, type checker, IR builder) stays within an ordinary stack.
+const (
+	maxExprDepth = 4096
+	maxStmtDepth = 1024
+)
+
 type parser struct {
 	file *source.File
 	errs *source.ErrorList
 	toks []token.Token
 	i    int
+
+	exprDepth     int
+	stmtDepth     int
+	depthReported bool
 }
 
 func (p *parser) tok() token.Token { return p.toks[p.i] }
@@ -51,6 +66,36 @@ func (p *parser) expect(k token.Kind) token.Token {
 		return token.Token{Kind: k, Offset: t.Offset}
 	}
 	return p.next()
+}
+
+// depthExceeded reports one "nested too deeply" diagnostic per file.
+func (p *parser) depthExceeded(off int, what string, limit int) {
+	if p.depthReported {
+		return
+	}
+	p.depthReported = true
+	p.errorf(off, "%s nested too deeply (limit %d)", what, limit)
+}
+
+// skipBalanced consumes tokens up to and including the brace matching an
+// already-consumed LBRACE, returning the closing brace's offset. Used to
+// recover from over-deep blocks without recursing.
+func (p *parser) skipBalanced() int {
+	depth := 1
+	for {
+		switch p.kind() {
+		case token.EOF:
+			return p.tok().Offset
+		case token.LBRACE:
+			depth++
+		case token.RBRACE:
+			depth--
+			if depth == 0 {
+				return p.next().Offset
+			}
+		}
+		p.next()
+	}
 }
 
 // sync skips tokens until a likely statement/declaration boundary.
@@ -154,6 +199,13 @@ func (p *parser) parseFuncRest(ret ast.BasicKind, name token.Token) *ast.FuncDec
 func (p *parser) parseBlock() *ast.Block {
 	lb := p.expect(token.LBRACE)
 	b := &ast.Block{LbracePos: lb.Offset}
+	if p.stmtDepth >= maxStmtDepth {
+		p.depthExceeded(lb.Offset, "statement", maxStmtDepth)
+		b.RbracePos = p.skipBalanced()
+		return b
+	}
+	p.stmtDepth++
+	defer func() { p.stmtDepth-- }()
 	for p.kind() != token.RBRACE && p.kind() != token.EOF {
 		before := p.i
 		b.Stmts = append(b.Stmts, p.parseStmt())
@@ -220,6 +272,16 @@ func (p *parser) parseSimpleStmt() ast.Stmt {
 }
 
 func (p *parser) parseIf() ast.Stmt {
+	// else-if chains recurse without entering a new block, so they need
+	// their own depth guard.
+	if p.stmtDepth >= maxStmtDepth {
+		t := p.expect(token.IF)
+		p.depthExceeded(t.Offset, "statement", maxStmtDepth)
+		p.sync()
+		return &ast.Block{LbracePos: t.Offset, RbracePos: t.Offset}
+	}
+	p.stmtDepth++
+	defer func() { p.stmtDepth-- }()
 	t := p.expect(token.IF)
 	p.expect(token.LPAREN)
 	cond := p.parseExpr()
@@ -279,6 +341,13 @@ func (p *parser) parseWhile() ast.Stmt {
 func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
 
 func (p *parser) parseBinary(minPrec int) ast.Expr {
+	if p.exprDepth >= maxExprDepth {
+		p.depthExceeded(p.tok().Offset, "expression", maxExprDepth)
+		t := p.next() // consume: callers' loops must see progress
+		return &ast.IntLit{LitPos: t.Offset, Text: "0"}
+	}
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
 	x := p.parseUnary()
 	for {
 		op := p.kind()
@@ -293,6 +362,14 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *parser) parseUnary() ast.Expr {
+	// Unary chains ("----x") recurse without passing through parseBinary.
+	if p.exprDepth >= maxExprDepth {
+		p.depthExceeded(p.tok().Offset, "expression", maxExprDepth)
+		t := p.next()
+		return &ast.IntLit{LitPos: t.Offset, Text: "0"}
+	}
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
 	switch p.kind() {
 	case token.SUB:
 		t := p.next()
@@ -371,7 +448,11 @@ func (p *parser) parseCallRest(namePos int, name string) ast.Expr {
 		if len(call.Args) > 0 {
 			p.expect(token.COMMA)
 		}
+		before := p.i
 		call.Args = append(call.Args, p.parseExpr())
+		if p.i == before { // no progress: skip the offending token
+			p.next()
+		}
 	}
 	rp := p.expect(token.RPAREN)
 	call.EndOff = rp.Offset + 1

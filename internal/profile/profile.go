@@ -3,11 +3,19 @@
 // compressed on line with the paper's dictionary scheme (§4.4).
 //
 // When a dynamic region exits, its tuple (static region, work, critical
-// path, child multiset) is looked up in an alphabet of unique regions; a hit
+// path, child sequence) is looked up in an alphabet of unique regions; a hit
 // reuses the existing character, a miss extends the alphabet. Children are
 // described in terms of already-interned characters, so the alphabet builds
 // from the leaves up and the planner can compute self-parallelism directly
 // on the dictionary without ever decompressing the trace.
+//
+// Children are kept as a run-length-encoded sequence in execution order,
+// not a character-sorted multiset. For the dominant pattern — a loop whose
+// iterations summarize identically — this is one run, so compression is
+// unaffected; for irregular interleavings it preserves exactly the
+// information the depth-window stitcher (internal/parallel) needs to align
+// shard dictionaries instance-by-instance. All HCPA metrics are sums over
+// the runs and do not depend on the order.
 package profile
 
 import (
@@ -18,8 +26,8 @@ import (
 	"sort"
 )
 
-// Child is a compressed child reference: an alphabet character and how many
-// dynamic instances of it the parent contained.
+// Child is one run of a parent's compressed child sequence: an alphabet
+// character and how many consecutive dynamic instances of it occurred.
 type Child struct {
 	Char  int32
 	Count int64
@@ -30,6 +38,9 @@ type Entry struct {
 	StaticID int32  // region ID in the static region tree
 	Work     uint64 // total work executed between entry and exit
 	CP       uint64 // critical path length at this region's nesting level
+	// Children is the run-length-encoded child sequence in execution
+	// order. The same character may appear in more than one run when other
+	// children interleave; consumers must accumulate, not index by char.
 	Children []Child
 }
 
@@ -53,16 +64,37 @@ func NewDict() *Dict {
 	return &Dict{index: make(map[string]int32)}
 }
 
-// Intern returns the character for the given dynamic region summary,
-// extending the alphabet if it is new. children maps character → count and
-// may be nil.
+// Intern is InternRuns for callers holding an unordered character → count
+// map (hand-built profiles in tests, multi-run aggregation): the runs are
+// ordered by character, which is deterministic but carries no execution
+// order. The instrumented runtime uses InternRuns directly.
 func (d *Dict) Intern(staticID int32, work, cp uint64, children map[int32]int64) int32 {
-	d.RawCount++
 	kids := make([]Child, 0, len(children))
 	for c, n := range children {
 		kids = append(kids, Child{Char: c, Count: n})
 	}
 	sort.Slice(kids, func(i, j int) bool { return kids[i].Char < kids[j].Char })
+	return d.InternRuns(staticID, work, cp, kids)
+}
+
+// InternRuns returns the character for the dynamic region summary whose
+// child sequence is the given run-length encoding (execution order,
+// normalized here by merging adjacent equal-character runs and dropping
+// empty ones). The key is sequence-sensitive: the same children multiset
+// with a different interleaving is a different entry. runs is not retained.
+func (d *Dict) InternRuns(staticID int32, work, cp uint64, runs []Child) int32 {
+	d.RawCount++
+	kids := make([]Child, 0, len(runs))
+	for _, r := range runs {
+		if r.Count == 0 {
+			continue
+		}
+		if n := len(kids); n > 0 && kids[n-1].Char == r.Char {
+			kids[n-1].Count += r.Count
+		} else {
+			kids = append(kids, r)
+		}
+	}
 
 	key := makeKey(staticID, work, cp, kids)
 	if c, ok := d.index[key]; ok {
@@ -144,11 +176,11 @@ func (p *Profile) RawBytes() uint64 { return p.Dict.RawCount * RawRecordBytes }
 func (p *Profile) Merge(other *Profile) {
 	remap := make([]int32, len(other.Dict.Entries))
 	for c, e := range other.Dict.Entries {
-		kids := make(map[int32]int64, len(e.Children))
-		for _, k := range e.Children {
-			kids[remap[k.Char]] += k.Count
+		runs := make([]Child, len(e.Children))
+		for i, k := range e.Children {
+			runs[i] = Child{Char: remap[k.Char], Count: k.Count}
 		}
-		remap[c] = p.Dict.Intern(e.StaticID, e.Work, e.CP, kids)
+		remap[c] = p.Dict.InternRuns(e.StaticID, e.Work, e.CP, runs)
 	}
 	// Interning during a merge double-counts raw records; correct to the
 	// true dynamic-instance count.
@@ -259,11 +291,7 @@ func ReadFrom(r io.Reader) (*Profile, error) {
 			}
 			e.Children = append(e.Children, Child{Char: int32(ch), Count: int64(cnt)})
 		}
-		kids := make(map[int32]int64, len(e.Children))
-		for _, k := range e.Children {
-			kids[k.Char] = k.Count
-		}
-		p.Dict.Intern(e.StaticID, e.Work, e.CP, kids)
+		p.Dict.InternRuns(e.StaticID, e.Work, e.CP, e.Children)
 	}
 	raw, err := get()
 	if err != nil {

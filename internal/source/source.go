@@ -115,24 +115,49 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Severity, d.Message)
 }
 
+// MaxDiags bounds the number of diagnostics an ErrorList stores.
+// Pathological inputs (a megabyte of stray tokens) would otherwise make
+// the error list itself the memory and time hog; diagnostics past the cap
+// are counted in Dropped but not stored.
+const MaxDiags = 100
+
 // ErrorList collects diagnostics and satisfies the error interface when
 // non-empty, so a compilation stage can return it directly.
 type ErrorList struct {
 	Diags []Diagnostic
+	// Dropped counts diagnostics discarded once MaxDiags were stored.
+	Dropped int
+
+	numErrors int // error-severity count, including dropped ones
+}
+
+func (e *ErrorList) add(d Diagnostic) {
+	if d.Severity == Error {
+		e.numErrors++
+	}
+	if len(e.Diags) >= MaxDiags {
+		e.Dropped++
+		return
+	}
+	e.Diags = append(e.Diags, d)
 }
 
 // Add appends an error-severity diagnostic.
 func (e *ErrorList) Add(file string, pos Pos, format string, args ...interface{}) {
-	e.Diags = append(e.Diags, Diagnostic{File: file, Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
+	e.add(Diagnostic{File: file, Pos: pos, Severity: Error, Message: fmt.Sprintf(format, args...)})
 }
 
 // Warn appends a warning-severity diagnostic.
 func (e *ErrorList) Warn(file string, pos Pos, format string, args ...interface{}) {
-	e.Diags = append(e.Diags, Diagnostic{File: file, Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+	e.add(Diagnostic{File: file, Pos: pos, Severity: Warning, Message: fmt.Sprintf(format, args...)})
 }
 
 // HasErrors reports whether any error-severity diagnostics are present.
 func (e *ErrorList) HasErrors() bool {
+	if e.numErrors > 0 {
+		return true
+	}
+	// Tolerate lists assembled by hand (tests build Diags directly).
 	for _, d := range e.Diags {
 		if d.Severity == Error {
 			return true
@@ -156,6 +181,9 @@ func (e *ErrorList) Error() string {
 			b.WriteByte('\n')
 		}
 		b.WriteString(d.String())
+	}
+	if e.Dropped > 0 {
+		fmt.Fprintf(&b, "\n... and %d more diagnostics", e.Dropped)
 	}
 	return b.String()
 }
