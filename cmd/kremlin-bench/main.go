@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|ablation|personality|fuzz]
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz]
 //	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
 //	              [-fuzz-n 200] [-seed 1] [-fuzz-out dir]
 //	              [-cpuprofile f] [-memprofile f]
@@ -82,6 +82,7 @@ func main() {
 	run("sensitivity", sensitivity)
 	run("scaling", scaling)
 	run("shards", shards)
+	run("vet", vet)
 	run("ablation", ablation)
 	run("personality", personality)
 	// The fuzz campaign only runs when asked for by name: it is a
@@ -348,6 +349,50 @@ func shards() error {
 		fmt.Printf(" %7.2fx %6t\n", r.BestSpeedup, r.PlanEqual)
 	}
 	fmt.Printf("(GOMAXPROCS=%d; shard counts beyond the core count cannot win wall-clock)\n", runtime.GOMAXPROCS(0))
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func vet() error {
+	header("Static loop-dependence analysis: verdict per loop (kremlin vet)")
+	// The standalone example programs (the others reuse bench sources).
+	extra := make(map[string]string)
+	for name, path := range map[string]string{
+		"quickstart":   "examples/quickstart/quickstart.kr",
+		"gprofcompare": "examples/gprofcompare/compare.kr",
+	} {
+		if src, err := os.ReadFile(path); err == nil {
+			extra[name] = string(src)
+		}
+	}
+	rows, err := eval.Vet(extra)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %6s %9s %7s %8s\n", "program", "loops", "parallel", "serial", "unknown")
+	for _, r := range rows {
+		fmt.Printf("%-12s %6d %9d %7d %8d\n", r.Name, r.Loops, r.Parallel, r.Serial, r.Unknown)
+	}
+	loops, par, ser, unk := eval.VetTotals(rows)
+	fmt.Printf("%-12s %6d %9d %7d %8d\n", "total", loops, par, ser, unk)
+	fmt.Println("\nnon-parallel loops and why:")
+	for _, r := range rows {
+		for _, l := range r.Reports {
+			if l.Verdict == "parallel" {
+				continue
+			}
+			fmt.Printf("  %-44s %-8s %s\n", l.Label, l.Verdict, l.Detail)
+		}
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	kremlin [-personality=openmp|cilk|work-only|work+sp] [-profile prog.krpf]
-//	        [-exclude label,label,...] prog.kr
+//	        [-exclude label,label,...] [-require-safe] prog.kr
+//	kremlin vet prog.kr
 //
 // Without -profile, the program is profiled on the fly. -exclude removes
 // regions the user is unable or unwilling to parallelize and replans (the
 // paper's exclusion-list workflow). Labels are as printed by -labels.
+// -require-safe drops regions whose parallelization the static
+// loop-dependence analysis refuted.
+//
+// The vet subcommand skips profiling entirely and prints the static
+// loop-dependence verdict for every loop: provably parallel, provably
+// serial (with the offending dependences), or unknown (with what blocked
+// the proof).
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"kremlin"
+	"kremlin/internal/depcheck"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
 )
@@ -28,14 +37,17 @@ func main() {
 	profPath := flag.String("profile", "", "profile file from kremlin-run (default: profile on the fly)")
 	exclude := flag.String("exclude", "", "comma-separated region labels to exclude")
 	labels := flag.Bool("labels", false, "print region labels usable with -exclude")
+	requireSafe := flag.Bool("require-safe", false, "drop regions whose parallelization the static dependence analysis refuted")
 	shards := flag.Int("shards", 1, "profile with K concurrent depth-window shard runs (on-the-fly profiling only)")
 	flag.IntVar(shards, "j", 1, "shorthand for -shards")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kremlin [-personality=p] [-profile f.krpf] [-exclude a,b] prog.kr")
+	vet := flag.NArg() == 2 && flag.Arg(0) == "vet"
+	if flag.NArg() != 1 && !vet {
+		fmt.Fprintln(os.Stderr, "usage: kremlin [-personality=p] [-profile f.krpf] [-exclude a,b] [-require-safe] prog.kr")
+		fmt.Fprintln(os.Stderr, "       kremlin vet prog.kr")
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
+	path := flag.Arg(flag.NArg() - 1)
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kremlin:", err)
@@ -45,6 +57,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if vet {
+		printVet(prog.Vet)
+		return
 	}
 
 	var prof *profile.Profile
@@ -101,6 +118,25 @@ func main() {
 	if *exclude != "" {
 		opts = append(opts, planner.Exclude(strings.Split(*exclude, ",")...))
 	}
+	if *requireSafe {
+		opts = append(opts, planner.RequireSafe())
+	}
 	plan := planner.Make(prog.Summarize(prof), p, opts...)
 	fmt.Print(plan.Render())
+}
+
+// printVet renders the static loop-dependence report in region-ID order.
+func printVet(res *depcheck.Result) {
+	for _, rep := range res.Loops {
+		fmt.Printf("%-44s %s\n", rep.Region.Label(), rep.Verdict)
+		for _, c := range rep.Causes {
+			fmt.Printf("    dependence  %s\n", c)
+		}
+		for _, c := range rep.Blockers {
+			fmt.Printf("    blocker     %s\n", c)
+		}
+	}
+	par, ser, unk := res.Counts()
+	fmt.Printf("%d loops: %d provably parallel, %d provably serial, %d unknown\n",
+		len(res.Loops), par, ser, unk)
 }

@@ -1,0 +1,132 @@
+package kremlin_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/depcheck"
+	"kremlin/internal/planner"
+)
+
+// TestRepeatedRunDeterminism locks in byte-for-byte deterministic output:
+// two independent compile+profile+plan pipelines over the same source must
+// produce identical serialized profiles, identical plan renderings under
+// every personality, and identical vet reports. Any map-iteration order
+// leaking into an output path shows up here as a flaky diff.
+func TestRepeatedRunDeterminism(t *testing.T) {
+	srcs := map[string]string{
+		"tracking": bench.Tracking().Source,
+		"cg":       bench.ByName("cg").Source,
+	}
+	personalities := map[string]planner.Personality{
+		"openmp":    planner.OpenMP(),
+		"cilk":      planner.Cilk(),
+		"work-only": planner.WorkOnly(),
+		"work+sp":   planner.WorkSP(),
+	}
+	for name, src := range srcs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			type snapshot struct {
+				profile []byte
+				plans   map[string]string
+				vet     string
+			}
+			take := func() snapshot {
+				prog, err := kremlin.Compile(name+".kr", src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof, _, err := prog.Profile(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := prof.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				plans := make(map[string]string)
+				for pname, p := range personalities {
+					plans[pname] = prog.Plan(prof, p).Render()
+				}
+				var vet strings.Builder
+				for _, rep := range prog.Vet.Loops {
+					fmt.Fprintf(&vet, "%s %s", rep.Region.Label(), rep.Verdict)
+					for _, c := range rep.Causes {
+						fmt.Fprintf(&vet, " cause(%s)", c)
+					}
+					for _, c := range rep.Blockers {
+						fmt.Fprintf(&vet, " blocker(%s)", c)
+					}
+					vet.WriteByte('\n')
+				}
+				return snapshot{profile: buf.Bytes(), plans: plans, vet: vet.String()}
+			}
+
+			first := take()
+			for i := 1; i < 3; i++ {
+				again := take()
+				if !bytes.Equal(again.profile, first.profile) {
+					t.Fatalf("run %d: serialized profile differs (%d vs %d bytes)", i, len(again.profile), len(first.profile))
+				}
+				for pname := range personalities {
+					if again.plans[pname] != first.plans[pname] {
+						t.Fatalf("run %d: %s plan differs:\n--- first ---\n%s--- again ---\n%s",
+							i, pname, first.plans[pname], again.plans[pname])
+					}
+				}
+				if again.vet != first.vet {
+					t.Fatalf("run %d: vet report differs:\n--- first ---\n%s--- again ---\n%s", i, first.vet, again.vet)
+				}
+			}
+		})
+	}
+}
+
+// TestVetReportDeterminism re-analyzes one module repeatedly: the static
+// analyzer itself (summaries, cause ordering, dedup) must be stable even
+// without a profile run in between.
+func TestVetReportDeterminism(t *testing.T) {
+	src := bench.ByName("lu").Source
+	render := func() string {
+		prog, err := kremlin.Compile("lu.kr", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, rep := range prog.Vet.Loops {
+			fmt.Fprintf(&b, "%d %s %v %v\n", rep.Region.ID, rep.Verdict, rep.Causes, rep.Blockers)
+		}
+		par, ser, unk := prog.Vet.Counts()
+		fmt.Fprintf(&b, "counts %d %d %d\n", par, ser, unk)
+		return b.String()
+	}
+	first := render()
+	for i := 1; i < 4; i++ {
+		if got := render(); got != first {
+			t.Fatalf("analysis run %d produced a different report:\n--- first ---\n%s--- run %d ---\n%s", i, first, i, got)
+		}
+	}
+	// The verdict counts must also survive the depcheck → regions.Safety →
+	// profile round trip.
+	prog, err := kremlin.Compile("lu.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := prog.Profile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range prog.Vet.Loops {
+		if got := prof.Safety[rep.Region.ID]; got != uint8(rep.Verdict.Safety()) {
+			t.Errorf("region %d: profile safety %d, verdict %v", rep.Region.ID, got, rep.Verdict)
+		}
+		if rep.Verdict == depcheck.Parallel && prog.Regions.Regions[rep.Region.ID].Safety.String() != "proven" {
+			t.Errorf("region %d: parallel verdict not stamped as proven", rep.Region.ID)
+		}
+	}
+}

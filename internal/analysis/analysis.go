@@ -261,6 +261,12 @@ func memoryReductions(l *cfg.Loop, uses map[*ir.Instr][]*ir.Instr) int {
 				holder.Reduction = true
 				holder.BreakArg = i
 				ins.Reduction = true
+				// Mark the accumulator load too: its read of the cell is the
+				// broken old-value dependence, which the dependence tracer
+				// (kremlib) and the static checker (depcheck) must both skip.
+				if ld, ok := holder.Args[i].(*ir.Instr); ok && ld.Op == ir.OpLoad && l.Contains(ld.Block) {
+					ld.Reduction = true
+				}
 				n++
 			}
 		}

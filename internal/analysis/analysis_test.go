@@ -296,3 +296,107 @@ int main() {
 		t.Errorf("reduction phis = %d, want 0 (right-hand subtraction)", st.ReductionPhis)
 	}
 }
+
+func TestNegativeStepInduction(t *testing.T) {
+	// A downward i-- counter is a basic induction variable (step -1); the
+	// phi and its update op must both be annotated, with the update
+	// breaking exactly its carried operand.
+	mod, st := analyze(t, `
+int a[32];
+int main() {
+	for (int i = 31; i >= 0; i--) {
+		a[i] = i;
+	}
+	return a[0];
+}`)
+	if st.InductionPhis != 1 {
+		t.Errorf("induction phis = %d, want 1", st.InductionPhis)
+	}
+	phis, updates := 0, 0
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if !ins.Induction {
+					continue
+				}
+				if ins.Op == ir.OpPhi {
+					phis++
+				} else {
+					updates++
+					if ins.BreakArg < 0 || ins.BreakArg >= len(ins.Args) {
+						t.Errorf("induction update BreakArg = %d", ins.BreakArg)
+					} else if carried, ok := ins.Args[ins.BreakArg].(*ir.Instr); !ok || carried.Op != ir.OpPhi {
+						t.Errorf("broken operand of induction update is %v, want the phi", ins.Args[ins.BreakArg])
+					}
+				}
+			}
+		}
+	}
+	if phis != 1 || updates != 1 {
+		t.Errorf("annotated %d phis and %d updates, want 1 and 1", phis, updates)
+	}
+}
+
+func TestNestedReductions(t *testing.T) {
+	// A row sum feeding an outer total: both accumulators are independent
+	// reductions at their own loop level, on top of the two loop counters.
+	_, st := analyze(t, `
+float m[64];
+int main() {
+	float total = 0.0;
+	for (int i = 0; i < 8; i++) {
+		float row = 0.0;
+		for (int j = 0; j < 8; j++) {
+			row = row + m[i*8+j];
+		}
+		total = total + row;
+	}
+	print(total);
+	return 0;
+}`)
+	if st.ReductionPhis != 2 {
+		t.Errorf("reduction phis = %d, want 2 (row and total)", st.ReductionPhis)
+	}
+	if st.InductionPhis != 2 {
+		t.Errorf("induction phis = %d, want 2 (i and j)", st.InductionPhis)
+	}
+}
+
+func TestBranchGuardedReductionNotBroken(t *testing.T) {
+	// s is only updated when the guard holds, so the back edge carries a
+	// merge phi, not the update op; the conservative detector must keep
+	// the dependence (breaking it would mis-handle partial updates).
+	_, st := analyze(t, `
+float a[32];
+int main() {
+	float s = 0.0;
+	for (int i = 0; i < 32; i++) {
+		if (a[i] > 0.0) {
+			s = s + a[i];
+		}
+	}
+	print(s);
+	return 0;
+}`)
+	if st.ReductionPhis != 0 {
+		t.Errorf("reduction phis = %d, want 0 (update is branch-guarded)", st.ReductionPhis)
+	}
+}
+
+func TestInductionReadAfterLoop(t *testing.T) {
+	// The counter escapes the loop: breaking the carried dependence only
+	// affects critical-path accounting, never values, so i stays an
+	// induction variable and the exit value remains readable.
+	_, st := analyze(t, `
+int main() {
+	int i;
+	int n = 0;
+	for (i = 0; i < 10; i++) {
+		n = n + 2;
+	}
+	return i + n;
+}`)
+	if st.InductionPhis < 1 {
+		t.Errorf("induction phis = %d, want >= 1 (i escapes but is still induction)", st.InductionPhis)
+	}
+}

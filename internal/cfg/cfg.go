@@ -293,19 +293,31 @@ func (g *Graph) Loops(idom []int) []*Loop {
 		}
 	}
 	var loops []*Loop
-	for h, rawBody := range byHeader {
+	// Iterate headers in block order, not map order: Loop.ID (and through it
+	// the static region numbering) must be deterministic across runs.
+	for h := 0; h < n; h++ {
+		rawBody, ok := byHeader[h]
+		if !ok {
+			continue
+		}
 		set := map[int]bool{}
 		for _, b := range rawBody {
 			set[b] = true
 		}
 		l := &Loop{Header: g.Blocks[h], inBody: make(map[*ir.Block]bool)}
-		for b := range set {
+		for b := 0; b < n; b++ {
+			if !set[b] {
+				continue
+			}
 			l.Blocks = append(l.Blocks, g.Blocks[b])
 			l.inBody[g.Blocks[b]] = true
 		}
 		// Exits: successors outside the body.
 		seenExit := map[int]bool{}
-		for b := range set {
+		for b := 0; b < n; b++ {
+			if !set[b] {
+				continue
+			}
 			for _, s := range g.Succs[b] {
 				if !set[s] && !seenExit[s] {
 					seenExit[s] = true

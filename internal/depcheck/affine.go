@@ -1,0 +1,368 @@
+// Affine subscript analysis: abstract memory objects, extraction of
+// subscripts as affine functions of the loop's normalized iteration number,
+// and the ZIV / strong-SIV / GCD dependence tests.
+package depcheck
+
+import (
+	"kremlin/internal/ast"
+	"kremlin/internal/cfg"
+	"kremlin/internal/ir"
+)
+
+// object identifies the base of a memory access for alias classification.
+// Exactly one of global/alloc/param is set, or unknown.
+type object struct {
+	global  *ir.Global // module global (scalar cell or array)
+	alloc   *ir.Instr  // OpAllocArray local
+	param   *ir.Instr  // array parameter: may alias any same-typed array
+	elem    ast.BasicKind
+	unknown bool
+}
+
+func (o object) isArray() bool {
+	switch {
+	case o.global != nil:
+		return o.global.IsArray()
+	case o.alloc != nil, o.param != nil:
+		return true
+	}
+	return false
+}
+
+func (o object) name() string {
+	switch {
+	case o.global != nil:
+		return o.global.Name
+	case o.alloc != nil:
+		return "local array " + o.alloc.Name()
+	case o.param != nil:
+		return "array parameter " + o.param.Name()
+	}
+	return "?"
+}
+
+// sameObject reports must-aliasing: the two accesses touch the very same
+// object on every execution.
+func sameObject(a, b object) bool {
+	if a.unknown || b.unknown {
+		return false
+	}
+	return a.global == b.global && a.alloc == b.alloc && a.param == b.param
+}
+
+// mayAlias reports whether two objects can overlap. Distinct globals and
+// distinct local allocations are disjoint; an array parameter may be bound
+// to any array of the same element type from the caller (including another
+// parameter or a global), but never to an array allocated in this function
+// after the call was made.
+func mayAlias(a, b object) bool {
+	if a.unknown || b.unknown {
+		return true
+	}
+	if sameObject(a, b) {
+		return true
+	}
+	if a.elem != b.elem {
+		return false
+	}
+	if a.param != nil {
+		return b.isArray() && b.alloc == nil
+	}
+	if b.param != nil {
+		return a.isArray() && a.alloc == nil
+	}
+	return false
+}
+
+// resolveCell walks a load/store cell operand (a chain of OpViews over a
+// base) to the abstract object and subscript list, outermost dimension
+// first. whole is true when the access cannot be expressed as one element
+// of the object (partial views passed around, unexpected shapes).
+func resolveCell(v ir.Value) (object, []ir.Value, bool) {
+	var subs []ir.Value
+	for {
+		ins, ok := v.(*ir.Instr)
+		if !ok {
+			return object{unknown: true}, nil, true
+		}
+		switch ins.Op {
+		case ir.OpView:
+			subs = append([]ir.Value{ins.Args[1]}, subs...)
+			v = ins.Args[0]
+		case ir.OpGlobal:
+			obj := object{global: ins.Global, elem: ins.Global.Elem}
+			if len(subs) != len(ins.Global.Dims) {
+				return obj, nil, true
+			}
+			return obj, subs, false
+		case ir.OpAllocArray:
+			obj := object{alloc: ins, elem: ins.Typ.Elem}
+			if len(subs) != ins.Typ.Dims {
+				return obj, nil, true
+			}
+			return obj, subs, false
+		case ir.OpParam:
+			if ins.Typ.Dims == 0 {
+				return object{unknown: true}, nil, true
+			}
+			obj := object{param: ins, elem: ins.Typ.Elem}
+			if len(subs) != ins.Typ.Dims {
+				return obj, nil, true
+			}
+			return obj, subs, false
+		default:
+			return object{unknown: true}, nil, true
+		}
+	}
+}
+
+// ivInfo describes one basic induction variable of a loop: its value at
+// normalized iteration n (0, 1, 2, ...) is start + step·n.
+type ivInfo struct {
+	step   int64
+	stepOK bool     // step is a known integer constant
+	start  ir.Value // value on loop entry (defined outside the loop)
+}
+
+// inductionVars collects the analysis-annotated induction phis of l's
+// header with their steps. A phi whose update is not a linear advance
+// (i = c - i, or a loop-variant step) gets stepOK false and is treated as
+// opaque by the affine extraction.
+func inductionVars(l *cfg.Loop) map[*ir.Instr]ivInfo {
+	ivs := make(map[*ir.Instr]ivInfo)
+	for _, phi := range l.Header.Instrs {
+		if phi.Op != ir.OpPhi || !phi.Induction {
+			continue
+		}
+		info := ivInfo{}
+		for i, pred := range phi.Block.Preds {
+			if l.Contains(pred) {
+				if upd, ok := phi.Args[i].(*ir.Instr); ok {
+					info.step, info.stepOK = stepOf(upd, phi)
+				}
+			} else {
+				info.start = phi.Args[i]
+			}
+		}
+		ivs[phi] = info
+	}
+	return ivs
+}
+
+// stepOf extracts the constant step of an induction update i = i ± c.
+func stepOf(upd *ir.Instr, phi *ir.Instr) (int64, bool) {
+	if upd.Op != ir.OpBin || len(upd.Args) != 2 {
+		return 0, false
+	}
+	carried := -1
+	for i, a := range upd.Args {
+		if a == ir.Value(phi) {
+			carried = i
+		}
+	}
+	if carried < 0 {
+		return 0, false
+	}
+	c, ok := upd.Args[1-carried].(*ir.ConstInt)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case upd.Bin == ir.BinAdd:
+		return c.V, true
+	case upd.Bin == ir.BinSub && carried == 0:
+		return -c.V, true
+	}
+	// i = c - i oscillates: not linear in the iteration number.
+	return 0, false
+}
+
+// affine is a subscript expressed as k·n + Σ base[v]·v + c over the loop's
+// normalized iteration number n, with loop-invariant symbolic terms v.
+type affine struct {
+	ok   bool
+	k    int64
+	c    int64
+	base map[ir.Value]int64
+}
+
+func (a affine) equalBases(b affine) bool {
+	for v, n := range a.base {
+		if b.base[v] != n {
+			return false
+		}
+	}
+	for v, n := range b.base {
+		if a.base[v] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *affine) addTerm(v ir.Value, n int64) {
+	if n == 0 {
+		return
+	}
+	if a.base == nil {
+		a.base = make(map[ir.Value]int64)
+	}
+	a.base[v] += n
+	if a.base[v] == 0 {
+		delete(a.base, v)
+	}
+}
+
+const affineMaxDepth = 16
+
+// affineOf extracts v as an affine function of l's iteration number.
+// scale multiplies the contribution (used by the recursion); depth bounds it.
+func affineOf(v ir.Value, l *cfg.Loop, ivs map[*ir.Instr]ivInfo, depth int) affine {
+	var out affine
+	out.ok = true
+	if !addAffine(&out, v, 1, l, ivs, depth) {
+		return affine{}
+	}
+	return out
+}
+
+func addAffine(out *affine, v ir.Value, scale int64, l *cfg.Loop, ivs map[*ir.Instr]ivInfo, depth int) bool {
+	if depth > affineMaxDepth {
+		return false
+	}
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		out.c += scale * x.V
+		return true
+	case *ir.Instr:
+		if iv, isIV := ivs[x]; isIV {
+			if !iv.stepOK || iv.start == nil {
+				return false
+			}
+			// value = start + step·n
+			out.k += scale * iv.step
+			return addAffine(out, iv.start, scale, l, ivs, depth+1)
+		}
+		if !l.Contains(x.Block) {
+			out.addTerm(x, scale)
+			return true // loop-invariant SSA value: a fixed symbol
+		}
+		if x.Op != ir.OpBin {
+			return false
+		}
+		switch x.Bin {
+		case ir.BinAdd:
+			return addAffine(out, x.Args[0], scale, l, ivs, depth+1) &&
+				addAffine(out, x.Args[1], scale, l, ivs, depth+1)
+		case ir.BinSub:
+			return addAffine(out, x.Args[0], scale, l, ivs, depth+1) &&
+				addAffine(out, x.Args[1], -scale, l, ivs, depth+1)
+		case ir.BinMul:
+			if c, ok := x.Args[1].(*ir.ConstInt); ok {
+				return addAffine(out, x.Args[0], scale*c.V, l, ivs, depth+1)
+			}
+			if c, ok := x.Args[0].(*ir.ConstInt); ok {
+				return addAffine(out, x.Args[1], scale*c.V, l, ivs, depth+1)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Per-dimension dependence test outcomes.
+type dimResult int
+
+const (
+	dimNever  dimResult = iota // no cross-iteration flow solution in this dim
+	dimAlways                  // equal in every iteration pair (ZIV-equal)
+	dimDist                    // equal exactly at read-after-write distance d
+	dimMaybe                   // cannot decide
+)
+
+// testDim solves w(n_w) == r(n_r) for a flow dependence (write at n_w,
+// read at n_r > n_w) in one dimension.
+func testDim(w, r affine) (dimResult, int64) {
+	if !w.ok || !r.ok || !w.equalBases(r) {
+		return dimMaybe, 0
+	}
+	dc := r.c - w.c
+	switch {
+	case w.k == r.k && w.k == 0: // ZIV
+		if dc == 0 {
+			return dimAlways, 0
+		}
+		return dimNever, 0
+	case w.k == r.k: // strong SIV: k(n_w − n_r) = dc
+		if dc%w.k != 0 {
+			return dimNever, 0
+		}
+		d := -dc / w.k // n_r − n_w
+		if d <= 0 {
+			// d == 0: same-iteration only. d < 0: the write happens in a
+			// later iteration than the read — an anti dependence, which
+			// renaming removes (flow-only semantics).
+			return dimNever, 0
+		}
+		return dimDist, d
+	default: // weak SIV / MIV: GCD test
+		g := gcd(abs64(w.k), abs64(r.k))
+		if g != 0 && dc%g != 0 {
+			return dimNever, 0
+		}
+		return dimMaybe, 0
+	}
+}
+
+type pairResult int
+
+const (
+	pairIndependent pairResult = iota
+	pairDefinite
+	pairMaybe
+)
+
+// testPair combines the per-dimension tests: any provably-unequal
+// dimension (or two dimensions demanding different distances) makes the
+// pair independent; a consistent solution across all dimensions with no
+// undecided dimension is a definite carried dependence.
+func testPair(w, r []affine) (pairResult, int64) {
+	if len(w) != len(r) {
+		return pairMaybe, 0
+	}
+	var dist int64
+	haveDist := false
+	maybe := false
+	for d := range w {
+		res, dd := testDim(w[d], r[d])
+		switch res {
+		case dimNever:
+			return pairIndependent, 0
+		case dimDist:
+			if haveDist && dd != dist {
+				return pairIndependent, 0 // inconsistent distances: no solution
+			}
+			haveDist, dist = true, dd
+		case dimMaybe:
+			maybe = true
+		}
+	}
+	if maybe {
+		return pairMaybe, 0
+	}
+	return pairDefinite, dist
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

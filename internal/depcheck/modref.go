@@ -1,0 +1,424 @@
+// Bottom-up mod/ref call summaries: which globals and array parameters a
+// function (transitively) reads or writes, and whether it performs ordered
+// side effects. Computed as a fixpoint so mutual recursion is handled; the
+// sets only grow, so the iteration terminates.
+package depcheck
+
+import (
+	"sort"
+
+	"kremlin/internal/cfg"
+	"kremlin/internal/ir"
+)
+
+// Summary is the mod/ref summary of one function, at whole-object
+// granularity. Parameter effects are indices into the caller's argument
+// list; effects on function-local arrays that do not escape through a
+// return value are invisible here (each call allocates fresh ones).
+type Summary struct {
+	ReadGlobals  []*ir.Global
+	WriteGlobals []*ir.Global
+	ReadParams   []int // indices of array parameters read
+	WriteParams  []int // indices of array parameters written
+	// MustWriteGlobals are scalar globals definitely stored on every call
+	// that returns. Whole-object summaries lose the callee's internal
+	// ordering, so plain WriteGlobals can never prove a kill; a must-write
+	// can.
+	MustWriteGlobals []*ir.Global
+	// ExposedReadGlobals are scalar globals that every returning call reads
+	// before anything could have written them: the callee definitely
+	// observes the state from before the call. Only exposed reads can anchor
+	// a *definite* cross-iteration dependence through a call.
+	ExposedReadGlobals []*ir.Global
+	Impure             bool // RNG or I/O side effects, possibly via callees
+	RNG                bool // the impurity involves the RNG state
+	UncondImpure       bool // an impure effect happens on every call that returns
+	Opaque             bool // touches memory the analysis cannot attribute
+}
+
+// mustWrites reports whether g is in MustWriteGlobals.
+func (s *Summary) mustWrites(g *ir.Global) bool {
+	for _, x := range s.MustWriteGlobals {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// exposedRead reports whether g is in ExposedReadGlobals.
+func (s *Summary) exposedRead(g *ir.Global) bool {
+	for _, x := range s.ExposedReadGlobals {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+type sumBuild struct {
+	readG, writeG map[*ir.Global]bool
+	mustWG        map[*ir.Global]bool
+	exposedG      map[*ir.Global]bool
+	readP, writeP map[int]bool
+	impure        bool
+	rng           bool
+	uncond        bool
+	opaque        bool
+}
+
+func newSumBuild() *sumBuild {
+	return &sumBuild{
+		readG:    make(map[*ir.Global]bool),
+		writeG:   make(map[*ir.Global]bool),
+		mustWG:   make(map[*ir.Global]bool),
+		exposedG: make(map[*ir.Global]bool),
+		readP:    make(map[int]bool),
+		writeP:   make(map[int]bool),
+	}
+}
+
+// merge folds o into s and reports whether s grew.
+func (s *sumBuild) merge(o *sumBuild) bool {
+	changed := false
+	for g := range o.readG {
+		if !s.readG[g] {
+			s.readG[g] = true
+			changed = true
+		}
+	}
+	for g := range o.writeG {
+		if !s.writeG[g] {
+			s.writeG[g] = true
+			changed = true
+		}
+	}
+	for g := range o.mustWG {
+		if !s.mustWG[g] {
+			s.mustWG[g] = true
+			changed = true
+		}
+	}
+	for p := range o.readP {
+		if !s.readP[p] {
+			s.readP[p] = true
+			changed = true
+		}
+	}
+	for p := range o.writeP {
+		if !s.writeP[p] {
+			s.writeP[p] = true
+			changed = true
+		}
+	}
+	grow := func(dst *bool, src bool) {
+		if src && !*dst {
+			*dst = true
+			changed = true
+		}
+	}
+	grow(&s.impure, o.impure)
+	grow(&s.rng, o.rng)
+	grow(&s.uncond, o.uncond)
+	grow(&s.opaque, o.opaque)
+	return changed
+}
+
+// Summarize computes the mod/ref summary of every function in m.
+func Summarize(m *ir.Module) map[*ir.Func]*Summary {
+	builds := make(map[*ir.Func]*sumBuild, len(m.Funcs))
+	for _, f := range m.Funcs {
+		builds[f] = newSumBuild()
+	}
+	// Phase 1: the may/must effect sets. Monotone (sets only grow), so the
+	// fixpoint terminates and handles recursion.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if builds[f].merge(scanFunc(f, builds)) {
+				changed = true
+			}
+		}
+	}
+	// Phase 2: exposed reads. Exposure shrinks as may-write sets grow, so it
+	// must run after phase 1 has converged; against the final may-writes it
+	// is again a growing (monotone) fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			for _, g := range exposedScan(f, builds) {
+				if !builds[f].exposedG[g] {
+					builds[f].exposedG[g] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make(map[*ir.Func]*Summary, len(m.Funcs))
+	for _, f := range m.Funcs {
+		out[f] = builds[f].finish()
+	}
+	return out
+}
+
+// scanFunc computes f's summary from its body and the current summaries of
+// its callees.
+func scanFunc(f *ir.Func, builds map[*ir.Func]*sumBuild) *sumBuild {
+	s := newSumBuild()
+	g := cfg.New(f)
+	idom := g.Dominators()
+	var exits []int
+	for i, b := range f.Blocks {
+		if len(b.Succs) == 0 {
+			exits = append(exits, i)
+		}
+	}
+	// dominatesExits: the instruction executes on every call that returns.
+	dominatesExits := func(ins *ir.Instr) bool {
+		bi := g.Index(ins.Block)
+		for _, e := range exits {
+			if !cfg.Dominates(idom, bi, e) {
+				return false
+			}
+		}
+		return len(exits) > 0
+	}
+
+	// noteObject records an effect on the object behind a cell operand.
+	noteObject := func(obj object, write bool) {
+		switch {
+		case obj.global != nil:
+			if write {
+				s.writeG[obj.global] = true
+			} else {
+				s.readG[obj.global] = true
+			}
+		case obj.param != nil:
+			if write {
+				s.writeP[obj.param.Slot] = true
+			} else {
+				s.readP[obj.param.Slot] = true
+			}
+		case obj.alloc != nil:
+			// Function-local array: fresh per call, invisible to callers.
+		default:
+			s.opaque = true
+		}
+	}
+
+	for _, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			switch ins.Op {
+			case ir.OpLoad:
+				obj, _, _ := resolveCell(ins.Args[0])
+				noteObject(obj, false)
+			case ir.OpStore:
+				obj, _, _ := resolveCell(ins.Args[0])
+				noteObject(obj, true)
+				if obj.global != nil && !obj.global.IsArray() && dominatesExits(ins) {
+					s.mustWG[obj.global] = true
+				}
+			case ir.OpBuiltin:
+				switch ins.Builtin {
+				case "rand", "frand", "srand":
+					s.impure = true
+					s.rng = true
+					if dominatesExits(ins) {
+						s.uncond = true
+					}
+				case "printval", "printstr", "printnl":
+					s.impure = true
+					if dominatesExits(ins) {
+						s.uncond = true
+					}
+				}
+			case ir.OpCall:
+				cs := builds[ins.Callee]
+				if cs == nil {
+					s.opaque = true
+					continue
+				}
+				s.impure = s.impure || cs.impure
+				s.rng = s.rng || cs.rng
+				s.opaque = s.opaque || cs.opaque
+				if cs.uncond && dominatesExits(ins) {
+					s.uncond = true
+				}
+				if dominatesExits(ins) {
+					for cg := range cs.mustWG {
+						s.mustWG[cg] = true
+					}
+				}
+				// Map the callee's parameter effects through our arguments.
+				mapParam := func(idx int, write bool) {
+					if idx >= len(ins.Args) {
+						s.opaque = true
+						return
+					}
+					obj, _, _ := resolveCell(ins.Args[idx])
+					noteObject(obj, write)
+				}
+				for p := range cs.readP {
+					mapParam(p, false)
+				}
+				for p := range cs.writeP {
+					mapParam(p, true)
+				}
+				for cg := range cs.readG {
+					s.readG[cg] = true
+				}
+				for cg := range cs.writeG {
+					s.writeG[cg] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// exposedScan returns the scalar globals that f definitely reads before any
+// possible write on every returning call, given the converged may-write
+// summaries and the callees' current exposure sets.
+func exposedScan(f *ir.Func, builds map[*ir.Func]*sumBuild) []*ir.Global {
+	g := cfg.New(f)
+	idom := g.Dominators()
+	var exits []int
+	for i, b := range f.Blocks {
+		if len(b.Succs) == 0 {
+			exits = append(exits, i)
+		}
+	}
+	if len(exits) == 0 {
+		return nil
+	}
+	dominatesExits := func(bi int) bool {
+		for _, e := range exits {
+			if !cfg.Dominates(idom, bi, e) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// reach[i][j]: a path of at least one edge from block i to block j
+	// (reach[i][i] is true only inside a cycle).
+	n := len(f.Blocks)
+	reach := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		reach[i] = make([]bool, n)
+		stack := append([]int(nil), g.Succs[i]...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[i][x] {
+				continue
+			}
+			reach[i][x] = true
+			stack = append(stack, g.Succs[x]...)
+		}
+	}
+
+	// Per scalar global: the instructions that read it (directly, or via a
+	// call whose callee has an exposed read) and those that may write it.
+	type site struct {
+		ins *ir.Instr
+		bi  int
+		pos int
+	}
+	readers := make(map[*ir.Global][]site)
+	writers := make(map[*ir.Global][]site)
+	for bi, b := range f.Blocks {
+		for pi, ins := range b.Instrs {
+			at := site{ins, bi, pi}
+			switch ins.Op {
+			case ir.OpLoad:
+				if obj, _, _ := resolveCell(ins.Args[0]); obj.global != nil && !obj.global.IsArray() {
+					readers[obj.global] = append(readers[obj.global], at)
+				}
+			case ir.OpStore:
+				if obj, _, _ := resolveCell(ins.Args[0]); obj.global != nil && !obj.global.IsArray() {
+					writers[obj.global] = append(writers[obj.global], at)
+				}
+			case ir.OpCall:
+				cs := builds[ins.Callee]
+				if cs == nil {
+					continue
+				}
+				for cg := range cs.exposedG {
+					readers[cg] = append(readers[cg], at)
+				}
+				for cg := range cs.writeG {
+					if !cg.IsArray() {
+						writers[cg] = append(writers[cg], at)
+					}
+				}
+			}
+		}
+	}
+
+	var out []*ir.Global
+	for gl, rs := range readers {
+		exposed := false
+		for _, r := range rs {
+			if !dominatesExits(r.bi) {
+				continue
+			}
+			preceded := false
+			for _, w := range writers[gl] {
+				if w.ins == r.ins {
+					continue // a call's own write cannot precede its exposed read
+				}
+				if w.bi == r.bi && w.pos < r.pos {
+					preceded = true
+					break
+				}
+				if reach[w.bi][r.bi] {
+					preceded = true
+					break
+				}
+			}
+			if !preceded {
+				exposed = true
+				break
+			}
+		}
+		if exposed {
+			out = append(out, gl)
+		}
+	}
+	return out
+}
+
+func (s *sumBuild) finish() *Summary {
+	sum := &Summary{
+		Impure:       s.impure,
+		RNG:          s.rng,
+		UncondImpure: s.uncond,
+		Opaque:       s.opaque,
+	}
+	sum.ReadGlobals = sortGlobals(s.readG)
+	sum.WriteGlobals = sortGlobals(s.writeG)
+	sum.MustWriteGlobals = sortGlobals(s.mustWG)
+	sum.ExposedReadGlobals = sortGlobals(s.exposedG)
+	sum.ReadParams = sortInts(s.readP)
+	sum.WriteParams = sortInts(s.writeP)
+	return sum
+}
+
+func sortGlobals(set map[*ir.Global]bool) []*ir.Global {
+	out := make([]*ir.Global, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func sortInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"sort"
+
+	"kremlin"
+	"kremlin/internal/bench"
+)
+
+// VetLoop is one loop's static dependence verdict.
+type VetLoop struct {
+	Label   string // region label (file:line loop func)
+	Verdict string // parallel | serial | unknown
+	Detail  string // first dependence/blocker, empty for parallel
+}
+
+// VetRow is the static loop-dependence classification of one program.
+type VetRow struct {
+	Name     string
+	Loops    int
+	Parallel int
+	Serial   int
+	Unknown  int
+	Reports  []VetLoop
+}
+
+// Vet runs the static loop-dependence analyzer over the whole benchmark
+// suite, the tracking example, and any extra named sources (the standalone
+// example programs), returning one row per program. Only compilation is
+// needed — the verdicts are a compile-time product — so this stays cheap
+// even standalone.
+func Vet(extra map[string]string) ([]VetRow, error) {
+	srcs := make(map[string]string)
+	for _, b := range bench.All() {
+		srcs[b.Name] = b.Source
+	}
+	t := bench.Tracking()
+	srcs[t.Name] = t.Source
+	for name, src := range extra {
+		srcs[name] = src
+	}
+
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var rows []VetRow
+	for _, name := range names {
+		prog, err := kremlin.Compile(name+".kr", srcs[name])
+		if err != nil {
+			return nil, err
+		}
+		row := VetRow{Name: name, Loops: len(prog.Vet.Loops)}
+		row.Parallel, row.Serial, row.Unknown = prog.Vet.Counts()
+		for _, rep := range prog.Vet.Loops {
+			vl := VetLoop{Label: rep.Region.Label(), Verdict: rep.Verdict.String()}
+			if len(rep.Causes) > 0 {
+				vl.Detail = rep.Causes[0].String()
+			} else if len(rep.Blockers) > 0 {
+				vl.Detail = rep.Blockers[0].String()
+			}
+			row.Reports = append(row.Reports, vl)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// VetTotals sums the per-program counts.
+func VetTotals(rows []VetRow) (loops, parallel, serial, unknown int) {
+	for _, r := range rows {
+		loops += r.Loops
+		parallel += r.Parallel
+		serial += r.Serial
+		unknown += r.Unknown
+	}
+	return
+}

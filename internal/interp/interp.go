@@ -63,6 +63,10 @@ type Result struct {
 	// mode); MaxRegionDepth is the deepest nesting observed.
 	DepthWork      []uint64
 	MaxRegionDepth int
+	// CarriedDeps lists the loop regions (by static region ID, sorted) that
+	// exhibited a dynamic loop-carried flow dependence. Only populated in
+	// HCPA mode with Options.TraceDeps set.
+	CarriedDeps []int
 }
 
 // RuntimeError is an execution failure annotated with a source offset.
@@ -178,6 +182,7 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 		res.Profile = m.prof
 		res.ShadowPages = m.rt.Mem().NumPages()
 		res.ShadowWrites = m.rt.Mem().Writes
+		res.CarriedDeps = m.rt.CarriedDeps()
 	case Probe:
 		m.probeFlush()
 		res.Work = m.work

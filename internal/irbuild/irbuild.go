@@ -827,4 +827,51 @@ func Mem2Reg(f *ir.Func) {
 			}
 		}
 	}
+	PrunePhis(f)
+}
+
+// PrunePhis removes phi nodes whose values are used only by other dead phis
+// (or by nothing), turning the non-pruned SSA that iterated-dominance-
+// frontier insertion produces into pruned SSA. Dead phis carry no program
+// value, but they would still execute: a dead header phi for a loop-body
+// local reads the previous iteration's value through the shadow memory,
+// manufacturing a loop-carried dependence that neither the program nor the
+// static dependence analysis (internal/depcheck) has any use for.
+func PrunePhis(f *ir.Func) {
+	// live = phis referenced (transitively) by a non-phi instruction.
+	live := make(map[*ir.Instr]bool)
+	var work []*ir.Instr
+	markLive := func(v ir.Value) {
+		if phi, ok := v.(*ir.Instr); ok && phi.Op == ir.OpPhi && !live[phi] {
+			live[phi] = true
+			work = append(work, phi)
+		}
+	}
+	for _, blk := range f.Blocks {
+		for _, ins := range blk.Instrs {
+			if ins.Op == ir.OpPhi {
+				continue
+			}
+			for _, a := range ins.Args {
+				markLive(a)
+			}
+		}
+	}
+	for len(work) > 0 {
+		phi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range phi.Args {
+			markLive(a)
+		}
+	}
+	for _, blk := range f.Blocks {
+		keep := blk.Instrs[:0]
+		for _, ins := range blk.Instrs {
+			if ins.Op == ir.OpPhi && !live[ins] {
+				continue
+			}
+			keep = append(keep, ins)
+		}
+		blk.Instrs = keep
+	}
 }

@@ -7,6 +7,8 @@
 package kremlib
 
 import (
+	"sort"
+
 	"kremlin/internal/ir"
 	"kremlin/internal/profile"
 	"kremlin/internal/regions"
@@ -25,6 +27,12 @@ type Options struct {
 	// falling back to work (a serial, conservative assumption).
 	MinDepth int
 	MaxDepth int
+	// TraceDeps enables the loop-carried dependence tracer: every value read
+	// is checked against the region tags to detect a flow dependence that
+	// crosses iterations of an enclosing loop. Used by the fuzz oracle to
+	// cross-check the static analyzer's "provably parallel" verdicts; off in
+	// normal profiling (it adds a per-read scan over the active loop levels).
+	TraceDeps bool
 }
 
 type active struct {
@@ -65,6 +73,14 @@ type Runtime struct {
 	vecPool []shadow.Vec
 	// framePool recycles FrameState records across calls.
 	framePool []*FrameState
+
+	// Loop-carried dependence tracer state (Options.TraceDeps). depLevels
+	// holds the stack levels l where stack[l] is a loop region and
+	// stack[l+1] its body region — the levels at which a tag signature can
+	// witness a cross-iteration read. carried collects the loop regions
+	// caught doing so.
+	depLevels []int
+	carried   map[int32]bool
 }
 
 // NewRuntime returns a runtime recording into prof.
@@ -72,11 +88,15 @@ func NewRuntime(prof *profile.Profile, opts Options) *Runtime {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = DefaultMaxDepth
 	}
-	return &Runtime{
+	rt := &Runtime{
 		opts: opts,
 		mem:  shadow.NewMemory(),
 		prof: prof,
 	}
+	if opts.TraceDeps {
+		rt.carried = make(map[int32]bool)
+	}
+	return rt
 }
 
 // Mem exposes the shadow memory (the interpreter signals frees through it).
@@ -185,6 +205,14 @@ func (rt *Runtime) syncTags() {
 	}
 	if cap(rt.scratch) < d {
 		rt.scratch = make(shadow.Vec, d, d+16)
+	}
+	if rt.carried != nil {
+		rt.depLevels = rt.depLevels[:0]
+		for l := 0; l+1 < d; l++ {
+			if rt.stack[l].region.Kind == regions.LoopRegion && rt.stack[l+1].region.Kind == regions.BodyRegion {
+				rt.depLevels = append(rt.depLevels, l)
+			}
+		}
 	}
 }
 
@@ -433,6 +461,10 @@ func (rt *Runtime) Step(fs *FrameState, ins *ir.Instr, addr uint64, predIdx int)
 		}
 	}
 
+	if rt.carried != nil {
+		rt.traceIns(fs, ins, addr, predIdx)
+	}
+
 	for l := lo; l < d; l++ {
 		out[l].Time += lat
 		if out[l].Time > rt.stack[l].maxTime {
@@ -456,6 +488,90 @@ func (rt *Runtime) Step(fs *FrameState, ins *ir.Instr, addr uint64, predIdx int)
 		fs.Regs.Set(ins.ID, out, d)
 	}
 	return out
+}
+
+// traceIns is the loop-carried dependence tracer: it re-walks the values
+// ins reads — mirroring Step's fold rules exactly, including every broken
+// dependence Step skips — and flags any read whose producer ran in an
+// earlier iteration of an enclosing loop. The tag signature is decisive:
+// every shadow vector and memory slot is stamped with the region-instance
+// tags current at production, so a read at loop level l crosses iterations
+// iff the producer's tag matches at l (same dynamic loop instance) but
+// differs at l+1 (different body instance). Values produced outside the
+// loop fail the level-l match; values produced between iterations (loop
+// header) have no level-l+1 entry; both are skipped, so the tracer never
+// over-reports — the property the fuzz oracle's soundness check rests on.
+func (rt *Runtime) traceIns(fs *FrameState, ins *ir.Instr, addr uint64, predIdx int) {
+	switch ins.Op {
+	case ir.OpPhi:
+		// Induction phis have their carried dependence broken by Step;
+		// reduction phis carry only the reorderable accumulator, broken at
+		// the holder op. Neither is a dependence the runtime honors.
+		if ins.Induction || ins.Reduction {
+			return
+		}
+		if predIdx >= 0 && predIdx < len(ins.Args) {
+			rt.noteVec(rt.argVec(fs, ins.Args[predIdx]))
+		}
+	case ir.OpLoad:
+		rt.noteVec(rt.argVec(fs, ins.Args[0]))
+		if !ins.Reduction {
+			// A reduction-marked load is the accumulator's broken old-value
+			// read (a[i] += x); any other load observing an earlier
+			// iteration's store is a genuine carried flow dependence.
+			rt.noteSlot(rt.mem.Load(addr))
+		}
+	default:
+		for i, a := range ins.Args {
+			if i == ins.BreakArg {
+				continue
+			}
+			rt.noteVec(rt.argVec(fs, a))
+		}
+		switch ins.Builtin {
+		case "rand", "frand", "srand":
+			rt.noteVec(rt.randVec)
+		case "printval", "printstr", "printnl":
+			rt.noteVec(rt.ioVec)
+		}
+	}
+}
+
+func (rt *Runtime) noteVec(vec shadow.Vec) {
+	for _, l := range rt.depLevels {
+		if l+1 >= len(vec) {
+			continue
+		}
+		if vec[l].Tag == rt.tags[l] && vec[l+1].Tag != rt.tags[l+1] {
+			rt.carried[int32(rt.stack[l].region.ID)] = true
+		}
+	}
+}
+
+func (rt *Runtime) noteSlot(s shadow.Slot) {
+	for _, l := range rt.depLevels {
+		if l+1 >= len(s.Tags) {
+			continue
+		}
+		if s.Tags[l] == rt.tags[l] && s.Tags[l+1] != rt.tags[l+1] {
+			rt.carried[int32(rt.stack[l].region.ID)] = true
+		}
+	}
+}
+
+// CarriedDeps returns the static region IDs of the loop regions that
+// exhibited a dynamic loop-carried flow dependence, sorted. Nil unless the
+// runtime was created with Options.TraceDeps.
+func (rt *Runtime) CarriedDeps() []int {
+	if rt.carried == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(rt.carried))
+	for id := range rt.carried {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // FinishCall merges the callee's return-value vector into the call

@@ -31,6 +31,30 @@ func FuzzPipeline(f *testing.F) {
 	})
 }
 
+// TestSubscriptCorpusOracle replays the subscript-pattern corpus through
+// the full oracle deterministically: these programs aim the dependence
+// tests (ZIV, strong SIV, GCD, non-affine fallback) and the oracle's
+// depcheck-soundness check cross-validates every "provably parallel"
+// verdict against the runtime dependence tracer.
+func TestSubscriptCorpusOracle(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "subscript-*.kr"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no subscript corpus found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(filepath.Base(path), string(src), OracleConfig{ShardCounts: []int{2}}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // FuzzCompileAndRun feeds arbitrary text to the full front end and, when
 // it compiles, to the interpreter. The corpus seeds with every benchmark
 // and example program, so mutation starts from realistic Kr. The
@@ -49,6 +73,21 @@ func FuzzCompileAndRun(f *testing.F) {
 		src, err := os.ReadFile(filepath.FromSlash(kr))
 		if err != nil {
 			f.Fatalf("corpus seed %s: %v", kr, err)
+		}
+		f.Add(string(src))
+	}
+	// Array-subscript shapes for the dependence analyzer: ZIV cells,
+	// strong-SIV distances, coprime strides, non-affine (indirect)
+	// indices, negative steps, and aliased array arguments. Mutating from
+	// these keeps the fuzzer inside the subscript-test decision tree.
+	subs, err := filepath.Glob(filepath.Join("testdata", "subscript-*.kr"))
+	if err != nil || len(subs) == 0 {
+		f.Fatalf("no subscript corpus found: %v", err)
+	}
+	for _, path := range subs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
 		}
 		f.Add(string(src))
 	}

@@ -8,6 +8,7 @@ import (
 
 	"kremlin"
 	"kremlin/internal/ast"
+	"kremlin/internal/depcheck"
 	"kremlin/internal/parser"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
@@ -123,6 +124,29 @@ func Check(name, src string, cfg OracleConfig) error {
 	}
 	if err := checkPlannerBounds(src, prog, prof); err != nil {
 		return err
+	}
+
+	// Soundness: a loop the static dependence analyzer proved parallel must
+	// never exhibit a dynamic loop-carried flow dependence. The runtime
+	// tracer flags exactly the cross-iteration reads HCPA would serialize
+	// (broken induction/reduction dependences excluded on both sides), so
+	// any overlap is a bug in the static proof.
+	tcfg := run(&strings.Builder{})
+	tcfg.TraceDeps = true
+	_, tres, err := prog.Profile(tcfg)
+	if err != nil {
+		return fail("deptrace-run", "%v", err)
+	}
+	carried := make(map[int]bool, len(tres.CarriedDeps))
+	for _, id := range tres.CarriedDeps {
+		carried[id] = true
+	}
+	for _, rep := range prog.Vet.Loops {
+		if rep.Verdict == depcheck.Parallel && carried[rep.Region.ID] {
+			return fail("depcheck-soundness",
+				"loop %s proved parallel statically but showed a loop-carried dependence at run time",
+				rep.Region.Label())
+		}
 	}
 
 	// Determinism: a second sequential profile must serialize to the same

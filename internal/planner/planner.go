@@ -107,6 +107,11 @@ type Recommendation struct {
 	// parallelized: 1 / (1 - SavedFrac).
 	EstSpeedup float64
 	DOALL      bool
+	// Safety is the static dependence verdict for the region:
+	// "proven" (no loop-carried flow dependence can exist), "refuted"
+	// (one definitely exists — the dynamic SP evidence is input-specific),
+	// or "unproven" (static analysis could not decide).
+	Safety string
 }
 
 // Label returns the region's stable label.
@@ -179,7 +184,8 @@ func (p *Plan) Has(label string) bool {
 
 // config carries Make options.
 type config struct {
-	exclude map[string]bool
+	exclude     map[string]bool
+	requireSafe bool
 }
 
 // Option customizes planning.
@@ -197,6 +203,13 @@ func Exclude(labels ...string) Option {
 			c.exclude[l] = true
 		}
 	}
+}
+
+// RequireSafe demotes statically refuted regions out of the plan: a region
+// the dependence analyzer proved to carry a loop-carried flow dependence is
+// never recommended, however parallel it looked on the profiled input.
+func RequireSafe() Option {
+	return func(c *config) { c.requireSafe = true }
 }
 
 // Make produces a plan for the profile summary under the personality.
@@ -264,10 +277,16 @@ func (pl *planning) run() *Plan {
 			SavedFrac:  saved,
 			EstSpeedup: speedupFrom(saved),
 			DOALL:      st.DOALL,
+			Safety:     st.Region.Safety.String(),
 		})
 	}
+	// Order by benefit; break exact ties by region ID so the emitted plan is
+	// byte-identical across runs regardless of selection order upstream.
 	sort.SliceStable(plan.Recs, func(i, j int) bool {
-		return plan.Recs[i].SavedFrac > plan.Recs[j].SavedFrac
+		if plan.Recs[i].SavedFrac != plan.Recs[j].SavedFrac {
+			return plan.Recs[i].SavedFrac > plan.Recs[j].SavedFrac
+		}
+		return plan.Recs[i].Stats.Region.ID < plan.Recs[j].Stats.Region.ID
 	})
 	var total float64
 	for _, r := range plan.Recs {
@@ -287,7 +306,10 @@ func selectableKind(r *regions.Region) bool {
 }
 
 func (pl *planning) excluded(st *hcpa.RegionStats) bool {
-	return pl.cfg.exclude[st.Region.Label()]
+	if pl.cfg.exclude[st.Region.Label()] {
+		return true
+	}
+	return pl.cfg.requireSafe && st.Region.Safety == regions.SafetyRefuted
 }
 
 // savedFrac estimates the whole-program time fraction saved by
@@ -438,12 +460,12 @@ func (pl *planning) collect(r *regions.Region, out *[]*hcpa.RegionStats, onPath 
 // location, self-parallelism, and coverage, ordered by estimated speedup.
 func (p *Plan) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%4s  %-38s %10s %8s %10s  %s\n", "#", "Region (lines)", "Self-P", "Cov(%)", "Est.Spd", "Kind")
+	fmt.Fprintf(&sb, "%4s  %-38s %10s %8s %10s  %-16s %s\n", "#", "Region (lines)", "Self-P", "Cov(%)", "Est.Spd", "Kind", "Safety")
 	for i, r := range p.Recs {
 		reg := r.Stats.Region
 		loc := fmt.Sprintf("%s (%d-%d) %s %s", reg.File, reg.StartLine, reg.EndLine, reg.Kind, reg.Func.Name)
-		fmt.Fprintf(&sb, "%4d  %-38s %10.1f %8.2f %10.3f  %s\n",
-			i+1, loc, r.Stats.SelfP, r.Stats.Coverage*100, r.EstSpeedup, r.Hint())
+		fmt.Fprintf(&sb, "%4d  %-38s %10.1f %8.2f %10.3f  %-16s %s\n",
+			i+1, loc, r.Stats.SelfP, r.Stats.Coverage*100, r.EstSpeedup, r.Hint(), r.Safety)
 	}
 	fmt.Fprintf(&sb, "plan: %d of %d regions; ideal whole-program speedup %.2fx (personality=%s)\n",
 		len(p.Recs), p.Considered, p.EstProgramSpeedup, p.Personality.Name)

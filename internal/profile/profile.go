@@ -128,6 +128,12 @@ func makeKey(staticID int32, work, cp uint64, kids []Child) string {
 type Profile struct {
 	Dict  *Dict
 	Roots []int32
+	// Safety is the static loop-dependence verdict per static region ID
+	// (the numeric values of regions.Safety: 0 unproven, 1 proven,
+	// 2 refuted), recorded by the compiler so profile consumers can annotate
+	// plans without re-running the static analysis. Empty for profiles
+	// written before the KRPF2 format or by tools without the verdicts.
+	Safety []uint8
 }
 
 // New returns an empty profile.
@@ -188,9 +194,19 @@ func (p *Profile) Merge(other *Profile) {
 	for _, r := range other.Roots {
 		p.Roots = append(p.Roots, remap[r])
 	}
+	// Safety is a compile-time property of the static region tree, identical
+	// across runs of the same program; adopt other's if p has none.
+	if len(p.Safety) == 0 {
+		p.Safety = append([]uint8(nil), other.Safety...)
+	}
 }
 
-const magic = "KRPF1\n"
+// The serialized formats. KRPF2 appends a safety-verdict section after the
+// roots; KRPF1 files (without it) still read back.
+const (
+	magic   = "KRPF2\n"
+	magicV1 = "KRPF1\n"
+)
 
 // WriteTo serializes the profile in a compact varint format.
 func (p *Profile) WriteTo(w io.Writer) (int64, error) {
@@ -217,6 +233,10 @@ func (p *Profile) WriteTo(w io.Writer) (int64, error) {
 	for _, r := range p.Roots {
 		put(uint64(r))
 	}
+	put(uint64(len(p.Safety)))
+	for _, s := range p.Safety {
+		put(uint64(s))
+	}
 	n, err := w.Write(buf)
 	return int64(n), err
 }
@@ -242,7 +262,16 @@ func ReadFrom(r io.Reader) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+	if len(data) < len(magic) {
+		return nil, errors.New("profile: bad magic")
+	}
+	version := 0
+	switch string(data[:len(magic)]) {
+	case magic:
+		version = 2
+	case magicV1:
+		version = 1
+	default:
 		return nil, errors.New("profile: bad magic")
 	}
 	data = data[len(magic):]
@@ -311,6 +340,22 @@ func ReadFrom(r io.Reader) (*Profile, error) {
 			return nil, fmt.Errorf("profile: root %d out of range", r)
 		}
 		p.AddRoot(int32(r))
+	}
+	if version >= 2 {
+		nSafety, err := get()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nSafety; i++ {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if v > 2 {
+				return nil, fmt.Errorf("profile: bad safety verdict %d for region %d", v, i)
+			}
+			p.Safety = append(p.Safety, uint8(v))
+		}
 	}
 	return p, nil
 }

@@ -37,6 +37,30 @@ func (k Kind) String() string {
 	return "?"
 }
 
+// Safety is the static loop-dependence verdict attached to a region by
+// internal/depcheck: whether parallelizing the region is provably safe
+// (no loop-carried flow dependence), provably unsafe, or undecided.
+type Safety uint8
+
+// The safety verdicts. The zero value is SafetyUnproven so regions the
+// analyzer never looks at (function regions, loops in unanalyzed modules)
+// default to "unproven".
+const (
+	SafetyUnproven Safety = iota // analysis could not decide
+	SafetyProven                 // provably free of loop-carried flow dependences
+	SafetyRefuted                // a definite loop-carried dependence exists
+)
+
+func (s Safety) String() string {
+	switch s {
+	case SafetyProven:
+		return "proven"
+	case SafetyRefuted:
+		return "refuted"
+	}
+	return "unproven"
+}
+
 // Region is a node of the static region tree.
 type Region struct {
 	ID       int
@@ -51,6 +75,9 @@ type Region struct {
 	Name               string
 	File               string
 	StartLine, EndLine int
+	// Safety is the depcheck verdict for loop regions (SafetyUnproven until
+	// the analyzer runs; always SafetyUnproven for func/body regions).
+	Safety Safety
 }
 
 func (r *Region) String() string {

@@ -26,6 +26,7 @@ import (
 
 	"kremlin/internal/analysis"
 	"kremlin/internal/ast"
+	"kremlin/internal/depcheck"
 	"kremlin/internal/hcpa"
 	"kremlin/internal/instrument"
 	"kremlin/internal/interp"
@@ -50,6 +51,10 @@ type Program struct {
 	Module  *ir.Module
 	Regions *regions.Program
 	Instr   *instrument.Module
+	// Vet holds the static loop-dependence verdicts (provably parallel /
+	// provably serial / unknown per loop region); the same verdicts are
+	// stamped on Regions as each region's Safety.
+	Vet *depcheck.Result
 	// Analysis reports how many induction/reduction dependencies the static
 	// analysis broke.
 	Analysis analysis.Stats
@@ -102,6 +107,7 @@ func CompileWith(name, src string, o CompileOptions) (*Program, error) {
 		stats = analysis.Run(mod)
 	}
 	regs := regions.Analyze(mod, file)
+	vet := depcheck.Analyze(regs)
 	return &Program{
 		File:     file,
 		AST:      tree,
@@ -109,6 +115,7 @@ func CompileWith(name, src string, o CompileOptions) (*Program, error) {
 		Module:   mod,
 		Regions:  regs,
 		Instr:    instrument.Build(regs),
+		Vet:      vet,
 		Analysis: stats,
 		Opt:      ostats,
 	}, nil
@@ -120,6 +127,11 @@ type RunConfig struct {
 	MaxSteps uint64    // instruction budget; 0 = default
 	// MinDepth/MaxDepth bound the HCPA depth collection window.
 	MinDepth, MaxDepth int
+	// TraceDeps turns on the runtime loop-carried dependence tracer (HCPA
+	// profiling only); the loops caught with a cross-iteration flow
+	// dependence come back in Result.CarriedDeps. Used to cross-check the
+	// static analyzer's verdicts against observed executions.
+	TraceDeps bool
 }
 
 func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
@@ -127,7 +139,7 @@ func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
 	if cfg != nil {
 		ic.Out = cfg.Out
 		ic.MaxSteps = cfg.MaxSteps
-		ic.Opts = kremlib.Options{MinDepth: cfg.MinDepth, MaxDepth: cfg.MaxDepth}
+		ic.Opts = kremlib.Options{MinDepth: cfg.MinDepth, MaxDepth: cfg.MaxDepth, TraceDeps: cfg.TraceDeps}
 	}
 	return ic
 }
@@ -151,7 +163,18 @@ func (p *Program) Profile(cfg *RunConfig) (*profile.Profile, *interp.Result, err
 	if err != nil {
 		return nil, nil, err
 	}
+	res.Profile.Safety = p.safetyVector()
 	return res.Profile, res, nil
+}
+
+// safetyVector flattens the per-region static dependence verdicts into the
+// profile's region-ID-indexed safety section.
+func (p *Program) safetyVector() []uint8 {
+	out := make([]uint8, len(p.Regions.Regions))
+	for i, r := range p.Regions.Regions {
+		out[i] = uint8(r.Safety)
+	}
+	return out
 }
 
 // ProfileSharded splits HCPA collection across shards complementary
@@ -170,6 +193,7 @@ func (p *Program) ProfileSharded(cfg *RunConfig, shards int) (*profile.Profile, 
 	if err != nil {
 		return nil, nil, err
 	}
+	res.Profile.Safety = p.safetyVector()
 	return res.Profile, res, nil
 }
 
