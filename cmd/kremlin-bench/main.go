@@ -4,14 +4,20 @@
 //
 // Usage:
 //
-//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz]
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz|serve]
 //	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
 //	              [-fuzz-n 200] [-seed 1] [-fuzz-out dir]
+//	              [-serve-conc 100,1000] [-serve-jobs N]
 //	              [-cpuprofile f] [-memprofile f]
 //
 // The shards experiment measures the parallel depth-window sharded
 // profiler (wall-clock, allocations, plan equivalence vs the sequential
 // run); -json writes its rows as a machine-readable artifact.
+//
+// The serve experiment load-tests the kremlin-serve daemon in-process
+// over real HTTP: sustained QPS and p50/p99 latency at each -serve-conc
+// concurrency level; -json writes BENCH_serve.json. Like fuzz it only
+// runs when named (it measures the service layer, not a paper table).
 //
 // The fuzz experiment runs a differential/metamorphic fuzzing campaign:
 // -fuzz-n generated programs (seeds -seed .. -seed+n-1) through every
@@ -43,6 +49,8 @@ var (
 	fuzzN       = flag.Int("fuzz-n", 200, "number of generated programs for the fuzz experiment")
 	fuzzSeed    = flag.Int64("seed", 1, "base generator seed for the fuzz experiment")
 	fuzzOut     = flag.String("fuzz-out", ".", "directory for shrunk fuzz reproducers")
+	serveConc   = flag.String("serve-conc", "100,1000", "comma-separated concurrency levels for the serve experiment")
+	serveJobs   = flag.Int("serve-jobs", 0, "jobs per serve concurrency level (0 = 3x concurrency)")
 )
 
 func main() {
@@ -85,11 +93,18 @@ func main() {
 	run("vet", vet)
 	run("ablation", ablation)
 	run("personality", personality)
-	// The fuzz campaign only runs when asked for by name: it is a
-	// correctness check, not one of the paper's evaluation tables.
+	// The fuzz campaign and the serve load test only run when asked for
+	// by name: one is a correctness check, the other a service-layer
+	// measurement — neither is a paper evaluation table.
 	if *which == "fuzz" {
 		if err := fuzz(); err != nil {
 			fmt.Fprintf(os.Stderr, "kremlin-bench: fuzz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *which == "serve" {
+		if err := serveBench(); err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-bench: serve: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -462,6 +477,40 @@ func fuzz() error {
 	}
 	if res.Failed > 0 {
 		return fmt.Errorf("%d of %d programs failed the oracle", res.Failed, res.N)
+	}
+	return nil
+}
+
+func serveBench() error {
+	header("kremlin-serve under load: sustained QPS and latency percentiles")
+	var concs []int
+	for _, s := range strings.Split(*serveConc, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || c < 1 {
+			return fmt.Errorf("bad -serve-conc entry %q", s)
+		}
+		concs = append(concs, c)
+	}
+	rows, err := eval.ServeBench(concs, *serveJobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %8s %8s %10s %10s %10s %10s %6s %7s\n",
+		"conc", "jobs", "workers", "QPS", "p50(ms)", "p99(ms)", "max(ms)", "ok", "errors")
+	for _, r := range rows {
+		fmt.Printf("%-6d %8d %8d %10.1f %10.2f %10.2f %10.2f %6d %7d\n",
+			r.Concurrency, r.Jobs, r.Workers, r.QPS, r.P50Ms, r.P99Ms, r.MaxMs, r.OK, r.Errors)
+	}
+	fmt.Printf("(GOMAXPROCS=%d; in-process daemon over real HTTP loopback)\n", runtime.GOMAXPROCS(0))
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	return nil
 }

@@ -15,10 +15,15 @@
 // Usage:
 //
 //	kremlin-run [-mode=hcpa|gprof] [-o prog.krpf] [-merge] [-mindepth N] [-maxdepth N]
-//	            [-shards K] [-cpuprofile f] [-memprofile f] prog.kr
+//	            [-shards K] [-timeout d] [-max-insns N] [-cpuprofile f] [-memprofile f] prog.kr
+//
+// Exit codes follow the shared taxonomy (kremlin.ExitCodeFor): 0 success,
+// 1 I/O or other error, 2 usage, 3 parse error, 4 analysis error, 5
+// runtime error, 6 resource limit (budget, -timeout deadline, memory cap).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +35,12 @@ import (
 	"kremlin/internal/profile"
 )
 
+// fail reports err and exits with its taxonomy code.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kremlin-run:", err)
+	os.Exit(kremlin.ExitCodeFor(err))
+}
+
 func main() {
 	out := flag.String("o", "", "profile output path (default: source with .krpf extension)")
 	merge := flag.Bool("merge", false, "merge into an existing profile instead of replacing it")
@@ -37,6 +48,8 @@ func main() {
 	minDepth := flag.Int("mindepth", 0, "region-depth collection window lower bound")
 	shards := flag.Int("shards", 1, "split HCPA collection across K concurrent depth-window shard runs")
 	mode := flag.String("mode", "hcpa", "instrumentation mode: hcpa (parallelism profile) or gprof (serial hotspot list)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none); overrun exits 6")
+	maxInsns := flag.Uint64("max-insns", 0, "instruction budget for the run (0 = default); overrun exits 6")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProf := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
@@ -82,27 +95,37 @@ func main() {
 	prog, err := kremlin.Compile(path, string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(kremlin.ExitCodeFor(err))
+	}
+	// -timeout and -max-insns ride the same context/budget plumbing the
+	// serve daemon uses, so the CLI and the daemon stop runaway programs
+	// identically.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *mode == "gprof" {
 		// The paper's §2.1 baseline workflow: a serial hotspot list with no
 		// parallelism information.
-		res, err := prog.RunGprof(&kremlin.RunConfig{Out: os.Stdout})
+		res, err := prog.RunGprof(&kremlin.RunConfig{Out: os.Stdout, Ctx: ctx, MaxSteps: *maxInsns})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Print(kremlin.RenderHotspots(prog.Hotspots(res)))
 		return
 	}
-	cfg := &kremlin.RunConfig{Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth}
+	cfg := &kremlin.RunConfig{
+		Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth,
+		Ctx: ctx, MaxSteps: *maxInsns,
+	}
 	var prof *profile.Profile
 	var work uint64
 	if *shards > 1 {
 		sprof, sres, err := prog.ProfileSharded(cfg, *shards)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		prof, work = sprof, sres.Work()
 		fmt.Fprintf(os.Stderr, "kremlin-run: %d depth-window shards:", len(sres.Windows))
@@ -113,8 +136,7 @@ func main() {
 	} else {
 		fprof, res, err := prog.Profile(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin-run:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		prof, work = fprof, res.Work
 	}

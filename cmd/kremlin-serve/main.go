@@ -1,0 +1,90 @@
+// Command kremlin-serve runs the Kremlin profiling daemon: POST a Kr
+// program to /profile and receive its parallelism profile, ranked plan,
+// and static vet report as an NDJSON stream.
+//
+// Usage:
+//
+//	kremlin-serve [-addr :8080] [-workers N] [-queue N] [-job-timeout d]
+//	              [-max-insns N] [-max-pages N] [-max-heap-words N]
+//	              [-rate R] [-burst N] [-shards K]
+//
+// The daemon sheds load with 429 when the queue is full, rate-limits
+// per tenant (X-Kremlin-Tenant header) when -rate is set, and drains
+// gracefully on SIGINT/SIGTERM: in-flight and queued jobs finish, new
+// submissions get 503, then the process exits. See docs/serve.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kremlin/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", serve.DefaultWorkers, "worker pool size (concurrent jobs)")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (beyond it: 429)")
+	jobTimeout := flag.Duration("job-timeout", serve.DefaultJobTimeout, "per-job wall-clock deadline")
+	maxInsns := flag.Uint64("max-insns", serve.DefaultMaxInsns, "per-job instruction budget")
+	maxPages := flag.Int("max-pages", serve.DefaultMaxPages, "per-job shadow-memory page cap")
+	maxHeap := flag.Uint64("max-heap-words", serve.DefaultMaxHeap, "per-job simulated-heap cap (8-byte words)")
+	rate := flag.Float64("rate", 0, "per-tenant jobs/sec (0 = no rate limiting)")
+	burst := flag.Int("burst", 0, "per-tenant burst (default 2x rate)")
+	shards := flag.Int("shards", 1, "depth-window shards per job")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: kremlin-serve [flags]")
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		MaxInsns:       *maxInsns,
+		MaxShadowPages: *maxPages,
+		MaxHeapWords:   *maxHeap,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		Shards:         *shards,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kremlin-serve: listening on %s (%d workers, queue %d)\n",
+		*addr, *workers, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "kremlin-serve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kremlin-serve: %s, draining\n", sig)
+	}
+
+	// Graceful drain: stop admission, finish queued + in-flight jobs,
+	// then stop the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-serve: drain:", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kremlin-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "kremlin-serve: drained cleanly")
+}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,13 @@ import (
 	"kremlin/internal/profile"
 )
 
+// fail reports err and exits with its taxonomy code (3 parse, 4 analysis,
+// 5 runtime, 6 limit, 1 other — see kremlin.ExitCodeFor).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kremlin:", err)
+	os.Exit(kremlin.ExitCodeFor(err))
+}
+
 func main() {
 	pers := flag.String("personality", "openmp", "planner personality: openmp, cilk, work-only, work+sp")
 	profPath := flag.String("profile", "", "profile file from kremlin-run (default: profile on the fly)")
@@ -39,6 +47,8 @@ func main() {
 	labels := flag.Bool("labels", false, "print region labels usable with -exclude")
 	requireSafe := flag.Bool("require-safe", false, "drop regions whose parallelization the static dependence analysis refuted")
 	shards := flag.Int("shards", 1, "profile with K concurrent depth-window shard runs (on-the-fly profiling only)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for on-the-fly profiling (0 = none); overrun exits 6")
+	maxInsns := flag.Uint64("max-insns", 0, "instruction budget for on-the-fly profiling (0 = default); overrun exits 6")
 	flag.IntVar(shards, "j", 1, "shorthand for -shards")
 	flag.Parse()
 	vet := flag.NArg() == 2 && flag.Arg(0) == "vet"
@@ -56,7 +66,7 @@ func main() {
 	prog, err := kremlin.Compile(path, string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(kremlin.ExitCodeFor(err))
 	}
 
 	if vet {
@@ -68,26 +78,30 @@ func main() {
 	if *profPath != "" {
 		f, err := os.Open(*profPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		prof, err = profile.ReadFrom(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin:", err)
-			os.Exit(1)
-		}
-	} else if *shards > 1 {
-		prof, _, err = prog.ProfileSharded(nil, *shards)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	} else {
-		prof, _, err = prog.Profile(nil)
+		// On-the-fly profiling honors the same deadline/budget plumbing
+		// as kremlin-run and the serve daemon.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		cfg := &kremlin.RunConfig{Ctx: ctx, MaxSteps: *maxInsns}
+		if *shards > 1 {
+			prof, _, err = prog.ProfileSharded(cfg, *shards)
+		} else {
+			prof, _, err = prog.Profile(cfg)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "kremlin:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kremlin/internal/serve"
+)
+
+// serveBenchProg is the load-generator payload: a few thousand steps of
+// profiled work per job, so a request measures daemon overhead plus a
+// realistic (small) HCPA run rather than either extreme.
+const serveBenchProg = `
+int a[200];
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 200; i++) {
+		a[i] = i * 3;
+	}
+	for (int i = 0; i < 200; i++) {
+		acc = acc + a[i];
+	}
+	return acc;
+}
+`
+
+// ServeBenchRow is one sustained-load measurement of the serve daemon.
+type ServeBenchRow struct {
+	Concurrency int     `json:"concurrency"` // concurrent in-flight clients
+	Jobs        int     `json:"jobs"`        // total jobs pushed through
+	Workers     int     `json:"workers"`     // daemon worker-pool size
+	QueueDepth  int     `json:"queue_depth"`
+	QPS         float64 `json:"qps"`     // completed jobs / wall-clock
+	P50Ms       float64 `json:"p50_ms"`  // median request latency
+	P99Ms       float64 `json:"p99_ms"`  // tail request latency
+	MaxMs       float64 `json:"max_ms"`  // worst request latency
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	OK          int     `json:"ok"`      // 200 responses
+	Errors      int     `json:"errors"`  // non-200 responses (shed, limit, ...)
+	GoMaxProcs  int     `json:"gomaxprocs"`
+}
+
+// ServeBench drives a live in-process daemon over real HTTP at each
+// requested concurrency level and reports sustained QPS and latency
+// percentiles. The queue is sized at 2× the concurrency so admission
+// control never sheds during the measurement — shedding behavior is the
+// chaos/CLI tests' subject; here we measure the service rate.
+func ServeBench(concurrencies []int, jobsPer int) ([]ServeBenchRow, error) {
+	rows := make([]ServeBenchRow, 0, len(concurrencies))
+	for _, conc := range concurrencies {
+		jobs := jobsPer
+		if jobs <= 0 {
+			jobs = 3 * conc
+			if jobs < 300 {
+				jobs = 300
+			}
+		}
+		row, err := serveBenchOne(conc, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func serveBenchOne(conc, jobs int) (ServeBenchRow, error) {
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers > conc {
+		workers = conc
+	}
+	s := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: 2 * conc,
+		// Generous: at high concurrency most of a job's life is queue
+		// wait, which must not convert healthy jobs into timeouts.
+		JobTimeout: 5 * time.Minute,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        conc,
+			MaxIdleConnsPerHost: conc,
+		},
+		Timeout: 5 * time.Minute,
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, jobs)
+		ok, fail  int
+	)
+	jobc := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobc {
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/profile?name=bench.kr", "text/plain",
+					strings.NewReader(serveBenchProg))
+				lat := time.Since(t0)
+				good := false
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					good = resp.StatusCode == http.StatusOK
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if good {
+					ok++
+				} else {
+					fail++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		jobc <- struct{}{}
+	}
+	close(jobc)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(latencies) == 0 {
+		return ServeBenchRow{}, fmt.Errorf("serve bench at concurrency %d produced no samples", conc)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p int) time.Duration { return latencies[(len(latencies)-1)*p/100] }
+	return ServeBenchRow{
+		Concurrency: conc,
+		Jobs:        jobs,
+		Workers:     workers,
+		QueueDepth:  2 * conc,
+		QPS:         float64(ok+fail) / elapsed.Seconds(),
+		P50Ms:       ms(pct(50)),
+		P99Ms:       ms(pct(99)),
+		MaxMs:       ms(latencies[len(latencies)-1]),
+		ElapsedMs:   ms(elapsed),
+		OK:          ok,
+		Errors:      fail,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}, nil
+}

@@ -8,6 +8,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"kremlin/internal/instrument"
 	"kremlin/internal/ir"
 	"kremlin/internal/kremlib"
+	"kremlin/internal/limits"
 	"kremlin/internal/profile"
 	"kremlin/internal/regions"
 	"kremlin/internal/shadow"
@@ -37,9 +39,18 @@ type Config struct {
 	Mode     Mode
 	Out      io.Writer // print output; nil discards
 	MaxSteps uint64    // instruction budget; 0 means the default (2e9)
-	Opts     kremlib.Options
-	Prog     *regions.Program   // required for Gprof and HCPA
-	Instr    *instrument.Module // optional; built on demand for HCPA
+	// Ctx, when non-nil, lets the run be cancelled or deadlined mid-flight;
+	// the interpreter polls it every few thousand instructions and fails
+	// with limits.ErrCancelled. A nil Ctx means the run cannot be stopped
+	// from outside.
+	Ctx context.Context
+	// MaxHeapWords caps the simulated heap (in 8-byte words, 0 =
+	// unlimited); an allocation pushing past it fails with
+	// limits.ErrMemCap instead of growing the host process.
+	MaxHeapWords uint64
+	Opts         kremlib.Options
+	Prog         *regions.Program   // required for Gprof and HCPA
+	Instr        *instrument.Module // optional; built on demand for HCPA
 }
 
 // GprofEntry is one region's serial work profile (gprof mode).
@@ -81,6 +92,11 @@ const (
 	heapBase        = uint64(1) << 16
 	defaultMaxSteps = 2_000_000_000
 	maxArrayElems   = int64(1) << 27
+
+	// liveCheckMask gates the periodic liveness poll (context cancellation
+	// and shadow-page cap): the checks run once every liveCheckMask+1
+	// instructions, so the per-instruction cost is one AND and one branch.
+	liveCheckMask = (1 << 14) - 1
 )
 
 // array is a (possibly partial) view into the simulated heap.
@@ -103,9 +119,11 @@ type machine struct {
 	out   io.Writer
 	steps uint64
 	limit uint64
+	ctx   context.Context // nil when the run is not cancellable
 
 	heap    []uint64
 	heapTop uint64
+	heapCap uint64 // max heap words; 0 = unlimited
 
 	rng uint64
 
@@ -141,12 +159,20 @@ type gpFrame struct {
 }
 
 // Run executes mod.Main() under cfg.
+//
+// On a limit failure (cancellation, instruction budget, memory cap — see
+// package limits) the returned error wraps the matching sentinel AND the
+// Result is non-nil, carrying the partial run state (Steps, Work, and in
+// Gprof mode the profile of every region instance that completed before
+// the limit fired). All other errors return a nil Result.
 func Run(mod *ir.Module, cfg Config) (*Result, error) {
 	m := &machine{mod: mod, cfg: cfg, out: cfg.Out, rng: 0x9E3779B97F4A7C15}
 	m.limit = cfg.MaxSteps
 	if m.limit == 0 {
 		m.limit = defaultMaxSteps
 	}
+	m.ctx = cfg.Ctx
+	m.heapCap = cfg.MaxHeapWords
 	if cfg.Mode != Plain && cfg.Prog == nil {
 		return nil, fmt.Errorf("interp: %v mode requires region info", cfg.Mode)
 	}
@@ -164,7 +190,9 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 		m.gpCount = make([]int64, n)
 	}
 
-	m.allocGlobals()
+	if err := m.allocGlobals(); err != nil {
+		return nil, err
+	}
 
 	main := mod.Main()
 	if main == nil {
@@ -172,6 +200,9 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 	}
 	_, _, err := m.call(main, nil, nil, nil)
 	if err != nil {
+		if limits.IsLimit(err) {
+			return m.partialResult(), err
+		}
 		return nil, err
 	}
 
@@ -204,7 +235,7 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func (m *machine) allocGlobals() {
+func (m *machine) allocGlobals() error {
 	m.globalBase = make([]uint64, len(m.mod.Globals))
 	for i, g := range m.mod.Globals {
 		if g.IsArray() {
@@ -212,10 +243,17 @@ func (m *machine) allocGlobals() {
 			for _, d := range g.Dims {
 				total *= d
 			}
-			m.globalBase[i] = m.alloc(total)
+			base, err := m.alloc(total)
+			if err != nil {
+				return err
+			}
+			m.globalBase[i] = base
 			continue
 		}
-		addr := m.alloc(1)
+		addr, err := m.alloc(1)
+		if err != nil {
+			return err
+		}
 		m.globalBase[i] = addr
 		if g.Init != nil {
 			switch c := g.Init.(type) {
@@ -230,10 +268,16 @@ func (m *machine) allocGlobals() {
 			}
 		}
 	}
+	return nil
 }
 
-func (m *machine) alloc(n int64) uint64 {
+func (m *machine) alloc(n int64) (uint64, error) {
 	base := heapBase + m.heapTop
+	if m.heapCap > 0 && m.heapTop+uint64(n) > m.heapCap {
+		return 0, limits.MemCap(m.steps, 0,
+			"simulated heap cap exceeded (%d words requested, %d in use, cap %d)",
+			n, m.heapTop, m.heapCap)
+	}
 	m.heapTop += uint64(n)
 	need := int(m.heapTop)
 	if need > len(m.heap) {
@@ -246,7 +290,48 @@ func (m *machine) alloc(n int64) uint64 {
 			m.heap[i] = 0
 		}
 	}
-	return base
+	return base, nil
+}
+
+// partialResult snapshots the run state for a limit failure: the caller
+// gets the step/work counters plus, in Gprof mode, the profile prefix of
+// every region instance that fully completed before the limit fired.
+func (m *machine) partialResult() *Result {
+	res := &Result{Steps: m.steps, Work: m.work}
+	switch m.cfg.Mode {
+	case HCPA:
+		if m.rt != nil {
+			res.Work = m.rt.TotalWork()
+			res.ShadowPages = m.rt.Mem().NumPages()
+			res.ShadowWrites = m.rt.Mem().Writes
+		}
+	case Gprof:
+		for id := range m.gpTotal {
+			if m.gpCount[id] == 0 {
+				continue
+			}
+			res.Gprof = append(res.Gprof, GprofEntry{
+				RegionID: id, Total: m.gpTotal[id], Self: m.gpSelf[id], Count: m.gpCount[id],
+			})
+		}
+	}
+	return res
+}
+
+// checkLive runs the periodic (not per-instruction) liveness checks:
+// context cancellation and the shadow-memory page cap.
+func (m *machine) checkLive() error {
+	if m.ctx != nil {
+		if m.ctx.Err() != nil {
+			return limits.Cancelled(m.steps)
+		}
+	}
+	if m.rt != nil {
+		if err := m.rt.CheckLimits(m.steps); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // probeFlush attributes work since the last region boundary to the depth
@@ -399,7 +484,12 @@ func (m *machine) call(f *ir.Func, args []val, argVecs []shadow.Vec, callerFS *k
 		for _, ins := range blk.Instrs[nPhis:] {
 			m.steps++
 			if m.steps > m.limit {
-				return val{}, nil, m.errAt(ins.Pos, "step limit exceeded (%d)", m.limit)
+				return val{}, nil, limits.Budget(m.limit, m.steps)
+			}
+			if m.steps&liveCheckMask == 0 {
+				if err := m.checkLive(); err != nil {
+					return val{}, nil, err
+				}
 			}
 			if m.cfg.Mode != HCPA {
 				m.work += ins.Latency()
@@ -696,7 +786,10 @@ func (m *machine) allocArray(regs []val, ins *ir.Instr) (val, error) {
 			return val{}, m.errAt(ins.Pos, "array too large (%d elements)", total)
 		}
 	}
-	base := m.alloc(total)
+	base, err := m.alloc(total)
+	if err != nil {
+		return val{}, err
+	}
 	return val{a: array{base: base, dims: dims, elem: ins.Typ.Elem}}, nil
 }
 

@@ -4,8 +4,6 @@
 package irbuild
 
 import (
-	"fmt"
-
 	"kremlin/internal/ast"
 	"kremlin/internal/cfg"
 	"kremlin/internal/ir"
@@ -247,7 +245,10 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.ExprStmt:
 		b.expr(s.X)
 	default:
-		panic(fmt.Sprintf("irbuild: unknown statement %T", s))
+		// Unreachable with a type-checked AST; report instead of panicking
+		// so a malformed tree fails the compilation, not the process. The
+		// module is discarded once the error list is non-empty.
+		b.errs.Add(b.src.Name, b.src.Pos(s.Pos()), "internal: irbuild: unknown statement %T", s)
 	}
 }
 
@@ -312,7 +313,13 @@ func (b *builder) lvalue(e ast.Expr) lvalue {
 		})
 		return lvalue{slot: -1, cell: view, typ: view.Typ}
 	}
-	panic(fmt.Sprintf("irbuild: invalid lvalue %T", e))
+	// Type checking already rejected this program; emit into a throwaway
+	// slot so the builder finishes without crashing.
+	b.errs.Add(b.src.Name, b.src.Pos(e.Pos()), "internal: irbuild: invalid lvalue %T", e)
+	t := b.info.Exprs[e]
+	slot := len(b.f.SlotTypes)
+	b.f.SlotTypes = append(b.f.SlotTypes, t)
+	return lvalue{slot: slot, typ: t}
 }
 
 func (b *builder) loadLValue(lv lvalue, pos int) ir.Value {
@@ -499,7 +506,8 @@ func (b *builder) expr(e ast.Expr) ir.Value {
 	case *ast.StringLit:
 		return &ir.ConstInt{} // only reachable after a type error
 	}
-	panic(fmt.Sprintf("irbuild: unknown expression %T", e))
+	b.errs.Add(b.src.Name, b.src.Pos(e.Pos()), "internal: irbuild: unknown expression %T", e)
+	return zeroValue(b.info.Exprs[e])
 }
 
 func (b *builder) binary(e *ast.BinaryExpr) ir.Value {
@@ -534,7 +542,8 @@ func (b *builder) binary(e *ast.BinaryExpr) ir.Value {
 	case token.GEQ:
 		kind = ir.BinGe
 	default:
-		panic("irbuild: bad binary op " + e.Op.String())
+		b.errs.Add(b.src.Name, b.src.Pos(e.Pos()), "internal: irbuild: bad binary op %s", e.Op)
+		return &ir.ConstInt{}
 	}
 	typ := x.Type()
 	if kind.IsComparison() {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"kremlin/internal/ir"
+	"kremlin/internal/limits"
 	"kremlin/internal/profile"
 	"kremlin/internal/regions"
 	"kremlin/internal/shadow"
@@ -33,6 +34,12 @@ type Options struct {
 	// cross-check the static analyzer's "provably parallel" verdicts; off in
 	// normal profiling (it adds a per-read scan over the active loop levels).
 	TraceDeps bool
+	// MaxShadowPages caps the number of live shadow-memory pages (0 =
+	// unlimited). The interpreter polls CheckLimits periodically, so the
+	// cap is a soft bound enforced within one poll interval — enough to
+	// keep an adversarial program from running the profiling host out of
+	// memory while costing nothing on the per-instruction path.
+	MaxShadowPages int
 }
 
 type active struct {
@@ -101,6 +108,19 @@ func NewRuntime(prof *profile.Profile, opts Options) *Runtime {
 
 // Mem exposes the shadow memory (the interpreter signals frees through it).
 func (rt *Runtime) Mem() *shadow.Memory { return rt.mem }
+
+// CheckLimits reports whether the run has exceeded its shadow-memory page
+// cap. It is polled periodically by the interpreter (never per
+// instruction), so the hot path stays allocation- and branch-free.
+func (rt *Runtime) CheckLimits(steps uint64) error {
+	if pcap := rt.opts.MaxShadowPages; pcap > 0 {
+		if n := rt.mem.NumPages(); n > pcap {
+			return limits.MemCap(steps, n,
+				"shadow-memory page cap exceeded (%d pages, cap %d)", n, pcap)
+		}
+	}
+	return nil
+}
 
 // TotalWork returns the work executed so far.
 func (rt *Runtime) TotalWork() uint64 { return rt.totalWork }

@@ -15,14 +15,18 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"kremlin/internal/instrument"
 	"kremlin/internal/interp"
 	"kremlin/internal/ir"
 	"kremlin/internal/kremlib"
+	"kremlin/internal/limits"
 	"kremlin/internal/profile"
 	"kremlin/internal/regions"
 )
@@ -94,6 +98,34 @@ type Config struct {
 	MaxSteps uint64
 	// MaxDepth caps the collection window (0 = kremlib.DefaultMaxDepth).
 	MaxDepth int
+	// Ctx, when non-nil, cancels the probe pre-pass and every shard run;
+	// when any shard fails, the siblings are cancelled through a derived
+	// context so the job returns promptly instead of racing to the end.
+	Ctx context.Context
+	// MaxShadowPages caps each shard's shadow-memory pages; MaxHeapWords
+	// caps each run's simulated heap (0 = unlimited). See interp.Config.
+	MaxShadowPages int
+	MaxHeapWords   uint64
+	// ShardHook, when non-nil, runs at the start of every shard goroutine
+	// (with the shard index) before its interpreter run. It exists for
+	// fault injection: chaos tests use it to panic or stall inside a shard
+	// and prove the stitcher fails the job instead of deadlocking.
+	ShardHook func(shard int)
+}
+
+// PanicError reports a shard goroutine that panicked. The recover
+// boundary inside each shard goroutine converts the panic into this error
+// so a poisoned run fails the one job instead of killing the process (a
+// panic in a bare goroutine is fatal to the whole program — no outer
+// recover can catch it).
+type PanicError struct {
+	Shard int
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: shard %d panicked: %v", e.Shard, e.Value)
 }
 
 // Result is the outcome of a sharded profiling run.
@@ -128,7 +160,8 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 	if cfg.Shards <= 1 {
 		res, err := interp.Run(mod, interp.Config{
 			Mode: interp.HCPA, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
-			Opts: kremlib.Options{MaxDepth: maxDepth},
+			Ctx: cfg.Ctx, MaxHeapWords: cfg.MaxHeapWords,
+			Opts: kremlib.Options{MaxDepth: maxDepth, MaxShadowPages: cfg.MaxShadowPages},
 			Prog: prog, Instr: instr,
 		})
 		if err != nil {
@@ -143,6 +176,7 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 
 	probe, err := interp.Run(mod, interp.Config{
 		Mode: interp.Probe, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
+		Ctx: cfg.Ctx, MaxHeapWords: cfg.MaxHeapWords,
 		Prog: prog, Instr: instr,
 	})
 	if err != nil {
@@ -162,6 +196,16 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 		wins[len(wins)-1].Hi = maxDepth
 	}
 
+	// Shard runs share a derived context: the first failing shard cancels
+	// its siblings so the job fails promptly, and a caller cancellation
+	// reaches every shard the same way.
+	base := cfg.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	shardCtx, cancelShards := context.WithCancel(base)
+	defer cancelShards()
+
 	runs := make([]*interp.Result, len(wins))
 	errs := make([]error, len(wins))
 	var wg sync.WaitGroup
@@ -169,18 +213,58 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 		wg.Add(1)
 		go func(s int, w Window) {
 			defer wg.Done()
+			// A panic anywhere in this goroutine (including an injected
+			// fault from ShardHook) must become a job error, not a process
+			// death: recover here, fail the shard, cancel the siblings.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[s] = &PanicError{Shard: s, Value: r, Stack: debug.Stack()}
+					cancelShards()
+				}
+			}()
+			if cfg.ShardHook != nil {
+				cfg.ShardHook(s)
+			}
 			runs[s], errs[s] = interp.Run(mod, interp.Config{
 				Mode: interp.HCPA, MaxSteps: cfg.MaxSteps,
-				Opts: kremlib.Options{MinDepth: w.Lo, MaxDepth: w.Hi},
+				Ctx: shardCtx, MaxHeapWords: cfg.MaxHeapWords,
+				Opts: kremlib.Options{MinDepth: w.Lo, MaxDepth: w.Hi, MaxShadowPages: cfg.MaxShadowPages},
 				Prog: prog, Instr: instr,
 			})
+			if errs[s] != nil {
+				cancelShards()
+			}
 		}(s, w)
 	}
 	wg.Wait()
-	for s, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("parallel: shard %d [%d,%d): %w", s, wins[s].Lo, wins[s].Hi, err)
+	// Report the most informative failure: a panic or runtime error beats
+	// a budget/cap error, which beats the cascade of ErrCancelled the
+	// sibling cancellation induced.
+	rank := func(err error) int {
+		switch {
+		case err == nil:
+			return 0
+		case errors.Is(err, limits.ErrCancelled):
+			return 1
+		case limits.IsLimit(err):
+			return 2
+		default:
+			return 3
 		}
+	}
+	var firstErr error
+	firstShard := -1
+	for s, err := range errs {
+		if rank(err) > rank(firstErr) {
+			firstErr, firstShard = err, s
+		}
+	}
+	if firstErr != nil {
+		if pe, ok := firstErr.(*PanicError); ok {
+			return nil, pe
+		}
+		return nil, fmt.Errorf("parallel: shard %d [%d,%d): %w",
+			firstShard, wins[firstShard].Lo, wins[firstShard].Hi, firstErr)
 	}
 
 	profs := make([]*profile.Profile, len(runs))

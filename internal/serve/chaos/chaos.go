@@ -1,0 +1,136 @@
+// Package chaos is the fault-injection harness for the serve daemon. An
+// Injector deterministically decides, per job sequence number, whether the
+// job is poisoned and how: a panic inside the worker, a stall that
+// overruns the job deadline, a cancellation mid-run, or an oversized input
+// that hits the instruction budget. Determinism (pure function of seed and
+// sequence number, no clock or global RNG) makes chaos campaigns
+// reproducible: the same seed replays the exact same fault schedule.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind uint8
+
+const (
+	// None leaves the job alone.
+	None Kind = iota
+	// Panic panics inside the worker servicing the job; the daemon's
+	// recover boundary must convert it into a job error.
+	Panic
+	// Stall blocks the worker for Fault.Delay, long enough to overrun the
+	// job deadline; the job must fail with a timeout, not wedge a worker.
+	Stall
+	// CancelMidRun cancels the job's context Fault.Delay after it starts,
+	// simulating a client disconnect during execution.
+	CancelMidRun
+	// Oversize replaces the job's program with one whose execution
+	// overruns the instruction budget.
+	Oversize
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case CancelMidRun:
+		return "cancel-mid-run"
+	case Oversize:
+		return "oversize"
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", uint8(k))
+}
+
+// Fault is the injector's verdict for one job.
+type Fault struct {
+	Kind Kind
+	// Delay is the stall duration (Stall) or the time until cancellation
+	// (CancelMidRun); zero otherwise.
+	Delay time.Duration
+}
+
+// Injector decides faults. The zero value injects nothing; a non-nil
+// Injector with Every=1 faults every job.
+type Injector struct {
+	// Seed selects the (deterministic) fault schedule.
+	Seed uint64
+	// Every injects a fault into roughly 1 of every Every jobs (1 = every
+	// job; 0 behaves as 1).
+	Every uint64
+	// Stall is the stall duration (default 100ms). Set it above the
+	// daemon's job timeout so a stall always overruns the deadline.
+	Stall time.Duration
+	// CancelAfter is the delay before a mid-run cancellation fires
+	// (default 1ms).
+	CancelAfter time.Duration
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash that
+// keeps the fault schedule a pure function of (seed, seq).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fault returns the (deterministic) fault for job number seq.
+func (in *Injector) Fault(seq uint64) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	every := in.Every
+	if every == 0 {
+		every = 1
+	}
+	h := splitmix64(in.Seed ^ splitmix64(seq))
+	if h%every != 0 {
+		return Fault{}
+	}
+	switch (h >> 32) % 4 {
+	case 0:
+		return Fault{Kind: Panic}
+	case 1:
+		d := in.Stall
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		return Fault{Kind: Stall, Delay: d}
+	case 2:
+		d := in.CancelAfter
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return Fault{Kind: CancelMidRun, Delay: d}
+	default:
+		return Fault{Kind: Oversize}
+	}
+}
+
+// OversizeProgram returns a valid Kr program whose execution performs
+// far more work than any sane instruction budget allows: a triply nested
+// loop over ~10^9 iterations. Compilation is cheap; the run must be
+// stopped by the budget (limits.ErrBudgetExceeded).
+func OversizeProgram() string {
+	var sb strings.Builder
+	sb.WriteString("int acc;\n")
+	sb.WriteString("int main() {\n")
+	sb.WriteString("\tfor (int i = 0; i < 1000; i++) {\n")
+	sb.WriteString("\t\tfor (int j = 0; j < 1000; j++) {\n")
+	sb.WriteString("\t\t\tfor (int k = 0; k < 1000; k++) {\n")
+	sb.WriteString("\t\t\t\tacc = acc + i + j + k;\n")
+	sb.WriteString("\t\t\t}\n")
+	sb.WriteString("\t\t}\n")
+	sb.WriteString("\t}\n")
+	sb.WriteString("\treturn acc;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}

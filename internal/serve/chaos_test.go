@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"kremlin/internal/serve/chaos"
+)
+
+// campaignProg runs a few million steps — long enough that a mid-run
+// cancellation always lands while the interpreter is executing, short
+// enough that a clean run finishes far inside the job deadline.
+const campaignProg = `
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 200000; i++) {
+		acc = acc + i % 7;
+	}
+	return acc;
+}
+`
+
+// TestChaosCampaign is the acceptance gate of the robustness work: ≥200
+// deterministic faults (panic / stall / oversize / cancel-mid-run) fired
+// into a live daemon under concurrent load must produce zero daemon
+// crashes, zero goroutine leaks, a typed error for every faulted job, and
+// a bounded p99.
+func TestChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is seconds-long; skipped with -short")
+	}
+	// clients == workers keeps the queue empty, so every job's deadline
+	// is spent executing (mid-run cancellations land mid-run, not in the
+	// queue) and the fault mix maps 1:1 onto error kinds.
+	const (
+		jobs       = 220
+		clients    = 8
+		jobTimeout = 500 * time.Millisecond
+	)
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers:    8,
+		QueueDepth: 64,
+		JobTimeout: jobTimeout,
+		// Low enough that an oversized program exhausts it in tens of
+		// milliseconds — far inside the job deadline, so oversize faults
+		// surface as budget_exceeded rather than timeout.
+		MaxInsns: 200_000,
+		Chaos: &chaos.Injector{
+			Seed:        7,
+			Every:       1, // every job is faulted
+			Stall:       2 * jobTimeout,
+			CancelAfter: time.Millisecond,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	okKinds := map[string]bool{
+		"panic":            true, // injected panic, recovered
+		"timeout":          true, // stall overran the deadline / queue wait
+		"cancelled":        true, // injected mid-run cancellation
+		"budget_exceeded":  true, // oversized input hit the budget
+		"mem_cap_exceeded": true,
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		kinds     = map[string]int{}
+		failures  []string
+	)
+	jobc := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobc {
+				start := time.Now()
+				st, evs := post(t, ts.Client(), ts.URL+"/profile", campaignProg, nil)
+				lat := time.Since(start)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if len(evs) == 0 {
+					failures = append(failures, fmt.Sprintf("status %d with no events", st))
+				} else {
+					last := evs[len(evs)-1]
+					if last.Type != "error" || !okKinds[last.Kind] {
+						failures = append(failures,
+							fmt.Sprintf("status %d, final event %+v — faulted job did not fail with a typed error", st, last))
+					} else {
+						kinds[last.Kind]++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		jobc <- i
+	}
+	close(jobc)
+	wg.Wait()
+
+	stats := s.Stats()
+	if stats.Faulted < 200 {
+		t.Errorf("campaign injected %d faults, want ≥ 200", stats.Faulted)
+	}
+	if stats.Panics == 0 {
+		t.Error("campaign injected no panics — fault mix is broken")
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+	for _, kind := range []string{"panic", "timeout", "cancelled", "budget_exceeded"} {
+		if kinds[kind] == 0 {
+			t.Errorf("no job failed with kind %q — fault mix did not exercise it (got %v)", kind, kinds)
+		}
+	}
+
+	// The daemon never crashed: it still serves a clean job. (A chaos
+	// panic that escaped the recover boundary would have killed this
+	// whole test process long before this line.)
+	clean := New(Config{Workers: 1})
+	func() {
+		cts := httptest.NewServer(clean.Handler())
+		defer cts.Close()
+		if st, evs := post(t, ts.Client(), cts.URL+"/profile", quickProg, nil); st != http.StatusOK {
+			t.Errorf("daemon unhealthy after campaign: status = %d (events %v)", st, evs)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := clean.Drain(ctx); err != nil {
+		t.Errorf("clean drain: %v", err)
+	}
+
+	// p99 stays bounded: every job is under deadline+overhead, so the
+	// tail cannot be more than a few multiples of the job timeout.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if limit := 10 * jobTimeout; p99 > limit {
+		t.Errorf("p99 latency %v exceeds %v", p99, limit)
+	}
+
+	// Zero goroutine leaks: after drain + server close, the count returns
+	// to (near) the baseline. Poll — netpoller and timer goroutines take
+	// a moment to unwind.
+	ts.Close()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosDeterminism pins the injector contract: the schedule is a pure
+// function of (seed, seq), and every fault kind appears in a short prefix.
+func TestChaosDeterminism(t *testing.T) {
+	a := &chaos.Injector{Seed: 42, Every: 1}
+	b := &chaos.Injector{Seed: 42, Every: 1}
+	seen := map[chaos.Kind]bool{}
+	for seq := uint64(0); seq < 256; seq++ {
+		fa, fb := a.Fault(seq), b.Fault(seq)
+		if fa != fb {
+			t.Fatalf("seq %d: same seed gave %v vs %v", seq, fa, fb)
+		}
+		seen[fa.Kind] = true
+	}
+	for _, k := range []chaos.Kind{chaos.Panic, chaos.Stall, chaos.CancelMidRun, chaos.Oversize} {
+		if !seen[k] {
+			t.Errorf("kind %v never injected in 256 jobs", k)
+		}
+	}
+	other := &chaos.Injector{Seed: 43, Every: 1}
+	diff := 0
+	for seq := uint64(0); seq < 256; seq++ {
+		if a.Fault(seq) != other.Fault(seq) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosEvery pins the sampling contract: Every=N faults ~1/N jobs.
+func TestChaosEvery(t *testing.T) {
+	in := &chaos.Injector{Seed: 1, Every: 4}
+	faulted := 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		if in.Fault(seq).Kind != chaos.None {
+			faulted++
+		}
+	}
+	if faulted < 150 || faulted > 350 {
+		t.Errorf("Every=4 faulted %d of 1000 jobs, want ≈250", faulted)
+	}
+}

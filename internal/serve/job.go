@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"kremlin"
+	"kremlin/internal/limits"
+	"kremlin/internal/planner"
+	"kremlin/internal/profile"
+	"kremlin/internal/serve/chaos"
+)
+
+// Submission errors (pre-queue refusals).
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("daemon draining")
+)
+
+// Event is one line of the NDJSON response stream. Type is always set;
+// every other field belongs to one event type and is omitted elsewhere.
+//
+// The stream for a successful job is: zero or one "output", then
+// "profile", "plan", "vet", and "done". A failed job's stream is a single
+// "error" event (possibly after an "output" prefix when the run produced
+// output before failing).
+type Event struct {
+	Type string `json:"event"`
+
+	// "error"
+	Kind   string `json:"kind,omitempty"`   // error taxonomy: see docs/serve.md
+	Detail string `json:"detail,omitempty"` // human-readable message
+
+	// "output"
+	Data      string `json:"data,omitempty"` // captured program print output
+	Truncated bool   `json:"truncated,omitempty"`
+
+	// "profile"
+	Work        uint64 `json:"work,omitempty"`
+	Steps       uint64 `json:"steps,omitempty"`
+	DictEntries int    `json:"dict_entries,omitempty"`
+	RawBytes    uint64 `json:"raw_bytes,omitempty"` // uncompressed-trace equivalent
+	KRPF2       string `json:"krpf2_b64,omitempty"` // base64 KRPF2 profile bytes
+
+	// "plan"
+	Personality string    `json:"personality,omitempty"`
+	EstSpeedup  float64   `json:"est_speedup,omitempty"`
+	Recs        []PlanRec `json:"recommendations,omitempty"`
+
+	// "vet"
+	Parallel int       `json:"parallel,omitempty"`
+	Serial   int       `json:"serial,omitempty"`
+	Unknown  int       `json:"unknown,omitempty"`
+	Loops    []VetLoop `json:"loops,omitempty"`
+
+	// "done"
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// PlanRec is one planner recommendation, flattened for JSON.
+type PlanRec struct {
+	Label      string  `json:"label"`
+	Hint       string  `json:"hint"`
+	Safety     string  `json:"safety"`
+	SelfP      float64 `json:"self_p"`
+	Coverage   float64 `json:"coverage"`
+	EstSpeedup float64 `json:"est_speedup"`
+}
+
+// VetLoop is one loop's static dependence verdict, flattened for JSON.
+type VetLoop struct {
+	Label   string `json:"label"`
+	Verdict string `json:"verdict"`
+}
+
+// job is one admitted profiling request.
+type job struct {
+	seq         uint64
+	name        string // program name for diagnostics
+	src         string // Kr source
+	personality string
+	shards      int
+
+	ctx    context.Context // deadline + client-disconnect; cancel is the handler's
+	cancel context.CancelFunc
+	events chan Event // worker → handler; closed by the worker
+	start  time.Time
+}
+
+// emit delivers e to the handler, or drops it if the handler is gone
+// (context cancelled and the buffer full). The select keeps a dead
+// client from wedging a worker.
+func (j *job) emit(e Event) {
+	select {
+	case j.events <- e:
+	case <-j.ctx.Done():
+		// Handler may have stopped reading; try once more without
+		// blocking so buffered readers still drain, then drop.
+		select {
+		case j.events <- e:
+		default:
+		}
+	}
+}
+
+// limitedBuf captures program output up to a cap, then discards (the
+// writer never errors — a chatty program is truncated, not failed).
+type limitedBuf struct {
+	buf       bytes.Buffer
+	max       int
+	truncated bool
+}
+
+func (b *limitedBuf) Write(p []byte) (int, error) {
+	n := len(p)
+	if room := b.max - b.buf.Len(); room > 0 {
+		if len(p) > room {
+			p = p[:room]
+			b.truncated = true
+		}
+		b.buf.Write(p)
+	} else {
+		b.truncated = true
+	}
+	return n, nil
+}
+
+// runJob services one job end to end: chaos, compile, profile, plan, vet.
+// Every exit path closes j.events; the deferred recover converts any
+// panic in the pipeline (organic or injected) into an "error" event so
+// the worker — and the process — survive.
+func (s *Server) runJob(j *job) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	defer s.completed.Add(1)
+	defer j.cancel()
+	defer close(j.events)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			j.emit(Event{Type: "error", Kind: "panic",
+				Detail: fmt.Sprintf("recovered worker panic: %v\n%s", r, debug.Stack())})
+		}
+	}()
+
+	// Chaos: poison the job before real work starts.
+	if s.cfg.Chaos != nil {
+		f := s.cfg.Chaos.Fault(j.seq)
+		if f.Kind != chaos.None {
+			s.faulted.Add(1)
+		}
+		switch f.Kind {
+		case chaos.Panic:
+			panic(fmt.Sprintf("chaos: injected panic (job %d)", j.seq))
+		case chaos.Stall:
+			// A stalled worker must still respect the job deadline.
+			select {
+			case <-time.After(f.Delay):
+			case <-j.ctx.Done():
+			}
+		case chaos.CancelMidRun:
+			t := time.AfterFunc(f.Delay, j.cancel)
+			defer t.Stop()
+		case chaos.Oversize:
+			j.src = chaos.OversizeProgram()
+		}
+	}
+
+	// A job that waited out its deadline in the queue fails fast.
+	if err := j.ctx.Err(); err != nil {
+		j.emit(s.errorEvent(j, limits.Cancelled(0)))
+		return
+	}
+
+	prog, err := kremlin.Compile(j.name, j.src)
+	if err != nil {
+		j.emit(s.errorEvent(j, err))
+		return
+	}
+
+	out := &limitedBuf{max: s.cfg.MaxOutputBytes}
+	rc := &kremlin.RunConfig{
+		Out:            out,
+		Ctx:            j.ctx,
+		MaxSteps:       s.cfg.MaxInsns,
+		MaxShadowPages: s.cfg.MaxShadowPages,
+		MaxHeapWords:   s.cfg.MaxHeapWords,
+	}
+	var (
+		prof        *profile.Profile
+		work, steps uint64
+	)
+	if j.shards > 1 {
+		p, res, perr := prog.ProfileSharded(rc, j.shards)
+		err = perr
+		if res != nil && len(res.Runs) > 0 {
+			work, steps = res.Work(), res.Runs[0].Steps
+		}
+		prof = p
+	} else {
+		p, res, perr := prog.Profile(rc)
+		err = perr
+		if res != nil {
+			work, steps = res.Work, res.Steps
+		}
+		prof = p
+	}
+	if out.buf.Len() > 0 {
+		j.emit(Event{Type: "output", Data: out.buf.String(), Truncated: out.truncated})
+	}
+	if err != nil {
+		j.emit(s.errorEvent(j, err))
+		return
+	}
+
+	var pb bytes.Buffer
+	if _, err := prof.WriteTo(&pb); err != nil {
+		j.emit(s.errorEvent(j, err))
+		return
+	}
+	j.emit(Event{
+		Type:        "profile",
+		Work:        work,
+		Steps:       steps,
+		DictEntries: len(prof.Dict.Entries),
+		RawBytes:    prof.RawBytes(),
+		KRPF2:       base64.StdEncoding.EncodeToString(pb.Bytes()),
+	})
+
+	pers, ok := Personality(j.personality)
+	if !ok {
+		pers = planner.OpenMP()
+	}
+	plan := prog.Plan(prof, pers)
+	recs := make([]PlanRec, len(plan.Recs))
+	for i, r := range plan.Recs {
+		recs[i] = PlanRec{
+			Label:      r.Label(),
+			Hint:       r.Hint(),
+			Safety:     r.Safety,
+			SelfP:      r.Stats.SelfP,
+			Coverage:   r.Stats.Coverage,
+			EstSpeedup: r.EstSpeedup,
+		}
+	}
+	j.emit(Event{
+		Type:        "plan",
+		Personality: pers.Name,
+		EstSpeedup:  plan.EstProgramSpeedup,
+		Recs:        recs,
+	})
+
+	loops := make([]VetLoop, len(prog.Vet.Loops))
+	for i, rep := range prog.Vet.Loops {
+		loops[i] = VetLoop{Label: rep.Region.Label(), Verdict: rep.Verdict.String()}
+	}
+	par, ser, unk := prog.Vet.Counts()
+	j.emit(Event{Type: "vet", Parallel: par, Serial: ser, Unknown: unk, Loops: loops})
+
+	j.emit(Event{Type: "done", ElapsedMS: float64(s.cfg.Now().Sub(j.start)) / float64(time.Millisecond)})
+}
+
+// Personality resolves a personality name ("" = openmp). The boolean is
+// false for unknown names.
+func Personality(name string) (planner.Personality, bool) {
+	switch name {
+	case "", "openmp":
+		return planner.OpenMP(), true
+	case "cilk":
+		return planner.Cilk(), true
+	case "work-only":
+		return planner.WorkOnly(), true
+	case "work+sp":
+		return planner.WorkSP(), true
+	}
+	return planner.Personality{}, false
+}
+
+// errorEvent maps a pipeline error onto the serve error taxonomy. The
+// kinds (and the HTTP statuses statusForKind assigns them) are the
+// daemon's public error contract, documented in docs/serve.md.
+func (s *Server) errorEvent(j *job, err error) Event {
+	return Event{Type: "error", Kind: errorKind(j, err), Detail: err.Error()}
+}
+
+func errorKind(j *job, err error) string {
+	switch kremlin.Classify(err) {
+	case kremlin.KindParse:
+		return "parse_error"
+	case kremlin.KindAnalysis:
+		return "analysis_error"
+	case kremlin.KindRuntime:
+		return "runtime_error"
+	case kremlin.KindLimit:
+		switch {
+		case errors.Is(err, limits.ErrBudgetExceeded):
+			return "budget_exceeded"
+		case errors.Is(err, limits.ErrMemCap):
+			return "mem_cap_exceeded"
+		default: // cancelled: deadline vs client disconnect / injected cancel
+			if j != nil && errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+				return "timeout"
+			}
+			return "cancelled"
+		}
+	}
+	return "internal_error"
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTenants bounds the limiter's bucket map so an attacker churning
+// tenant names cannot grow daemon memory without bound. On overflow the
+// map is reset — a momentary amnesty beats an OOM.
+const maxTenants = 16384
+
+// tenantLimiter is a classic token bucket per tenant: rate tokens/sec,
+// burst tokens of capacity, one token per admitted job.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow reports whether tenant may submit a job at time now, consuming a
+// token when it may.
+func (l *tenantLimiter) Allow(tenant string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buckets) >= maxTenants {
+		l.buckets = make(map[string]*bucket)
+	}
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

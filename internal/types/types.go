@@ -2,8 +2,6 @@
 package types
 
 import (
-	"fmt"
-
 	"kremlin/internal/ast"
 	"kremlin/internal/source"
 	"kremlin/internal/token"
@@ -292,7 +290,10 @@ func (c *checker) stmt(s ast.Stmt) {
 			_ = t
 		}
 	default:
-		panic(fmt.Sprintf("types: unknown statement %T", s))
+		// Unreachable with a well-formed AST; degrade to a diagnostic so a
+		// malformed tree (a parser bug, a hand-built AST) fails compilation
+		// instead of killing the process.
+		c.errorf(s, "internal: unknown statement %T", s)
 	}
 }
 
@@ -401,7 +402,9 @@ func (c *checker) exprInner(e ast.Expr) Type {
 			return Scalar(ast.Bool)
 		}
 	}
-	panic(fmt.Sprintf("types: unknown expression %T", e))
+	// See the unknown-statement case: diagnose, don't die.
+	c.errorf(e, "internal: unknown expression %T", e)
+	return Scalar(ast.Int)
 }
 
 func (c *checker) binary(e *ast.BinaryExpr) Type {
@@ -442,7 +445,8 @@ func (c *checker) binary(e *ast.BinaryExpr) Type {
 		}
 		return Scalar(ast.Int)
 	}
-	panic(fmt.Sprintf("types: unknown binary operator %s", e.Op))
+	c.errorf(e, "internal: unknown binary operator %s", e.Op)
+	return Scalar(ast.Int)
 }
 
 func (c *checker) call(e *ast.CallExpr) Type {

@@ -22,6 +22,7 @@
 package kremlin
 
 import (
+	"context"
 	"io"
 
 	"kremlin/internal/analysis"
@@ -81,20 +82,25 @@ func Compile(name, src string) (*Program, error) {
 }
 
 // CompileWith is Compile with explicit pipeline options.
+//
+// Compilation failures come back as a *CompileError tagging which stage
+// rejected the program (parsing vs semantic analysis), so callers — the
+// CLIs' exit codes, the serve daemon's HTTP taxonomy — can distinguish a
+// syntactically broken program from a semantically broken one.
 func CompileWith(name, src string, o CompileOptions) (*Program, error) {
 	file := source.NewFile(name, src)
 	errs := &source.ErrorList{}
 	tree := parser.Parse(file, errs)
 	if err := errs.Err(); err != nil {
-		return nil, err
+		return nil, &CompileError{Stage: StageParse, Errs: errs}
 	}
 	info := types.Check(tree, file, errs)
 	if err := errs.Err(); err != nil {
-		return nil, err
+		return nil, &CompileError{Stage: StageAnalysis, Errs: errs}
 	}
 	mod := irbuild.Build(tree, info, file, errs)
 	if err := errs.Err(); err != nil {
-		return nil, err
+		return nil, &CompileError{Stage: StageAnalysis, Errs: errs}
 	}
 	var ostats opt.Stats
 	if o.Optimize {
@@ -125,6 +131,14 @@ func CompileWith(name, src string, o CompileOptions) (*Program, error) {
 type RunConfig struct {
 	Out      io.Writer // program output; nil discards
 	MaxSteps uint64    // instruction budget; 0 = default
+	// Ctx, when non-nil, lets the run be cancelled or deadlined mid-flight
+	// (limits.ErrCancelled). Nil means the run cannot be stopped.
+	Ctx context.Context
+	// MaxShadowPages caps the live shadow-memory pages of an HCPA run;
+	// MaxHeapWords caps the simulated heap in 8-byte words (both 0 =
+	// unlimited; both fail with limits.ErrMemCap).
+	MaxShadowPages int
+	MaxHeapWords   uint64
 	// MinDepth/MaxDepth bound the HCPA depth collection window.
 	MinDepth, MaxDepth int
 	// TraceDeps turns on the runtime loop-carried dependence tracer (HCPA
@@ -139,7 +153,12 @@ func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
 	if cfg != nil {
 		ic.Out = cfg.Out
 		ic.MaxSteps = cfg.MaxSteps
-		ic.Opts = kremlib.Options{MinDepth: cfg.MinDepth, MaxDepth: cfg.MaxDepth, TraceDeps: cfg.TraceDeps}
+		ic.Ctx = cfg.Ctx
+		ic.MaxHeapWords = cfg.MaxHeapWords
+		ic.Opts = kremlib.Options{
+			MinDepth: cfg.MinDepth, MaxDepth: cfg.MaxDepth,
+			TraceDeps: cfg.TraceDeps, MaxShadowPages: cfg.MaxShadowPages,
+		}
 	}
 	return ic
 }
@@ -188,6 +207,9 @@ func (p *Program) ProfileSharded(cfg *RunConfig, shards int) (*profile.Profile, 
 		pc.Out = cfg.Out
 		pc.MaxSteps = cfg.MaxSteps
 		pc.MaxDepth = cfg.MaxDepth
+		pc.Ctx = cfg.Ctx
+		pc.MaxShadowPages = cfg.MaxShadowPages
+		pc.MaxHeapWords = cfg.MaxHeapWords
 	}
 	res, err := parallel.Run(p.Module, p.Regions, p.Instr, pc)
 	if err != nil {

@@ -1,0 +1,226 @@
+package kremlin_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kremlin"
+	"kremlin/internal/limits"
+	"kremlin/internal/parallel"
+)
+
+// longProg runs a few hundred thousand interpreter steps — far past the
+// periodic liveness poll interval (2^14 instructions), so cancellation
+// and cap checks always get a chance to fire.
+const longProg = `
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 100000; i++) {
+		acc = acc + i % 7;
+	}
+	return acc;
+}
+`
+
+// hungryProg allocates a large local array, hitting a heap cap at the
+// allocation site rather than at a liveness poll.
+const hungryProg = `
+int main() {
+	int a[100000];
+	for (int i = 0; i < 100000; i++) {
+		a[i] = i;
+	}
+	return a[9];
+}
+`
+
+func compileT(t *testing.T, src string) *kremlin.Program {
+	t.Helper()
+	prog, err := kremlin.Compile("limits_test.kr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestRunCancellation(t *testing.T) {
+	prog := compileT(t, longProg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the first poll must stop the run
+	_, _, err := prog.Profile(&kremlin.RunConfig{Ctx: ctx})
+	if !errors.Is(err, limits.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if kremlin.Classify(err) != kremlin.KindLimit {
+		t.Errorf("Classify(%v) = %v, want KindLimit", err, kremlin.Classify(err))
+	}
+	if kremlin.ExitCodeFor(err) != kremlin.ExitLimit {
+		t.Errorf("ExitCodeFor(%v) = %d, want %d", err, kremlin.ExitCodeFor(err), kremlin.ExitLimit)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	prog := compileT(t, `
+int main() {
+	int acc = 0;
+	for (int i = 0; i < 100000000; i++) {
+		acc = acc + i;
+	}
+	return acc;
+}
+`)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := prog.Profile(&kremlin.RunConfig{Ctx: ctx})
+	if !errors.Is(err, limits.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	// The run must stop shortly after the deadline, not drift to the end
+	// of the 10^8-iteration loop.
+	if e := time.Since(start); e > 5*time.Second {
+		t.Errorf("deadline overrun: run took %v", e)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	prog := compileT(t, longProg)
+	_, _, err := prog.Profile(&kremlin.RunConfig{MaxSteps: 50_000})
+	if !errors.Is(err, limits.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestRunHeapCap(t *testing.T) {
+	prog := compileT(t, hungryProg)
+	_, _, err := prog.Profile(&kremlin.RunConfig{MaxHeapWords: 1000})
+	if !errors.Is(err, limits.ErrMemCap) {
+		t.Fatalf("err = %v, want ErrMemCap", err)
+	}
+}
+
+func TestRunShadowPageCap(t *testing.T) {
+	prog := compileT(t, hungryProg)
+	_, _, err := prog.Profile(&kremlin.RunConfig{MaxShadowPages: 4})
+	if !errors.Is(err, limits.ErrMemCap) {
+		t.Fatalf("err = %v, want ErrMemCap", err)
+	}
+}
+
+// TestGprofPrefixInvariants pins cancellation correctness: a run stopped
+// at instruction N must be a prefix of the full run — identical across
+// repeats (determinism), never counting more work or more region
+// instances than the uncancelled execution.
+func TestGprofPrefixInvariants(t *testing.T) {
+	prog := compileT(t, longProg)
+	full, err := prog.RunGprof(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const budget = 50_000
+	partial, err := prog.RunGprof(&kremlin.RunConfig{MaxSteps: budget})
+	if !errors.Is(err, limits.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if partial == nil {
+		t.Fatal("budget-limited run returned no partial result")
+	}
+	if partial.Steps <= budget {
+		t.Errorf("partial.Steps = %d, want just past the %d budget", partial.Steps, budget)
+	}
+	if partial.Work >= full.Work {
+		t.Errorf("partial work %d not below full work %d", partial.Work, full.Work)
+	}
+	if len(partial.Gprof) > len(full.Gprof) {
+		t.Fatalf("partial run saw %d regions, full run %d", len(partial.Gprof), len(full.Gprof))
+	}
+	for i, pe := range partial.Gprof {
+		fe := full.Gprof[i]
+		if pe.RegionID != fe.RegionID {
+			t.Fatalf("region order diverged at %d: %d vs %d", i, pe.RegionID, fe.RegionID)
+		}
+		if pe.Count > fe.Count {
+			t.Errorf("region %d: partial count %d exceeds full count %d", pe.RegionID, pe.Count, fe.Count)
+		}
+		if pe.Total > fe.Total {
+			t.Errorf("region %d: partial total %d exceeds full total %d", pe.RegionID, pe.Total, fe.Total)
+		}
+	}
+
+	// Same budget, same prefix: the cut is positional, not timing-based.
+	again, err := prog.RunGprof(&kremlin.RunConfig{MaxSteps: budget})
+	if !errors.Is(err, limits.ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	if again.Steps != partial.Steps || again.Work != partial.Work {
+		t.Fatalf("re-run diverged: steps %d/%d work %d/%d",
+			again.Steps, partial.Steps, again.Work, partial.Work)
+	}
+	for i := range partial.Gprof {
+		if partial.Gprof[i] != again.Gprof[i] {
+			t.Fatalf("re-run region %d diverged: %+v vs %+v", i, partial.Gprof[i], again.Gprof[i])
+		}
+	}
+}
+
+// TestShardPanicFailsJob injects a panic into one shard goroutine via the
+// fault hook and requires the job to fail with a PanicError — promptly,
+// without deadlocking the stitcher or killing the process.
+func TestShardPanicFailsJob(t *testing.T) {
+	prog := compileT(t, longProg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := parallel.Run(prog.Module, prog.Regions, prog.Instr, parallel.Config{
+			Shards: 4,
+			ShardHook: func(shard int) {
+				if shard == 2 {
+					panic("chaos: injected shard panic")
+				}
+			},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var pe *parallel.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("err = %v, want *parallel.PanicError", err)
+		}
+		if pe.Shard != 2 {
+			t.Errorf("PanicError.Shard = %d, want 2", pe.Shard)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("PanicError carries no stack trace")
+		}
+		if kremlin.Classify(err) != kremlin.KindRuntime {
+			t.Errorf("Classify = %v, want KindRuntime", kremlin.Classify(err))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sharded run deadlocked after shard panic")
+	}
+}
+
+// TestShardStallCancelled proves a stalled shard cannot wedge the job:
+// the caller's deadline cancels every sibling and the stall's own run.
+func TestShardCancellation(t *testing.T) {
+	prog := compileT(t, longProg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := prog.ProfileSharded(&kremlin.RunConfig{Ctx: ctx}, 4)
+	if !errors.Is(err, limits.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestShardBudget: a budget violation inside one shard fails the whole
+// job with the budget error, not the sibling-cancellation cascade.
+func TestShardBudget(t *testing.T) {
+	prog := compileT(t, longProg)
+	_, _, err := prog.ProfileSharded(&kremlin.RunConfig{MaxSteps: 50_000}, 4)
+	if !errors.Is(err, limits.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
