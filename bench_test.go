@@ -8,12 +8,14 @@ package kremlin_test
 // cmd/kremlin-bench.
 
 import (
+	"fmt"
 	"testing"
 
 	"kremlin"
 	"kremlin/internal/bench"
 	"kremlin/internal/eval"
 	"kremlin/internal/exec"
+	"kremlin/internal/interp"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
 )
@@ -306,6 +308,101 @@ func BenchmarkProfileSerialization(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = c.Profile.MarshalSize()
+	}
+}
+
+// --- engine dispatch microbenchmarks (tree-walker vs bytecode VM) ---
+
+// dispatchProg is a tight arithmetic/array kernel: ~1.5M interpreter
+// steps dominated by the per-instruction dispatch cost being measured.
+const dispatchProg = `
+int a[256];
+void main() {
+	for (int i = 0; i < 256; i++) { a[i] = i; }
+	int s = 0;
+	for (int r = 0; r < 2000; r++) {
+		for (int i = 1; i < 256; i++) {
+			s = s + a[i] * 3 - a[i-1] % 7;
+		}
+	}
+	print(s);
+}`
+
+func benchDispatch(b *testing.B, eng kremlin.Engine, hcpa bool) {
+	prog, err := kremlin.Compile("dispatch.kr", dispatchProg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &kremlin.RunConfig{Engine: eng}
+	var steps uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *interp.Result
+		if hcpa {
+			_, res, err = prog.Profile(cfg)
+		} else {
+			res, err = prog.Run(cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(steps), "ns/step")
+}
+
+// BenchmarkDispatchPlain compares raw per-instruction dispatch cost:
+// the tree-walker's IR pointer-chasing vs the VM's flat bytecode loop.
+func BenchmarkDispatchPlain(b *testing.B) {
+	b.Run("vm", func(b *testing.B) { benchDispatch(b, kremlin.EngineVM, false) })
+	b.Run("tree", func(b *testing.B) { benchDispatch(b, kremlin.EngineTree, false) })
+}
+
+// BenchmarkDispatchHCPA compares instrumented dispatch: the tree-walker's
+// per-instruction kremlib.Step calls vs the VM's block-batched StepBlock.
+func BenchmarkDispatchHCPA(b *testing.B) {
+	b.Run("vm", func(b *testing.B) { benchDispatch(b, kremlin.EngineVM, true) })
+	b.Run("tree", func(b *testing.B) { benchDispatch(b, kremlin.EngineTree, true) })
+}
+
+// TestVMHotPathAllocs proves the VM dispatch loop allocates nothing per
+// step: total allocations for a run must not grow with the step count
+// (fixed setup allocations — machine, globals, register file — are the
+// same for both programs; only the loop trip count differs).
+func TestVMHotPathAllocs(t *testing.T) {
+	mk := func(iters int) *kremlin.Program {
+		src := fmt.Sprintf(`
+int a[256];
+void main() {
+	for (int i = 0; i < 256; i++) { a[i] = i; }
+	int s = 0;
+	for (int r = 0; r < %d; r++) {
+		for (int i = 1; i < 256; i++) {
+			s = s + a[i] * 3 - a[i-1] %% 7;
+		}
+	}
+	print(s);
+}`, iters)
+		prog, err := kremlin.Compile("allocs.kr", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	measure := func(p *kremlin.Program) float64 {
+		if _, err := p.Run(nil); err != nil { // warm the bytecode cache
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := p.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(mk(10))
+	big := measure(mk(2000)) // ~200× the steps
+	if big > small+0.5 {
+		t.Errorf("VM allocations scale with steps: %v allocs at 10 iters, %v at 2000", small, big)
 	}
 }
 

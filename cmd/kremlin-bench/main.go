@@ -51,6 +51,8 @@ var (
 	fuzzOut     = flag.String("fuzz-out", ".", "directory for shrunk fuzz reproducers")
 	serveConc   = flag.String("serve-conc", "100,1000", "comma-separated concurrency levels for the serve experiment")
 	serveJobs   = flag.Int("serve-jobs", 0, "jobs per serve concurrency level (0 = 3x concurrency)")
+	vmRepeats   = flag.Int("vm-repeats", 3, "best-of-N repeats per engine/mode for the vmspeed experiment")
+	minVMSpeed  = flag.Float64("min-vm-speedup", 0, "fail the vmspeed experiment if the plain geomean VM speedup is below this (0 = no guard)")
 )
 
 func main() {
@@ -90,6 +92,7 @@ func main() {
 	run("sensitivity", sensitivity)
 	run("scaling", scaling)
 	run("shards", shards)
+	run("vmspeed", vmspeed)
 	run("vet", vet)
 	run("ablation", ablation)
 	run("personality", personality)
@@ -373,6 +376,45 @@ func shards() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func vmspeed() error {
+	header("Bytecode VM vs tree-walking interpreter: wall-clock per engine")
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	sum, err := eval.VMSpeed(names, *vmRepeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %10s %9s %10s %10s %9s %6s\n",
+		"bench", "plain-vm", "plain-tree", "speedup", "hcpa-vm", "hcpa-tree", "speedup", "equal")
+	for _, r := range sum.Rows {
+		eq := r.OutputEqual && r.CountersEqual && r.ProfileEqual && r.PlanEqual
+		fmt.Printf("%-8s %10v %10v %8.2fx %10v %10v %8.2fx %6t\n",
+			r.Name, r.PlainVM.Round(10_000), r.PlainTree.Round(10_000), r.PlainSpeedup,
+			r.HCPAVM.Round(10_000), r.HCPATree.Round(10_000), r.HCPASpeedup, eq)
+	}
+	fmt.Printf("geomean: plain %.2fx, hcpa %.2fx; engines equivalent on every row: %t\n",
+		sum.PlainGeomean, sum.HCPAGeomean, sum.AllEqual)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if !sum.AllEqual {
+		return fmt.Errorf("engine equivalence violated (see table)")
+	}
+	if *minVMSpeed > 0 && sum.PlainGeomean < *minVMSpeed {
+		return fmt.Errorf("plain geomean speedup %.2fx below the %.2fx guard", sum.PlainGeomean, *minVMSpeed)
 	}
 	return nil
 }

@@ -52,9 +52,15 @@ func main() {
 	maxInsns := flag.Uint64("max-insns", 0, "instruction budget for the run (0 = default); overrun exits 6")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProf := flag.String("memprofile", "", "write a heap profile to this path")
+	engine := flag.String("engine", "vm", "execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin-run [-o prog.krpf] [-merge] [-maxdepth N] [-shards K] prog.kr")
+		os.Exit(2)
+	}
+	eng, err := kremlin.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kremlin-run: %v\n", err)
 		os.Exit(2)
 	}
 	if *cpuProf != "" {
@@ -109,7 +115,7 @@ func main() {
 	if *mode == "gprof" {
 		// The paper's §2.1 baseline workflow: a serial hotspot list with no
 		// parallelism information.
-		res, err := prog.RunGprof(&kremlin.RunConfig{Out: os.Stdout, Ctx: ctx, MaxSteps: *maxInsns})
+		res, err := prog.RunGprof(&kremlin.RunConfig{Out: os.Stdout, Ctx: ctx, MaxSteps: *maxInsns, Engine: eng})
 		if err != nil {
 			fail(err)
 		}
@@ -118,7 +124,7 @@ func main() {
 	}
 	cfg := &kremlin.RunConfig{
 		Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth,
-		Ctx: ctx, MaxSteps: *maxInsns,
+		Ctx: ctx, MaxSteps: *maxInsns, Engine: eng,
 	}
 	var prof *profile.Profile
 	var work uint64

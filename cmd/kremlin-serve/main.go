@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"kremlin"
 	"kremlin/internal/serve"
 )
 
@@ -39,9 +40,15 @@ func main() {
 	burst := flag.Int("burst", 0, "per-tenant burst (default 2x rate)")
 	shards := flag.Int("shards", 1, "depth-window shards per job")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
+	engine := flag.String("engine", "vm", "per-job execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin-serve [flags]")
+		os.Exit(2)
+	}
+	eng, err := kremlin.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kremlin-serve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -55,6 +62,7 @@ func main() {
 		RatePerSec:     *rate,
 		RateBurst:      *burst,
 		Shards:         *shards,
+		Engine:         eng,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -49,8 +49,14 @@ func main() {
 	shards := flag.Int("shards", 1, "profile with K concurrent depth-window shard runs (on-the-fly profiling only)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for on-the-fly profiling (0 = none); overrun exits 6")
 	maxInsns := flag.Uint64("max-insns", 0, "instruction budget for on-the-fly profiling (0 = default); overrun exits 6")
+	engine := flag.String("engine", "vm", "execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
 	flag.IntVar(shards, "j", 1, "shorthand for -shards")
 	flag.Parse()
+	eng, err := kremlin.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kremlin: %v\n", err)
+		os.Exit(2)
+	}
 	vet := flag.NArg() == 2 && flag.Arg(0) == "vet"
 	if flag.NArg() != 1 && !vet {
 		fmt.Fprintln(os.Stderr, "usage: kremlin [-personality=p] [-profile f.krpf] [-exclude a,b] [-require-safe] prog.kr")
@@ -94,7 +100,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		cfg := &kremlin.RunConfig{Ctx: ctx, MaxSteps: *maxInsns}
+		cfg := &kremlin.RunConfig{Ctx: ctx, MaxSteps: *maxInsns, Engine: eng}
 		if *shards > 1 {
 			prof, _, err = prog.ProfileSharded(cfg, *shards)
 		} else {

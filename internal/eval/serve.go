@@ -38,13 +38,13 @@ type ServeBenchRow struct {
 	Jobs        int     `json:"jobs"`        // total jobs pushed through
 	Workers     int     `json:"workers"`     // daemon worker-pool size
 	QueueDepth  int     `json:"queue_depth"`
-	QPS         float64 `json:"qps"`     // completed jobs / wall-clock
-	P50Ms       float64 `json:"p50_ms"`  // median request latency
-	P99Ms       float64 `json:"p99_ms"`  // tail request latency
-	MaxMs       float64 `json:"max_ms"`  // worst request latency
+	QPS         float64 `json:"qps"`    // completed jobs / wall-clock
+	P50Ms       float64 `json:"p50_ms"` // median request latency
+	P99Ms       float64 `json:"p99_ms"` // tail request latency
+	MaxMs       float64 `json:"max_ms"` // worst request latency
 	ElapsedMs   float64 `json:"elapsed_ms"`
-	OK          int     `json:"ok"`      // 200 responses
-	Errors      int     `json:"errors"`  // non-200 responses (shed, limit, ...)
+	OK          int     `json:"ok"`     // 200 responses
+	Errors      int     `json:"errors"` // non-200 responses (shed, limit, ...)
 	GoMaxProcs  int     `json:"gomaxprocs"`
 }
 

@@ -88,15 +88,23 @@ type RuntimeError struct {
 
 func (e *RuntimeError) Error() string { return e.Msg }
 
+// Simulated-machine layout constants, exported so the bytecode engine
+// (internal/bytecode) shares the exact same heap layout and array limits
+// as this reference interpreter. The liveness-poll interval and default
+// step budget live in package limits, shared by both engines.
 const (
-	heapBase        = uint64(1) << 16
-	defaultMaxSteps = 2_000_000_000
-	maxArrayElems   = int64(1) << 27
+	// HeapBase is the first simulated heap address; addresses below it are
+	// never handed out, so 0 stays an unmistakable "no address" value.
+	HeapBase = uint64(1) << 16
+	// MaxArrayElems caps a single array allocation.
+	MaxArrayElems = int64(1) << 27
+)
 
-	// liveCheckMask gates the periodic liveness poll (context cancellation
-	// and shadow-page cap): the checks run once every liveCheckMask+1
-	// instructions, so the per-instruction cost is one AND and one branch.
-	liveCheckMask = (1 << 14) - 1
+const (
+	heapBase        = HeapBase
+	defaultMaxSteps = limits.DefaultMaxSteps
+	maxArrayElems   = MaxArrayElems
+	liveCheckMask   = limits.LiveCheckMask
 )
 
 // array is a (possibly partial) view into the simulated heap.

@@ -1,0 +1,105 @@
+// Block-batched HCPA updates: the bytecode VM replaces the per-instruction
+// Step calls of a "pure" basic block (no memory traffic, no calls, no IO or
+// RNG, no region boundaries mid-block) with a single StepBlock over a
+// precompiled template. Within such a block neither the region stack, the
+// tags, nor the control-dependence stack can change — region events fire
+// only on CFG edges, and PushCtrl only at the terminator — so the control
+// baseline can be resolved once and every instruction's availability-time
+// fold replayed from compile-time-resolved register indices. The result is
+// bit-identical to issuing the template's Steps one by one.
+package kremlib
+
+import "kremlin/internal/shadow"
+
+// TplIns is one instruction of a block template: fold the availability
+// vectors of Args (shadow register IDs; constants and broken dependencies
+// are dropped at compile time) over the control baseline, add Lat, update
+// the per-level critical path, and store the result at register Res (-1
+// for terminators, which produce no value).
+type TplIns struct {
+	Res  int32
+	Lat  uint64
+	Args []int32
+}
+
+// BlockTemplate is the precompiled HCPA effect of one pure basic block.
+type BlockTemplate struct {
+	Ins []TplIns
+	// TotalLat is the summed latency of every instruction in the block
+	// (including zero-latency ones), accrued to total work in one add.
+	TotalLat uint64
+}
+
+// StepBlock replays tpl — the HCPA availability-time updates of one pure
+// basic block — in a single call. It is observably identical to calling
+// Step for each of the block's instructions in order: the control baseline
+// is resolved once (legal because nothing inside a pure block can change
+// the region stack, tags, or control stack), each template instruction
+// folds its argument vectors with the tag-mismatch-is-zero rule, adds its
+// latency, raises the per-level critical path, and stores its vector. The
+// returned vector is the last instruction's (the terminator's, for
+// Br-ended blocks — the caller feeds it to PushCtrl exactly as it would
+// Step's return); it is valid until the next Step/StepBlock.
+func (rt *Runtime) StepBlock(fs *FrameState, tpl *BlockTemplate) shadow.Vec {
+	rt.totalWork += tpl.TotalLat
+	d := rt.level()
+	lo := rt.lowLevel()
+	tags := rt.tags
+
+	// Resolve the per-instruction prologue (zeros below the window, control
+	// time inside it) once into a baseline all template instructions copy.
+	base := rt.blockBase
+	if cap(base) < d {
+		base = make(shadow.Vec, d, d+16)
+		rt.blockBase = base
+	}
+	base = base[:d]
+	for l := 0; l < lo; l++ {
+		base[l] = shadow.Entry{}
+	}
+	if lo < d {
+		cv := fs.ctrlVec()
+		cn := len(cv)
+		if cn > d {
+			cn = d
+		}
+		for l := lo; l < cn; l++ {
+			var t uint64
+			if e := cv[l]; e.Tag == tags[l] {
+				t = e.Time
+			}
+			base[l] = shadow.Entry{Time: t, Tag: tags[l]}
+		}
+		if cn < lo {
+			cn = lo
+		}
+		for l := cn; l < d; l++ {
+			base[l] = shadow.Entry{Tag: tags[l]}
+		}
+	}
+
+	out := rt.scratch[:d]
+	tracing := rt.carried != nil
+	for i := range tpl.Ins {
+		ti := &tpl.Ins[i]
+		copy(out, base)
+		for _, a := range ti.Args {
+			v := fs.Regs.Get(int(a))
+			maxInto(out, tags, v, lo, d)
+			if tracing {
+				rt.noteVec(v)
+			}
+		}
+		lat := ti.Lat
+		for l := lo; l < d; l++ {
+			out[l].Time += lat
+			if out[l].Time > rt.stack[l].maxTime {
+				rt.stack[l].maxTime = out[l].Time
+			}
+		}
+		if ti.Res >= 0 {
+			fs.Regs.Set(int(ti.Res), out, d)
+		}
+	}
+	return out
+}

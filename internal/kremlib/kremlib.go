@@ -72,7 +72,10 @@ type Runtime struct {
 	randVec shadow.Vec
 
 	scratch shadow.Vec
-	tags    []uint64
+	// blockBase is StepBlock's resolved-once control baseline (a second
+	// scratch vector, so the per-instruction scratch stays untouched).
+	blockBase shadow.Vec
+	tags      []uint64
 
 	// vecPool recycles control-dependence vectors (popped by AtBlock /
 	// PopSameBranch / same-branch replacement) so steady-state branches

@@ -55,6 +55,31 @@ func TestSubscriptCorpusOracle(t *testing.T) {
 	}
 }
 
+// TestVMCorpusOracle replays the VM-targeted corpus through the full
+// oracle. These programs aim the bytecode engine's superinstructions
+// (fused compare-branch, fused 1-D indexed load/store), empty and
+// fallthrough-only blocks, and off-by-one-prone branch boundaries; the
+// oracle's engine matrix cross-checks every run against the tree-walking
+// reference interpreter.
+func TestVMCorpusOracle(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "vm-*.kr"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no vm corpus found: %v", err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(filepath.Base(path), string(src), OracleConfig{ShardCounts: []int{2}}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // FuzzCompileAndRun feeds arbitrary text to the full front end and, when
 // it compiles, to the interpreter. The corpus seeds with every benchmark
 // and example program, so mutation starts from realistic Kr. The

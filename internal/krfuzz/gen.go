@@ -213,9 +213,9 @@ func itoa(n int) string {
 // ---- AST construction helpers (positions are zero; the oracle compiles
 // the printed source, which re-derives real positions). ----
 
-func id(name string) *ast.Ident        { return &ast.Ident{Name: name} }
-func intLit(v int64) ast.Expr          { return &ast.IntLit{Value: v} }
-func floatLit(v float64) ast.Expr      { return &ast.FloatLit{Value: v} }
+func id(name string) *ast.Ident   { return &ast.Ident{Name: name} }
+func intLit(v int64) ast.Expr     { return &ast.IntLit{Value: v} }
+func floatLit(v float64) ast.Expr { return &ast.FloatLit{Value: v} }
 func bin(op token.Kind, x, y ast.Expr) ast.Expr {
 	return &ast.BinaryExpr{Op: op, X: x, Y: y}
 }
@@ -257,8 +257,8 @@ func (g *generator) emitGlobals() {
 	// candidates) and one 2-D array.
 	n := len(g.globals)
 	g.addGlobal(gvar{name: "g" + itoa(n), dims: []int64{10}})
-	g.addGlobal(gvar{name: "g" + itoa(n + 1), float: true, dims: []int64{10}})
-	g.addGlobal(gvar{name: "m" + itoa(n + 2), float: g.rng.Intn(2) == 0, dims: []int64{6, 5}})
+	g.addGlobal(gvar{name: "g" + itoa(n+1), float: true, dims: []int64{10}})
+	g.addGlobal(gvar{name: "m" + itoa(n+2), float: g.rng.Intn(2) == 0, dims: []int64{6, 5}})
 }
 
 func (g *generator) addGlobal(v gvar) {

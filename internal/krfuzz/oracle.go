@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 
 	"kremlin"
 	"kremlin/internal/ast"
+	"kremlin/internal/bytecode"
 	"kremlin/internal/depcheck"
 	"kremlin/internal/parser"
 	"kremlin/internal/planner"
@@ -117,6 +119,54 @@ func Check(name, src string, cfg OracleConfig) error {
 	}
 	if tw := prof.TotalWork(); tw != plain.Work {
 		return fail("profile-total-work", "profile TotalWork %d, executed work %d", tw, plain.Work)
+	}
+
+	// Differential: the two execution engines must be observably identical.
+	// The runs above used the default engine (the bytecode VM); replay
+	// plain, gprof, and HCPA on the tree-walking reference interpreter and
+	// demand bit-identical output, counters, and profile bytes. The
+	// compiled bytecode must also pass structural verification.
+	if err := bytecode.Verify(prog.Bytecode()); err != nil {
+		return fail("bytecode-verify", "%v", err)
+	}
+	tree := func(out *strings.Builder) *kremlin.RunConfig {
+		c := run(out)
+		c.Engine = kremlin.EngineTree
+		return c
+	}
+	var treeOut strings.Builder
+	treePlain, err := prog.Run(tree(&treeOut))
+	if err != nil {
+		return fail("tree-plain-run", "%v", err)
+	}
+	if treeOut.String() != plainOut.String() {
+		return fail("engine-output", "VM output differs from tree:\n--- tree ---\n%s--- vm ---\n%s", treeOut.String(), plainOut.String())
+	}
+	if treePlain.Work != plain.Work || treePlain.Steps != plain.Steps {
+		return fail("engine-counters", "tree work/steps %d/%d, vm %d/%d", treePlain.Work, treePlain.Steps, plain.Work, plain.Steps)
+	}
+	treeGprof, err := prog.RunGprof(tree(&strings.Builder{}))
+	if err != nil {
+		return fail("tree-gprof-run", "%v", err)
+	}
+	if treeGprof.Work != gprof.Work || treeGprof.Steps != gprof.Steps {
+		return fail("engine-gprof-counters", "tree work/steps %d/%d, vm %d/%d", treeGprof.Work, treeGprof.Steps, gprof.Work, gprof.Steps)
+	}
+	if !reflect.DeepEqual(treeGprof.Gprof, gprof.Gprof) {
+		return fail("engine-gprof-entries", "gprof region profiles diverged between engines")
+	}
+	eprof, eres, err := prog.Profile(tree(&strings.Builder{}))
+	if err != nil {
+		return fail("tree-hcpa-run", "%v", err)
+	}
+	if eres.Work != hres.Work || eres.Steps != hres.Steps {
+		return fail("engine-hcpa-counters", "tree work/steps %d/%d, vm %d/%d", eres.Work, eres.Steps, hres.Work, hres.Steps)
+	}
+	if eres.ShadowPages != hres.ShadowPages || eres.ShadowWrites != hres.ShadowWrites {
+		return fail("engine-hcpa-shadow", "tree pages/writes %d/%d, vm %d/%d", eres.ShadowPages, eres.ShadowWrites, hres.ShadowPages, hres.ShadowWrites)
+	}
+	if tb, vb := profileBytes(eprof), profileBytes(prof); !bytes.Equal(tb, vb) {
+		return fail("engine-profile", "HCPA profiles serialized differently between engines (%d vs %d bytes)", len(tb), len(vb))
 	}
 
 	if err := checkProfileInvariants(src, prog, prof); err != nil {

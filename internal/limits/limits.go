@@ -13,6 +13,27 @@ import (
 	"fmt"
 )
 
+// Execution-budget constants shared by every engine (the tree-walking
+// interpreter and the bytecode VM). Keeping them here — rather than inline
+// in one engine — guarantees both engines poll and stop at exactly the
+// same instruction counts, which the differential oracle and the
+// prefix-invariant tests rely on.
+const (
+	// LiveCheckShift sets the periodic liveness-poll interval: context
+	// cancellation and the shadow-page cap are checked once every
+	// 2^LiveCheckShift instructions, so the per-instruction cost is one
+	// AND and one branch (or, in the batched VM, one comparison per basic
+	// block).
+	LiveCheckShift = 14
+	// LiveCheckInterval is the poll period in instructions.
+	LiveCheckInterval = 1 << LiveCheckShift
+	// LiveCheckMask gates the poll: it fires when steps&LiveCheckMask == 0.
+	LiveCheckMask = LiveCheckInterval - 1
+	// DefaultMaxSteps is the instruction budget applied when a run does not
+	// set one.
+	DefaultMaxSteps = 2_000_000_000
+)
+
 // Sentinel causes, matched with errors.Is.
 var (
 	// ErrCancelled marks a run stopped by context cancellation — a caller

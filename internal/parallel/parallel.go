@@ -22,6 +22,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"kremlin/internal/bytecode"
 	"kremlin/internal/instrument"
 	"kremlin/internal/interp"
 	"kremlin/internal/ir"
@@ -106,6 +107,11 @@ type Config struct {
 	// caps each run's simulated heap (0 = unlimited). See interp.Config.
 	MaxShadowPages int
 	MaxHeapWords   uint64
+	// Code, when non-nil, runs every execution (the probe pre-pass and all
+	// shard runs) on the bytecode engine instead of the tree-walking
+	// interpreter. The compiled program is shared read-only across shard
+	// goroutines; each run still owns its Runtime and shadow memory.
+	Code *bytecode.Program
 	// ShardHook, when non-nil, runs at the start of every shard goroutine
 	// (with the shard index) before its interpreter run. It exists for
 	// fault injection: chaos tests use it to panic or stall inside a shard
@@ -153,12 +159,18 @@ func (r *Result) Work() uint64 {
 // are shared read-only across the shard goroutines; each run owns its
 // Runtime and shadow memory.
 func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Config) (*Result, error) {
+	execute := func(ic interp.Config) (*interp.Result, error) {
+		if cfg.Code != nil {
+			return bytecode.Run(cfg.Code, ic)
+		}
+		return interp.Run(mod, ic)
+	}
 	maxDepth := cfg.MaxDepth
 	if maxDepth <= 0 {
 		maxDepth = kremlib.DefaultMaxDepth
 	}
 	if cfg.Shards <= 1 {
-		res, err := interp.Run(mod, interp.Config{
+		res, err := execute(interp.Config{
 			Mode: interp.HCPA, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
 			Ctx: cfg.Ctx, MaxHeapWords: cfg.MaxHeapWords,
 			Opts: kremlib.Options{MaxDepth: maxDepth, MaxShadowPages: cfg.MaxShadowPages},
@@ -174,7 +186,7 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 		}, nil
 	}
 
-	probe, err := interp.Run(mod, interp.Config{
+	probe, err := execute(interp.Config{
 		Mode: interp.Probe, Out: cfg.Out, MaxSteps: cfg.MaxSteps,
 		Ctx: cfg.Ctx, MaxHeapWords: cfg.MaxHeapWords,
 		Prog: prog, Instr: instr,
@@ -225,7 +237,7 @@ func Run(mod *ir.Module, prog *regions.Program, instr *instrument.Module, cfg Co
 			if cfg.ShardHook != nil {
 				cfg.ShardHook(s)
 			}
-			runs[s], errs[s] = interp.Run(mod, interp.Config{
+			runs[s], errs[s] = execute(interp.Config{
 				Mode: interp.HCPA, MaxSteps: cfg.MaxSteps,
 				Ctx: shardCtx, MaxHeapWords: cfg.MaxHeapWords,
 				Opts: kremlib.Options{MinDepth: w.Lo, MaxDepth: w.Hi, MaxShadowPages: cfg.MaxShadowPages},

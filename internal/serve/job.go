@@ -190,6 +190,7 @@ func (s *Server) runJob(j *job) {
 		MaxSteps:       s.cfg.MaxInsns,
 		MaxShadowPages: s.cfg.MaxShadowPages,
 		MaxHeapWords:   s.cfg.MaxHeapWords,
+		Engine:         s.cfg.Engine,
 	}
 	var (
 		prof        *profile.Profile

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kremlin"
 	"kremlin/internal/serve/chaos"
 )
 
@@ -75,6 +76,8 @@ type Config struct {
 	// Shards > 1 runs each job's HCPA collection sharded across that many
 	// depth windows.
 	Shards int
+	// Engine selects the per-job execution engine (default: bytecode VM).
+	Engine kremlin.Engine
 	// Chaos, when non-nil, injects deterministic faults into jobs.
 	Chaos *chaos.Injector
 	// Now overrides the clock (tests); nil means time.Now.

@@ -159,10 +159,10 @@ func TestServeErrorTaxonomy(t *testing.T) {
 		JobTimeout: 5 * time.Second,
 	})
 	cases := []struct {
-		name     string
-		src      string
-		status   int
-		kind     string
+		name   string
+		src    string
+		status int
+		kind   string
 	}{
 		{"parse", "int main( {", http.StatusBadRequest, "parse_error"},
 		{"analysis", "int main() { return undefined_var; }", http.StatusBadRequest, "analysis_error"},

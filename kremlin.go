@@ -23,10 +23,13 @@ package kremlin
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"sync"
 
 	"kremlin/internal/analysis"
 	"kremlin/internal/ast"
+	"kremlin/internal/bytecode"
 	"kremlin/internal/depcheck"
 	"kremlin/internal/hcpa"
 	"kremlin/internal/instrument"
@@ -61,6 +64,48 @@ type Program struct {
 	Analysis analysis.Stats
 	// Opt reports what the optimizer did (zero unless Optimize was set).
 	Opt opt.Stats
+
+	bcOnce sync.Once
+	bc     *bytecode.Program
+}
+
+// Engine selects the execution engine backing Run/RunGprof/Profile/
+// ProfileSharded. Both engines are observably identical — same output,
+// counters, profiles, plans, errors, and limit-stop prefixes (the krfuzz
+// differential oracle enforces this); they differ only in speed.
+type Engine int
+
+// Engines. The bytecode VM is the default; the tree-walking interpreter
+// remains as the reference oracle (-engine=tree).
+const (
+	EngineVM   Engine = iota // block-batched bytecode VM (default)
+	EngineTree               // per-IR-instruction reference interpreter
+)
+
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "vm"
+}
+
+// ParseEngine parses a CLI -engine value. The empty string means the
+// default engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "vm":
+		return EngineVM, nil
+	case "tree":
+		return EngineTree, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want vm or tree)", s)
+}
+
+// Bytecode returns the program's compiled bytecode, lowering the module on
+// first use (cached; safe for concurrent callers).
+func (p *Program) Bytecode() *bytecode.Program {
+	p.bcOnce.Do(func() { p.bc = bytecode.Compile(p.Module, p.Regions, p.Instr) })
+	return p.bc
 }
 
 // CompileOptions tunes the compilation pipeline.
@@ -146,6 +191,8 @@ type RunConfig struct {
 	// dependence come back in Result.CarriedDeps. Used to cross-check the
 	// static analyzer's verdicts against observed executions.
 	TraceDeps bool
+	// Engine selects the execution engine (default: the bytecode VM).
+	Engine Engine
 }
 
 func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
@@ -163,22 +210,31 @@ func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
 	return ic
 }
 
+// execute dispatches one run to the configured engine.
+func (p *Program) execute(cfg *RunConfig, mode interp.Mode) (*interp.Result, error) {
+	ic := p.interpConfig(cfg, mode)
+	if cfg != nil && cfg.Engine == EngineTree {
+		return interp.Run(p.Module, ic)
+	}
+	return bytecode.Run(p.Bytecode(), ic)
+}
+
 // Run executes the program uninstrumented.
 func (p *Program) Run(cfg *RunConfig) (*interp.Result, error) {
-	return interp.Run(p.Module, p.interpConfig(cfg, interp.Plain))
+	return p.execute(cfg, interp.Plain)
 }
 
 // RunGprof executes with gprof-style (work-only) region profiling, the
 // baseline of the paper's overhead comparison.
 func (p *Program) RunGprof(cfg *RunConfig) (*interp.Result, error) {
-	return interp.Run(p.Module, p.interpConfig(cfg, interp.Gprof))
+	return p.execute(cfg, interp.Gprof)
 }
 
 // Profile executes the instrumented program, producing the compressed
 // parallelism profile of one run. This is the library form of running the
 // kremlin-cc-built binary.
 func (p *Program) Profile(cfg *RunConfig) (*profile.Profile, *interp.Result, error) {
-	res, err := interp.Run(p.Module, p.interpConfig(cfg, interp.HCPA))
+	res, err := p.execute(cfg, interp.HCPA)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -210,6 +266,9 @@ func (p *Program) ProfileSharded(cfg *RunConfig, shards int) (*profile.Profile, 
 		pc.Ctx = cfg.Ctx
 		pc.MaxShadowPages = cfg.MaxShadowPages
 		pc.MaxHeapWords = cfg.MaxHeapWords
+	}
+	if cfg == nil || cfg.Engine != EngineTree {
+		pc.Code = p.Bytecode()
 	}
 	res, err := parallel.Run(p.Module, p.Regions, p.Instr, pc)
 	if err != nil {

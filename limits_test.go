@@ -166,6 +166,50 @@ func TestGprofPrefixInvariants(t *testing.T) {
 	}
 }
 
+// TestEnginePrefixParity pins the engine contract for limit stops: a run
+// stopped by the budget or the heap cap must cut at the *same position*
+// under the bytecode VM as under the tree-walking interpreter — same
+// error, same step counter, same work — including budgets that land on
+// either side of the shared 2^14 liveness-poll interval
+// (limits.LiveCheckInterval, used identically by both engines).
+func TestEnginePrefixParity(t *testing.T) {
+	prog := compileT(t, longProg)
+	budgets := []uint64{
+		50_000,
+		limits.LiveCheckInterval - 1,
+		limits.LiveCheckInterval,
+		limits.LiveCheckInterval + 1,
+		3 * limits.LiveCheckInterval,
+	}
+	for _, b := range budgets {
+		vres, verr := prog.RunGprof(&kremlin.RunConfig{MaxSteps: b})
+		tres, terr := prog.RunGprof(&kremlin.RunConfig{MaxSteps: b, Engine: kremlin.EngineTree})
+		if !errors.Is(verr, limits.ErrBudgetExceeded) || !errors.Is(terr, limits.ErrBudgetExceeded) {
+			t.Fatalf("budget %d: vm err %v, tree err %v", b, verr, terr)
+		}
+		if verr.Error() != terr.Error() {
+			t.Errorf("budget %d: error text diverged:\nvm:   %v\ntree: %v", b, verr, terr)
+		}
+		if vres.Steps != tres.Steps || vres.Work != tres.Work {
+			t.Errorf("budget %d: partial counters diverged: vm steps/work %d/%d, tree %d/%d",
+				b, vres.Steps, vres.Work, tres.Steps, tres.Work)
+		}
+	}
+
+	hungry := compileT(t, hungryProg)
+	vres, verr := hungry.Run(&kremlin.RunConfig{MaxHeapWords: 1000})
+	tres, terr := hungry.Run(&kremlin.RunConfig{MaxHeapWords: 1000, Engine: kremlin.EngineTree})
+	if !errors.Is(verr, limits.ErrMemCap) || !errors.Is(terr, limits.ErrMemCap) {
+		t.Fatalf("heap cap: vm err %v, tree err %v", verr, terr)
+	}
+	if verr.Error() != terr.Error() {
+		t.Errorf("heap cap: error text diverged:\nvm:   %v\ntree: %v", verr, terr)
+	}
+	if vres.Steps != tres.Steps {
+		t.Errorf("heap cap: partial steps diverged: vm %d, tree %d", vres.Steps, tres.Steps)
+	}
+}
+
 // TestShardPanicFailsJob injects a panic into one shard goroutine via the
 // fault hook and requires the job to fail with a PanicError — promptly,
 // without deadlocking the stitcher or killing the process.
