@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz|serve]
+//	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz|serve|scale|incfuzz]
 //	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
 //	              [-fuzz-n 200] [-seed 1] [-fuzz-out dir]
 //	              [-serve-conc 100,1000] [-serve-jobs N]
+//	              [-scale-lines 10000,50000,100000] [-scale-iters 60] [-min-scale-speedup X]
 //	              [-cpuprofile f] [-memprofile f]
 //
 // The shards experiment measures the parallel depth-window sharded
@@ -25,6 +26,15 @@
 // writing shrunk reproducers for any oracle failure to -fuzz-out. The
 // fuzz experiment is excluded from -experiment all (it is a correctness
 // campaign, not an evaluation table); exit status 1 if any check fails.
+//
+// The scale experiment measures incremental re-profiling: generated
+// programs of -scale-lines source lines are profiled cold into a
+// content-hash cache, one function is edited, and the warm re-profile is
+// timed against a from-scratch run; -json writes BENCH_scale.json and
+// -min-scale-speedup turns the geomean into a regression gate. The
+// incfuzz experiment runs the incremental-vs-full oracle over -fuzz-n
+// seeded (program, single-function-edit) pairs, writing reproducer pairs
+// to -fuzz-out. Both run only when named.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"kremlin/internal/eval"
 	"kremlin/internal/krfuzz"
@@ -53,6 +64,9 @@ var (
 	serveJobs   = flag.Int("serve-jobs", 0, "jobs per serve concurrency level (0 = 3x concurrency)")
 	vmRepeats   = flag.Int("vm-repeats", 3, "best-of-N repeats per engine/mode for the vmspeed experiment")
 	minVMSpeed  = flag.Float64("min-vm-speedup", 0, "fail the vmspeed experiment if the plain geomean VM speedup is below this (0 = no guard)")
+	scaleLines  = flag.String("scale-lines", "10000,50000,100000", "comma-separated program sizes (source lines) for the scale experiment")
+	scaleIters  = flag.Int("scale-iters", 60, "loop trip count per generated helper in the scale experiment")
+	minScale    = flag.Float64("min-scale-speedup", 0, "fail the scale experiment if the geomean warm speedup is below this (0 = no guard)")
 )
 
 func main() {
@@ -108,6 +122,21 @@ func main() {
 	if *which == "serve" {
 		if err := serveBench(); err != nil {
 			fmt.Fprintf(os.Stderr, "kremlin-bench: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Like fuzz and serve, the incremental-profiling experiments run only
+	// when named: scale measures the cache subsystem, incfuzz is a
+	// correctness campaign.
+	if *which == "scale" {
+		if err := scale(); err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-bench: scale: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *which == "incfuzz" {
+		if err := incfuzz(); err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-bench: incfuzz: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -553,6 +582,99 @@ func serveBench() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func scale() error {
+	header("Incremental re-profiling at scale: cold vs warm after a one-function edit")
+	var sizes []int
+	for _, s := range strings.Split(*scaleLines, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -scale-lines entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	sum, err := eval.Scale(sizes, *fuzzSeed, *scaleIters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %7s %10s %10s %9s %9s %11s %9s %9s %6s\n",
+		"lines", "funcs", "cold", "warm", "speedup", "hit-rate", "step-spd", "coldMB", "warmMB", "equal")
+	for _, r := range sum.Rows {
+		fmt.Printf("%-8d %7d %10v %10v %8.2fx %8.2f%% %10.1fx %9.1f %9.1f %6t\n",
+			r.Lines, r.Funcs, r.ColdNS.Round(time.Millisecond), r.WarmNS.Round(time.Millisecond),
+			r.Speedup, 100*r.HitRate, r.StepSpeedup, r.ColdHeapMB, r.WarmHeapMB, r.ProfileEqual)
+	}
+	fmt.Printf("geomean warm speedup: %.2fx; warm profile byte-identical on every row: %t\n",
+		sum.GeomeanSpeedup, sum.AllEqual)
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if !sum.AllEqual {
+		return fmt.Errorf("warm profile diverged from the from-scratch one (see table)")
+	}
+	if *minScale > 0 && sum.GeomeanSpeedup < *minScale {
+		return fmt.Errorf("geomean warm speedup %.2fx below the %.2fx guard", sum.GeomeanSpeedup, *minScale)
+	}
+	return nil
+}
+
+func incfuzz() error {
+	header(fmt.Sprintf("Incremental-oracle campaign: %d (program, one-function-edit) pairs, seeds %d..%d",
+		*fuzzN, *fuzzSeed, *fuzzSeed+int64(*fuzzN)-1))
+	if err := os.MkdirAll(*fuzzOut, 0o755); err != nil {
+		return err
+	}
+	lastTick := 0
+	res, err := krfuzz.RunIncrementalCampaign(krfuzz.CampaignConfig{
+		N:      *fuzzN,
+		Seed:   *fuzzSeed,
+		OutDir: *fuzzOut,
+		Progress: func(done, failed int) {
+			if step := *fuzzN / 10; step > 0 && done/step > lastTick {
+				lastTick = done / step
+				fmt.Printf("  checked %d/%d (%d failing)\n", done, *fuzzN, failed)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npassed %d / %d edit pairs\n", res.Passed, res.N)
+	fmt.Println("edit-pattern coverage:")
+	names := make([]string, 0, len(res.Kinds))
+	for name := range res.Kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-14s %6d\n", name, res.Kinds[name])
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("\nFAIL seed %d: %s of %s, check %q: %s\n  reproducer: %s\n",
+			f.Seed, f.Kind, f.Target, f.Check, f.Detail, f.Path)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d edit pairs failed the incremental oracle", res.Failed, res.N)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"kremlin"
+	"kremlin/internal/inccache"
 	"kremlin/internal/profile"
 )
 
@@ -53,6 +54,8 @@ func main() {
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProf := flag.String("memprofile", "", "write a heap profile to this path")
 	engine := flag.String("engine", "vm", "execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
+	cacheDir := flag.String("cache-dir", "", "incremental profile cache directory (hcpa mode, unsharded, full depth window only)")
+	cacheStats := flag.Bool("cache-stats", false, "print incremental-cache statistics to stderr after the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin-run [-o prog.krpf] [-merge] [-maxdepth N] [-shards K] prog.kr")
@@ -126,6 +129,22 @@ func main() {
 		Out: os.Stdout, MinDepth: *minDepth, MaxDepth: *maxDepth,
 		Ctx: ctx, MaxSteps: *maxInsns, Engine: eng,
 	}
+	// The incremental cache only applies to full-depth, unsharded HCPA
+	// collection (the cache records full sub-profiles; a depth window or
+	// shard run would record partial ones).
+	var stats inccache.Stats
+	if *cacheDir != "" {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "kremlin-run: -cache-dir is ignored with -shards > 1")
+		} else {
+			st, err := inccache.Open(*cacheDir)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Cache = st
+			cfg.CacheStats = &stats
+		}
+	}
 	var prof *profile.Profile
 	var work uint64
 	if *shards > 1 {
@@ -145,6 +164,11 @@ func main() {
 			fail(err)
 		}
 		prof, work = fprof, res.Work
+	}
+	if cfg.Cache != nil && *cacheStats {
+		fmt.Fprintf(os.Stderr, "kremlin-run: cache %s: %d/%d hits (%.1f%%), %d recorded, %d steps skipped, %d corrupt repaired\n",
+			*cacheDir, stats.Hits, stats.Lookups, 100*stats.HitRate(),
+			stats.Recorded, stats.SkippedSteps, stats.Corrupt)
 	}
 
 	if *merge {

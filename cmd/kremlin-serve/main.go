@@ -6,7 +6,7 @@
 //
 //	kremlin-serve [-addr :8080] [-workers N] [-queue N] [-job-timeout d]
 //	              [-max-insns N] [-max-pages N] [-max-heap-words N]
-//	              [-rate R] [-burst N] [-shards K]
+//	              [-rate R] [-burst N] [-shards K] [-job-cache N]
 //
 // The daemon sheds load with 429 when the queue is full, rate-limits
 // per tenant (X-Kremlin-Tenant header) when -rate is set, and drains
@@ -39,6 +39,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-tenant jobs/sec (0 = no rate limiting)")
 	burst := flag.Int("burst", 0, "per-tenant burst (default 2x rate)")
 	shards := flag.Int("shards", 1, "depth-window shards per job")
+	jobCache := flag.Int("job-cache", 256, "memoize up to N successful jobs by content hash (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
 	engine := flag.String("engine", "vm", "per-job execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		RateBurst:      *burst,
 		Shards:         *shards,
 		Engine:         eng,
+		JobCache:       *jobCache,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -29,6 +29,7 @@ import (
 
 	"kremlin"
 	"kremlin/internal/depcheck"
+	"kremlin/internal/inccache"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
 )
@@ -50,6 +51,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for on-the-fly profiling (0 = none); overrun exits 6")
 	maxInsns := flag.Uint64("max-insns", 0, "instruction budget for on-the-fly profiling (0 = default); overrun exits 6")
 	engine := flag.String("engine", "vm", "execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
+	cacheDir := flag.String("cache-dir", "", "incremental profile cache directory (on-the-fly unsharded profiling only)")
+	cacheStats := flag.Bool("cache-stats", false, "print incremental-cache statistics to stderr after profiling")
 	flag.IntVar(shards, "j", 1, "shorthand for -shards")
 	flag.Parse()
 	eng, err := kremlin.ParseEngine(*engine)
@@ -101,6 +104,17 @@ func main() {
 			defer cancel()
 		}
 		cfg := &kremlin.RunConfig{Ctx: ctx, MaxSteps: *maxInsns, Engine: eng}
+		var stats inccache.Stats
+		if *cacheDir != "" && *shards == 1 {
+			st, err := inccache.Open(*cacheDir)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Cache = st
+			cfg.CacheStats = &stats
+		} else if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "kremlin: -cache-dir is ignored with -shards > 1")
+		}
 		if *shards > 1 {
 			prof, _, err = prog.ProfileSharded(cfg, *shards)
 		} else {
@@ -108,6 +122,11 @@ func main() {
 		}
 		if err != nil {
 			fail(err)
+		}
+		if cfg.Cache != nil && *cacheStats {
+			fmt.Fprintf(os.Stderr, "kremlin: cache %s: %d/%d hits (%.1f%%), %d recorded, %d steps skipped, %d corrupt repaired\n",
+				*cacheDir, stats.Hits, stats.Lookups, 100*stats.HitRate(),
+				stats.Recorded, stats.SkippedSteps, stats.Corrupt)
 		}
 	}
 

@@ -6,9 +6,13 @@ import (
 	"strings"
 	"testing"
 
+	"os"
+
 	"kremlin"
 	"kremlin/internal/bench"
 	"kremlin/internal/depcheck"
+	"kremlin/internal/inccache"
+	"kremlin/internal/krgen"
 	"kremlin/internal/planner"
 )
 
@@ -128,5 +132,65 @@ func TestVetReportDeterminism(t *testing.T) {
 		if rep.Verdict == depcheck.Parallel && prog.Regions.Regions[rep.Region.ID].Safety.String() != "proven" {
 			t.Errorf("region %d: parallel verdict not stamped as proven", rep.Region.ID)
 		}
+	}
+}
+
+// TestIncrementalCacheDeterminism locks in the warm-path determinism
+// contract of the incremental profile cache: repeated warm runs over the
+// same cache serialize byte-identical profiles and render byte-identical
+// plans, and wiping the cache directory entirely (forcing a cold re-record)
+// converges back to those same bytes.
+func TestIncrementalCacheDeterminism(t *testing.T) {
+	srcs := map[string]string{
+		"sealed-scale": krgen.GenerateScale(5, krgen.ScaleForLines(600, 20), nil),
+		"tracking":     bench.Tracking().Source,
+	}
+	for name, src := range srcs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			take := func() (profBytes []byte, plan string) {
+				st, err := inccache.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := kremlin.Compile(name+".kr", src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof, _, err := prog.Profile(&kremlin.RunConfig{Cache: st})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := prof.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), prog.Plan(prof, planner.OpenMP()).Render()
+			}
+
+			firstProf, firstPlan := take() // cold: populates the cache
+			for i := 1; i < 4; i++ {
+				prof, plan := take() // warm
+				if !bytes.Equal(prof, firstProf) {
+					t.Fatalf("warm run %d: profile differs from cold run", i)
+				}
+				if plan != firstPlan {
+					t.Fatalf("warm run %d: plan differs from cold run", i)
+				}
+			}
+			// Wipe the cache: the forced cold re-record must converge to the
+			// same bytes the warm path produced.
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			prof, plan := take()
+			if !bytes.Equal(prof, firstProf) {
+				t.Fatalf("cold run after cache wipe differs from warm profile")
+			}
+			if plan != firstPlan {
+				t.Fatalf("cold run after cache wipe renders a different plan")
+			}
+		})
 	}
 }

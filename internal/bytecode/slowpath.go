@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kremlin/internal/ast"
+	"kremlin/internal/inccache"
 	"kremlin/internal/interp"
 	"kremlin/internal/ir"
 	"kremlin/internal/kremlib"
@@ -211,15 +212,72 @@ func (m *machine) doCall(regs []val, ins *ir.Instr, fs *kremlib.FrameState) erro
 			}
 		}
 	}
+	var rec *inccache.Recording
+	sess := m.cfg.Cache
+	if sess != nil && fs != nil && sess.Cacheable(ins.Callee) {
+		bits := vmArgBits(ins.Callee, args)
+		if hit, ok := sess.TrySkip(ins.Callee, ins, fs, bits, argVecs, m.steps, m.limit, m.heapTop, m.heapCap); ok {
+			m.steps += hit.Steps
+			if p := m.heapTop + hit.PeakHeap; p > m.heapPeak {
+				m.heapPeak = p
+			}
+			regs[ins.ID] = vmValFromBits(ins.Callee.Ret, hit.RetBits)
+			return nil
+		}
+		rec = sess.BeginRecord(ins.Callee, bits, m.steps)
+	}
+	savedPeak := m.heapPeak
+	if rec != nil {
+		// Track the extent's own heap high-water mark so the record can
+		// reproduce heap-cap failures exactly on replay.
+		m.heapPeak = m.heapTop
+	}
 	ret, retVec, err := m.call(m.p.ByFunc[ins.Callee], args, argVecs, fs)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		sess.EndRecord(rec, m.steps, vmRetBits(ins.Callee.Ret, ret), retVec, m.heapPeak-m.heapTop)
+		if savedPeak > m.heapPeak {
+			m.heapPeak = savedPeak
+		}
 	}
 	regs[ins.ID] = ret
 	if fs != nil {
 		m.rt.FinishCall(fs, ins, retVec)
 	}
 	return nil
+}
+
+// vmArgBits canonicalizes scalar call arguments for cache keying,
+// bit-for-bit the reference interpreter's callArgBits.
+func vmArgBits(f *ir.Func, args []val) []uint64 {
+	bits := make([]uint64, len(f.Params))
+	for i, p := range f.Params {
+		if i >= len(args) {
+			break
+		}
+		if p.Typ.Elem == ast.Float {
+			bits[i] = math.Float64bits(args[i].f)
+		} else {
+			bits[i] = uint64(args[i].i)
+		}
+	}
+	return bits
+}
+
+func vmValFromBits(ret ast.BasicKind, bits uint64) val {
+	if ret == ast.Float {
+		return val{f: math.Float64frombits(bits)}
+	}
+	return val{i: int64(bits)}
+}
+
+func vmRetBits(ret ast.BasicKind, v val) uint64 {
+	if ret == ast.Float {
+		return math.Float64bits(v.f)
+	}
+	return uint64(v.i)
 }
 
 func (m *machine) value(regs []val, v ir.Value) val {

@@ -27,9 +27,10 @@ type machine struct {
 	limit uint64
 	ctx   context.Context
 
-	heap    []uint64
-	heapTop uint64
-	heapCap uint64
+	heap     []uint64
+	heapTop  uint64
+	heapCap  uint64
+	heapPeak uint64 // high-water mark, tracked for cache-skip budget fidelity
 
 	rng uint64
 
@@ -92,6 +93,11 @@ func Run(p *Program, cfg interp.Config) (*interp.Result, error) {
 	if cfg.Mode == interp.HCPA {
 		m.prof = profile.New()
 		m.rt = kremlib.NewRuntime(m.prof, cfg.Opts)
+		if cfg.Cache != nil {
+			cfg.Cache.Bind(m.prof, m.rt)
+		}
+	} else {
+		m.cfg.Cache = nil
 	}
 	if cfg.Mode == interp.Gprof {
 		n := len(cfg.Prog.Regions)
@@ -199,6 +205,9 @@ func (m *machine) alloc(n int64) (uint64, error) {
 			n, m.heapTop, m.heapCap)
 	}
 	m.heapTop += uint64(n)
+	if m.heapTop > m.heapPeak {
+		m.heapPeak = m.heapTop
+	}
 	need := int(m.heapTop)
 	if need > len(m.heap) {
 		grown := make([]uint64, need*2)

@@ -1,0 +1,185 @@
+package eval
+
+// Scale experiment: incremental re-profiling on very large generated
+// programs. For each program size, a base program is profiled cold into a
+// content-hash cache, one function is edited, and the edited program is
+// profiled twice — from scratch (cold) and through the cache (warm). The
+// rows record the wall-clock speedup, cache hit rate, skipped interpreter
+// steps, and heap growth of each run, plus the byte-equality evidence that
+// the warm profile is exactly the from-scratch one.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"kremlin"
+	"kremlin/internal/inccache"
+	"kremlin/internal/krgen"
+	"kremlin/internal/profile"
+)
+
+// ScaleRow is the incremental-profiling measurement for one program size.
+type ScaleRow struct {
+	Lines int `json:"lines"` // requested source lines
+	Funcs int `json:"funcs"` // sealed helpers generated
+
+	ColdNS time.Duration `json:"cold_ns"` // from-scratch profile of the edited program
+	WarmNS time.Duration `json:"warm_ns"` // same program through the populated cache
+	// Speedup is the headline: cold wall-clock over warm wall-clock for
+	// the identical edited program.
+	Speedup float64 `json:"speedup"`
+
+	Hits    uint64  `json:"hits"`
+	Lookups uint64  `json:"lookups"`
+	HitRate float64 `json:"hit_rate"`
+	// StepSpeedup is total steps over steps actually executed warm — the
+	// machine-independent version of Speedup.
+	SkippedSteps uint64  `json:"skipped_steps"`
+	StepSpeedup  float64 `json:"step_speedup"`
+
+	// Heap growth (runtime.ReadMemStats HeapAlloc delta) of each timed
+	// run, the in-process stand-in for peak RSS.
+	ColdHeapMB float64 `json:"cold_heap_mb"`
+	WarmHeapMB float64 `json:"warm_heap_mb"`
+
+	// ProfileEqual is the correctness evidence: the warm profile
+	// serializes byte-identically to the from-scratch one.
+	ProfileEqual bool `json:"profile_equal"`
+}
+
+// ScaleSummary is the whole experiment plus its headline geomean.
+type ScaleSummary struct {
+	Seed           int64      `json:"seed"`
+	Iters          int        `json:"iters"`
+	Rows           []ScaleRow `json:"rows"`
+	GeomeanSpeedup float64    `json:"geomean_speedup"`
+	AllEqual       bool       `json:"all_equal"`
+}
+
+// timedRun times f from a GC-settled heap and reports its wall-clock and
+// the live-heap growth it caused. The pre-run GC is outside the timed
+// region so one run's garbage never bills the next.
+func timedRun(f func() error) (time.Duration, float64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	d := time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc < before.HeapAlloc {
+		return d, 0, nil
+	}
+	return d, float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20), nil
+}
+
+// Scale runs the incremental re-profiling experiment over the given
+// program sizes (source lines). Each size uses its own cache directory,
+// removed before returning.
+func Scale(sizes []int, seed int64, iters int) (*ScaleSummary, error) {
+	if iters <= 0 {
+		iters = 60
+	}
+	sum := &ScaleSummary{Seed: seed, Iters: iters, AllEqual: true}
+	logSpeed := 0.0
+	for _, lines := range sizes {
+		cfg := krgen.ScaleForLines(lines, iters)
+		baseSrc := krgen.GenerateScale(seed, cfg, nil)
+		editSrc := krgen.ScaleEdit(seed, cfg, cfg.Funcs/2)
+		row := ScaleRow{Lines: lines, Funcs: cfg.Funcs}
+
+		dir, err := os.MkdirTemp("", "kremlin-scale")
+		if err != nil {
+			return nil, err
+		}
+
+		// Populate: profile the base program cold through the cache.
+		base, err := kremlin.Compile("scale.kr", baseSrc)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("eval: scale %d compile base: %w", lines, err)
+		}
+		st, err := inccache.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if _, _, err := base.Profile(&kremlin.RunConfig{Cache: st}); err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("eval: scale %d record run: %w", lines, err)
+		}
+
+		edited, err := kremlin.Compile("scale.kr", editSrc)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("eval: scale %d compile edit: %w", lines, err)
+		}
+
+		// Cold: the edited program from scratch.
+		var coldProf *profile.Profile
+		row.ColdNS, row.ColdHeapMB, err = timedRun(func() error {
+			p, _, err := edited.Profile(nil)
+			coldProf = p
+			return err
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("eval: scale %d cold run: %w", lines, err)
+		}
+
+		// Warm: the same program through the populated cache.
+		st2, err := inccache.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		var warmProf *profile.Profile
+		var stats inccache.Stats
+		var warmSteps uint64
+		row.WarmNS, row.WarmHeapMB, err = timedRun(func() error {
+			p, res, err := edited.Profile(&kremlin.RunConfig{Cache: st2, CacheStats: &stats})
+			warmProf = p
+			if res != nil {
+				warmSteps = res.Steps
+			}
+			return err
+		})
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("eval: scale %d warm run: %w", lines, err)
+		}
+
+		row.Hits, row.Lookups = stats.Hits, stats.Lookups
+		row.HitRate = stats.HitRate()
+		row.SkippedSteps = stats.SkippedSteps
+		if executed := warmSteps - stats.SkippedSteps; executed > 0 {
+			row.StepSpeedup = float64(warmSteps) / float64(executed)
+		}
+		row.Speedup = float64(row.ColdNS) / float64(row.WarmNS)
+
+		var cb, wb bytes.Buffer
+		if _, err := coldProf.WriteTo(&cb); err != nil {
+			return nil, err
+		}
+		if _, err := warmProf.WriteTo(&wb); err != nil {
+			return nil, err
+		}
+		row.ProfileEqual = bytes.Equal(cb.Bytes(), wb.Bytes())
+		if !row.ProfileEqual {
+			sum.AllEqual = false
+		}
+		logSpeed += math.Log(row.Speedup)
+		sum.Rows = append(sum.Rows, row)
+	}
+	if n := len(sum.Rows); n > 0 {
+		sum.GeomeanSpeedup = math.Exp(logSpeed / float64(n))
+	}
+	return sum, nil
+}

@@ -1,0 +1,310 @@
+// Canonical-IR content hashing for the incremental profile cache.
+//
+// Every function gets a transitive content key H(f): a truncated SHA-256 of
+// its own canonical IR combined with the keys of everything it can call, so
+// editing a callee changes the key of every (transitive) caller — the same
+// bottom-up invalidation order the depcheck summaries use. Hashing works on
+// the IR after all analysis passes (mem2reg, induction/reduction marking),
+// so two sources that lower to identical annotated IR share a key; source
+// positions and the function's own name are deliberately excluded, making
+// whitespace edits, comment edits, and renames cache hits.
+package inccache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"kremlin/internal/ir"
+)
+
+// Key is a truncated SHA-256 content hash. 128 bits keeps collision
+// probability negligible at any plausible cache size while halving the
+// filename and key-compare cost.
+type Key [16]byte
+
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// parseKey inverts Key.String, rejecting anything that is not exactly 32
+// lower-case hex digits.
+func parseKey(s string) (Key, bool) {
+	var k Key
+	if len(s) != 2*len(k) {
+		return k, false
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
+// funcFact is the per-function verdict of the content analysis: the
+// transitive key plus whether the function is sealed — a deterministic pure
+// sub-computation whose dynamic extent the cache may record and replay.
+type funcFact struct {
+	key Key
+	// sealed: no global reads or writes, no RNG or output builtins anywhere
+	// in the function or its transitive callees, and all parameters scalar.
+	// A sealed call's extent is a pure function of its argument values, so
+	// an extent recorded once replays for any later call with the same
+	// arguments (subject to the timeliness check at the call site).
+	sealed bool
+}
+
+// impureBuiltins are the builtins that couple a function to state outside
+// its frame: the runtime RNG chain and the observable-output chain.
+var impureBuiltins = map[string]bool{
+	"rand": true, "frand": true, "srand": true,
+	"print": true, "printval": true, "printstr": true, "printnl": true,
+}
+
+type canon struct{ buf []byte }
+
+func (c *canon) u(v uint64) { c.buf = binary.AppendUvarint(c.buf, v) }
+func (c *canon) i(v int64)  { c.buf = binary.AppendVarint(c.buf, v) }
+func (c *canon) s(s string) { c.u(uint64(len(s))); c.buf = append(c.buf, s...) }
+
+func (c *canon) b(v bool) {
+	if v {
+		c.buf = append(c.buf, 1)
+	} else {
+		c.buf = append(c.buf, 0)
+	}
+}
+
+func (c *canon) value(v ir.Value) {
+	switch a := v.(type) {
+	case *ir.Instr:
+		c.u(0)
+		c.u(uint64(a.ID))
+	case *ir.ConstInt:
+		c.u(1)
+		c.i(a.V)
+	case *ir.ConstFloat:
+		c.u(2)
+		c.u(math.Float64bits(a.V))
+	case *ir.ConstBool:
+		c.u(3)
+		c.b(a.V)
+	default:
+		c.u(4)
+	}
+}
+
+// localSum hashes one function's own canonical IR: signature, CFG shape,
+// and every instruction including the analysis annotations the runtime
+// consumes (induction/reduction/BreakArg — they change profiling behavior,
+// so they must change the key). Pos/EndPos and the function's own name are
+// excluded; callees appear as name literals (their content is folded in
+// transitively by analyze). Returns the hash and whether the body is free
+// of globals and impure builtins.
+func localSum(f *ir.Func) (sum [32]byte, pure bool) {
+	c := &canon{buf: make([]byte, 0, 1024)}
+	pure = true
+	c.u(uint64(f.Ret))
+	c.u(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		c.u(uint64(p.Typ.Elem))
+		c.u(uint64(p.Typ.Dims))
+	}
+	c.u(uint64(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		c.u(uint64(b.ID))
+		c.u(uint64(len(b.Preds)))
+		for _, p := range b.Preds {
+			c.u(uint64(p.ID))
+		}
+		c.u(uint64(len(b.Instrs)))
+		for _, ins := range b.Instrs {
+			c.u(uint64(ins.Op))
+			c.u(uint64(ins.Bin))
+			c.u(uint64(ins.Typ.Elem))
+			c.u(uint64(ins.Typ.Dims))
+			c.u(uint64(len(ins.Args)))
+			for _, a := range ins.Args {
+				c.value(a)
+			}
+			c.i(int64(ins.Slot))
+			if g := ins.Global; g != nil {
+				pure = false
+				c.u(1)
+				c.s(g.Name)
+				c.u(uint64(g.Elem))
+				c.u(uint64(len(g.Dims)))
+				for _, d := range g.Dims {
+					c.i(d)
+				}
+				if g.Init != nil {
+					c.value(g.Init)
+				} else {
+					c.u(5)
+				}
+			} else {
+				c.u(0)
+			}
+			if ins.Callee != nil {
+				c.u(1)
+				c.s(ins.Callee.Name)
+			} else {
+				c.u(0)
+			}
+			c.s(ins.Builtin)
+			if impureBuiltins[ins.Builtin] {
+				pure = false
+			}
+			c.s(ins.Aux)
+			c.u(uint64(len(ins.Targets)))
+			for _, t := range ins.Targets {
+				c.u(uint64(t.ID))
+			}
+			c.b(ins.Induction)
+			c.b(ins.Reduction)
+			c.i(int64(ins.BreakArg))
+			c.u(uint64(ins.ID))
+		}
+	}
+	return sha256.Sum256(c.buf), pure
+}
+
+// analyze computes the transitive key and sealed verdict for every function
+// in the module. Strongly connected components of the call graph (mutual
+// recursion) are condensed with Tarjan's algorithm and processed callees
+// first, so each key folds in the keys of everything reachable from it; all
+// members of an SCC share the SCC signature, mixed with their own local sum
+// so distinct members still get distinct keys.
+func analyze(mod *ir.Module) map[*ir.Func]*funcFact {
+	n := len(mod.Funcs)
+	local := make(map[*ir.Func][32]byte, n)
+	pure := make(map[*ir.Func]bool, n)
+	callees := make(map[*ir.Func][]*ir.Func, n)
+	for _, f := range mod.Funcs {
+		sum, p := localSum(f)
+		local[f], pure[f] = sum, p
+		var seen map[*ir.Func]bool
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Op == ir.OpCall && ins.Callee != nil {
+					if seen == nil {
+						seen = make(map[*ir.Func]bool)
+					}
+					if !seen[ins.Callee] {
+						seen[ins.Callee] = true
+						callees[f] = append(callees[f], ins.Callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Tarjan SCC; emission order is callees-first in the condensation.
+	index := make(map[*ir.Func]int, n)
+	low := make(map[*ir.Func]int, n)
+	onStack := make(map[*ir.Func]bool, n)
+	sccOf := make(map[*ir.Func]int, n)
+	var stack []*ir.Func
+	var sccs [][]*ir.Func
+	next := 0
+	var strongconnect func(f *ir.Func)
+	strongconnect = func(f *ir.Func) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, g := range callees[f] {
+			if _, ok := index[g]; !ok {
+				strongconnect(g)
+				if low[g] < low[f] {
+					low[f] = low[g]
+				}
+			} else if onStack[g] && index[g] < low[f] {
+				low[f] = index[g]
+			}
+		}
+		if low[f] == index[f] {
+			var comp []*ir.Func
+			for {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[g] = false
+				sccOf[g] = len(sccs)
+				comp = append(comp, g)
+				if g == f {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, f := range mod.Funcs {
+		if _, ok := index[f]; !ok {
+			strongconnect(f)
+		}
+	}
+
+	facts := make(map[*ir.Func]*funcFact, n)
+	contained := make([]bool, len(sccs))
+	for si, comp := range sccs {
+		ok := true
+		var memberSums [][32]byte
+		extKeys := make(map[Key]bool)
+		for _, f := range comp {
+			if !pure[f] {
+				ok = false
+			}
+			memberSums = append(memberSums, local[f])
+			for _, g := range callees[f] {
+				if sccOf[g] != si {
+					extKeys[facts[g].key] = true
+					if !contained[sccOf[g]] {
+						ok = false
+					}
+				}
+			}
+		}
+		contained[si] = ok
+
+		sort.Slice(memberSums, func(i, j int) bool {
+			return string(memberSums[i][:]) < string(memberSums[j][:])
+		})
+		var extSorted []Key
+		for k := range extKeys {
+			extSorted = append(extSorted, k)
+		}
+		sort.Slice(extSorted, func(i, j int) bool {
+			return string(extSorted[i][:]) < string(extSorted[j][:])
+		})
+		sig := canon{buf: make([]byte, 0, 64)}
+		sig.u(uint64(len(memberSums)))
+		for _, s := range memberSums {
+			sig.buf = append(sig.buf, s[:]...)
+		}
+		sig.u(uint64(len(extSorted)))
+		for _, k := range extSorted {
+			sig.buf = append(sig.buf, k[:]...)
+		}
+		sccSig := sha256.Sum256(sig.buf)
+
+		for _, f := range comp {
+			mix := make([]byte, 0, 64)
+			ls := local[f]
+			mix = append(mix, ls[:]...)
+			mix = append(mix, sccSig[:]...)
+			full := sha256.Sum256(mix)
+			var k Key
+			copy(k[:], full[:16])
+			sealed := ok
+			for _, p := range f.Params {
+				if !p.Typ.IsScalar() {
+					sealed = false
+				}
+			}
+			facts[f] = &funcFact{key: k, sealed: sealed}
+		}
+	}
+	return facts
+}

@@ -1,0 +1,139 @@
+package inccache_test
+
+// Cache-robustness tier: a damaged cache must never panic, never poison a
+// profile, and must self-repair. Every corruption here is detected at Open
+// (checksum + format version + structural validation), the bad file is
+// deleted, the affected contexts degrade to misses, and the subsequent run
+// still produces the byte-identical profile and rewrites a good file.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/inccache"
+)
+
+// seedCache runs a cold profile into dir and returns the cache file paths.
+func seedCache(t *testing.T, dir string) []string {
+	t.Helper()
+	st := openStore(t, dir)
+	_, _, _, stats := runProfile(t, srcBase, st, kremlin.EngineVM)
+	if stats.Recorded == 0 {
+		t.Fatalf("seed run recorded nothing")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.kric"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no cache files written: %v", err)
+	}
+	return files
+}
+
+// checkRepairedRun asserts that opening the damaged cache detects
+// wantCorrupt bad files, that a warm run still matches the uncached
+// profile byte for byte, and that the damage was repaired on disk.
+func checkRepairedRun(t *testing.T, dir string, wantCorrupt int) {
+	t.Helper()
+	base, baseSteps, _ := coldProfile(t, srcBase, kremlin.EngineVM)
+	st := openStore(t, dir)
+	if got := st.CorruptCount(); got != wantCorrupt {
+		t.Fatalf("corrupt count = %d, want %d", got, wantCorrupt)
+	}
+	warm, warmSteps, _, stats := runProfile(t, srcBase, st, kremlin.EngineVM)
+	if !bytes.Equal(warm, base) {
+		t.Fatalf("profile over damaged cache differs from uncached profile")
+	}
+	if warmSteps != baseSteps {
+		t.Fatalf("steps diverge over damaged cache: %d vs %d", warmSteps, baseSteps)
+	}
+	if stats.Corrupt != wantCorrupt {
+		t.Fatalf("session stats corrupt = %d, want %d", stats.Corrupt, wantCorrupt)
+	}
+	// The run re-recorded the lost extents and saved: reopening must see a
+	// clean cache again.
+	st2 := openStore(t, dir)
+	if got := st2.CorruptCount(); got != 0 {
+		t.Fatalf("cache not repaired: %d files still corrupt after re-run", got)
+	}
+	if st2.Records() == 0 {
+		t.Fatalf("cache empty after repair run")
+	}
+}
+
+func TestTruncatedEntryIsMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	files := seedCache(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkRepairedRun(t, dir, 1)
+}
+
+func TestBitFlippedEntryIsMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	files := seedCache(t, dir)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(f, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRepairedRun(t, dir, len(files))
+}
+
+func TestVersionSkewIsMissAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	files := seedCache(t, dir)
+	// A future format version with a valid checksum must still be rejected.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := inccache.ReversionForTest(data)
+	if err := os.WriteFile(files[0], future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkRepairedRun(t, dir, 1)
+}
+
+func TestBadMagicAndGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	seedCache(t, dir)
+	bad := []struct {
+		name string
+		data []byte
+	}{
+		{"deadbeefdeadbeefdeadbeefdeadbeef.kric", []byte("not a cache file")},
+		{"nothex.kric", []byte("KRIC1\n")},
+		{strings.Repeat("a", 32) + ".kric", nil}, // empty file, valid name
+	}
+	for _, b := range bad {
+		if err := os.WriteFile(filepath.Join(dir, b.name), b.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRepairedRun(t, dir, len(bad))
+}
+
+func TestEmptyAndMissingDirectory(t *testing.T) {
+	// Opening a directory that does not exist yet must create it.
+	dir := filepath.Join(t.TempDir(), "sub", "cache")
+	st, err := inccache.Open(dir)
+	if err != nil {
+		t.Fatalf("open fresh nested dir: %v", err)
+	}
+	if st.Records() != 0 {
+		t.Fatalf("fresh cache not empty")
+	}
+}

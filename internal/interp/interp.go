@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"kremlin/internal/ast"
+	"kremlin/internal/inccache"
 	"kremlin/internal/instrument"
 	"kremlin/internal/ir"
 	"kremlin/internal/kremlib"
@@ -51,6 +52,11 @@ type Config struct {
 	Opts         kremlib.Options
 	Prog         *regions.Program   // required for Gprof and HCPA
 	Instr        *instrument.Module // optional; built on demand for HCPA
+	// Cache, when non-nil in HCPA mode, is the incremental re-profiling
+	// session: eligible calls replay cached extents instead of executing,
+	// and fresh extents are recorded for future runs. The profile produced
+	// is byte-identical either way.
+	Cache *inccache.Session
 }
 
 // GprofEntry is one region's serial work profile (gprof mode).
@@ -129,9 +135,10 @@ type machine struct {
 	limit uint64
 	ctx   context.Context // nil when the run is not cancellable
 
-	heap    []uint64
-	heapTop uint64
-	heapCap uint64 // max heap words; 0 = unlimited
+	heap     []uint64
+	heapTop  uint64
+	heapCap  uint64 // max heap words; 0 = unlimited
+	heapPeak uint64 // high-water mark, tracked for cache-skip budget fidelity
 
 	rng uint64
 
@@ -190,6 +197,11 @@ func Run(mod *ir.Module, cfg Config) (*Result, error) {
 	if cfg.Mode == HCPA {
 		m.prof = profile.New()
 		m.rt = kremlib.NewRuntime(m.prof, cfg.Opts)
+		if cfg.Cache != nil {
+			cfg.Cache.Bind(m.prof, m.rt)
+		}
+	} else {
+		m.cfg.Cache = nil
 	}
 	if cfg.Mode == Gprof {
 		n := len(cfg.Prog.Regions)
@@ -287,6 +299,9 @@ func (m *machine) alloc(n int64) (uint64, error) {
 			n, m.heapTop, m.heapCap)
 	}
 	m.heapTop += uint64(n)
+	if m.heapTop > m.heapPeak {
+		m.heapPeak = m.heapTop
+	}
 	need := int(m.heapTop)
 	if need > len(m.heap) {
 		grown := make([]uint64, need*2)
@@ -686,15 +701,72 @@ func (m *machine) doCall(regs []val, ins *ir.Instr, fs *kremlib.FrameState) erro
 			}
 		}
 	}
+	var rec *inccache.Recording
+	sess := m.cfg.Cache
+	if sess != nil && fs != nil && sess.Cacheable(ins.Callee) {
+		bits := callArgBits(ins.Callee, args)
+		if hit, ok := sess.TrySkip(ins.Callee, ins, fs, bits, argVecs, m.steps, m.limit, m.heapTop, m.heapCap); ok {
+			m.steps += hit.Steps
+			if p := m.heapTop + hit.PeakHeap; p > m.heapPeak {
+				m.heapPeak = p
+			}
+			regs[ins.ID] = valFromBits(ins.Callee.Ret, hit.RetBits)
+			return nil
+		}
+		rec = sess.BeginRecord(ins.Callee, bits, m.steps)
+	}
+	savedPeak := m.heapPeak
+	if rec != nil {
+		// Track the extent's own heap high-water mark so the record can
+		// reproduce heap-cap failures exactly on replay.
+		m.heapPeak = m.heapTop
+	}
 	ret, retVec, err := m.call(ins.Callee, args, argVecs, fs)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		sess.EndRecord(rec, m.steps, retBitsOf(ins.Callee.Ret, ret), retVec, m.heapPeak-m.heapTop)
+		if savedPeak > m.heapPeak {
+			m.heapPeak = savedPeak
+		}
 	}
 	regs[ins.ID] = ret
 	if fs != nil {
 		m.rt.FinishCall(fs, ins, retVec)
 	}
 	return nil
+}
+
+// callArgBits canonicalizes scalar call arguments for cache keying: the
+// exact bit pattern, float args as their IEEE-754 image.
+func callArgBits(f *ir.Func, args []val) []uint64 {
+	bits := make([]uint64, len(f.Params))
+	for i, p := range f.Params {
+		if i >= len(args) {
+			break
+		}
+		if p.Typ.Elem == ast.Float {
+			bits[i] = math.Float64bits(args[i].f)
+		} else {
+			bits[i] = uint64(args[i].i)
+		}
+	}
+	return bits
+}
+
+func valFromBits(ret ast.BasicKind, bits uint64) val {
+	if ret == ast.Float {
+		return val{f: math.Float64frombits(bits)}
+	}
+	return val{i: int64(bits)}
+}
+
+func retBitsOf(ret ast.BasicKind, v val) uint64 {
+	if ret == ast.Float {
+		return math.Float64bits(v.f)
+	}
+	return uint64(v.i)
 }
 
 func (m *machine) value(regs []val, v ir.Value) val {

@@ -91,6 +91,11 @@ type Runtime struct {
 	// caught doing so.
 	depLevels []int
 	carried   map[int32]bool
+
+	// onIntern, when set, observes every dictionary character produced by
+	// ExitRegion, in intern order. The incremental profile cache uses it to
+	// record which entries a call's dynamic extent touches.
+	onIntern func(int32)
 }
 
 // NewRuntime returns a runtime recording into prof.
@@ -188,6 +193,9 @@ func (rt *Runtime) ExitRegion() int32 {
 		cp = 1
 	}
 	char := rt.prof.Dict.InternRuns(int32(top.region.ID), work, cp, top.children)
+	if rt.onIntern != nil {
+		rt.onIntern(char)
+	}
 	if len(rt.stack) > 0 {
 		parent := &rt.stack[len(rt.stack)-1]
 		if n := len(parent.children); n > 0 && parent.children[n-1].Char == char {
@@ -595,6 +603,95 @@ func (rt *Runtime) CarriedDeps() []int {
 	}
 	sort.Ints(ids)
 	return ids
+}
+
+// SetInternHook registers fn to observe every dictionary character interned
+// by ExitRegion, in intern order (nil disables). The incremental profile
+// cache uses the stream to record which dictionary entries a call's dynamic
+// extent touches; cache splices that intern entries without a region exit
+// must feed the hook themselves.
+func (rt *Runtime) SetInternHook(fn func(int32)) { rt.onIntern = fn }
+
+// ArgsTimely reports whether every argument vector is available no later
+// than the frame's current control time at every tracked level. When it
+// holds, a call's dynamic extent is a pure base-plus-delta function of the
+// control time at the call site: argument availability can never perturb the
+// times accumulated inside the extent, so a recorded extent with the same
+// argument values replays exactly. (At untracked levels — at or above the
+// entry depth — argument vectors always read zero, so only caller levels
+// need checking.)
+func (rt *Runtime) ArgsTimely(fs *FrameState, vecs []shadow.Vec) bool {
+	d := rt.level()
+	cv := fs.ctrlVec()
+	tags := rt.tags
+	for l := rt.lowLevel(); l < d; l++ {
+		ct := cv.Read(l, tags[l])
+		for _, v := range vecs {
+			if v.Read(l, tags[l]) > ct {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApplySkippedCall applies the caller-visible shadow effects of a call whose
+// dynamic extent was replayed from the incremental cache instead of being
+// executed. Provided ArgsTimely held at the call site, a real execution of
+// the extent would have (a) advanced total work by the extent's work, (b)
+// raised every enclosing region's critical-path watermark to the control
+// time plus the extent's span (maxDelta), (c) made the call's result
+// available at the control time plus the return offset (retDelta), and (d)
+// appended the extent's root dictionary character to the parent region's
+// child-run sequence. This reproduces exactly those effects. Region
+// instance counters are deliberately not advanced: instance tags never
+// reach the profile, and the skipped extent can no longer be confused with
+// a live one.
+func (rt *Runtime) ApplySkippedCall(fs *FrameState, call *ir.Instr, work, retDelta, maxDelta uint64, rootChar int32) {
+	rt.totalWork += work
+	d := rt.level()
+	lo := rt.lowLevel()
+	tags := rt.tags
+	cv := fs.ctrlVec()
+	if call.HasResult() {
+		cur := fs.Regs.Get(call.ID)
+		out := rt.scratch[:d]
+		for l := 0; l < lo; l++ {
+			out[l] = shadow.Entry{}
+		}
+		for l := lo; l < d; l++ {
+			ct := cv.Read(l, tags[l])
+			if m := ct + maxDelta; m > rt.stack[l].maxTime {
+				rt.stack[l].maxTime = m
+			}
+			t := cur.Read(l, tags[l])
+			if rv := ct + retDelta; rv > t {
+				t = rv
+			}
+			out[l] = shadow.Entry{Time: t, Tag: tags[l]}
+			if t > rt.stack[l].maxTime {
+				rt.stack[l].maxTime = t
+			}
+		}
+		fs.Regs.Set(call.ID, out, d)
+	} else {
+		for l := lo; l < d; l++ {
+			ct := cv.Read(l, tags[l])
+			if m := ct + maxDelta; m > rt.stack[l].maxTime {
+				rt.stack[l].maxTime = m
+			}
+		}
+	}
+	if len(rt.stack) > 0 {
+		parent := &rt.stack[len(rt.stack)-1]
+		if n := len(parent.children); n > 0 && parent.children[n-1].Char == rootChar {
+			parent.children[n-1].Count++
+		} else {
+			parent.children = append(parent.children, profile.Child{Char: rootChar, Count: 1})
+		}
+	} else {
+		rt.prof.AddRoot(rootChar)
+	}
 }
 
 // FinishCall merges the callee's return-value vector into the call

@@ -127,6 +127,10 @@ type Program struct {
 	Seed     int64
 	File     *ast.File
 	Coverage Coverage
+	// gen retains the generator tables so Mutate can reuse the generator
+	// as an editor (regenerate one function body against the same
+	// globals/signatures).
+	gen *generator
 }
 
 // Source renders the program to canonical Kr source.
@@ -139,11 +143,17 @@ func Generate(seed int64, cfg Config) *Program {
 	g.file = &ast.File{Name: "krfuzz.kr"}
 	g.emitGlobals()
 	g.planFuncs()
-	for i := range g.funcs {
+	// Bodies are generated highest index first so every call site can
+	// consult its callee's estimated cost; the declarations are emitted in
+	// index order regardless.
+	for i := len(g.funcs) - 1; i >= 0; i-- {
 		g.emitFunc(i)
 	}
+	for i := range g.funcs {
+		g.file.Funcs = append(g.file.Funcs, g.funcs[i].decl)
+	}
 	g.emitMain()
-	return &Program{Seed: seed, File: g.file, Coverage: g.cov}
+	return &Program{Seed: seed, File: g.file, Coverage: g.cov, gen: g}
 }
 
 // gvar is a global variable's generator-side descriptor.
@@ -166,6 +176,10 @@ type fn struct {
 	retFloat bool
 	params   []lvar
 	decl     *ast.FuncDecl
+	// cost is the generator's upper estimate of the steps one invocation
+	// executes, calls included. Call sites consult it to keep total run
+	// time bounded now that generated calls actually execute.
+	cost int64
 }
 
 // scope tracks visible locals during generation of one function.
@@ -177,6 +191,10 @@ type scope struct {
 	loopDepth int
 	// retFloat is meaningful only for helpers (early returns).
 	retFloat int // -1: main (no early returns), 0: int, 1: float
+	// mult is the product of the enclosing loops' trip counts inside the
+	// current function: the execution multiplier of the statement being
+	// generated, used for work accounting.
+	mult int64
 }
 
 type generator struct {
@@ -187,7 +205,18 @@ type generator struct {
 	funcs   []fn
 	cov     Coverage
 	tmp     int
+	// curCost accumulates the estimated step cost of the function being
+	// generated (statement cost × loop multiplier).
+	curCost int64
 }
+
+// fnWorkBudget caps one function's estimated per-invocation step cost.
+// Call sites stop being generated once the budget is spent, which bounds
+// the whole program's runtime: main executes at most its own budget, and
+// every callee's cost is already folded into the caller's accounting.
+const fnWorkBudget = 250_000
+
+func (g *generator) charge(sc *scope, n int64) { g.curCost += sc.mult * n }
 
 func (g *generator) mark(c Construct) { g.cov[c]++ }
 
@@ -302,17 +331,19 @@ func (g *generator) emitFunc(i int) {
 	if f.retFloat {
 		ret = 1
 	}
-	sc := &scope{locals: append([]lvar{}, f.params...), fnIndex: i, retFloat: ret}
+	sc := &scope{locals: append([]lvar{}, f.params...), fnIndex: i, retFloat: ret, mult: 1}
+	g.curCost = 0
 	d.Body = g.block(sc, g.cfg.MaxDepth)
 	d.Body.Stmts = append(d.Body.Stmts,
 		&ast.ReturnStmt{Result: g.expr(sc, f.retFloat, g.cfg.MaxExpr)})
 	f.decl = d
-	g.file.Funcs = append(g.file.Funcs, d)
+	f.cost = g.curCost + 8 // call/return overhead
 }
 
 func (g *generator) emitMain() {
 	d := &ast.FuncDecl{Name: "main", Ret: ast.Int}
-	sc := &scope{fnIndex: len(g.funcs), retFloat: -1}
+	sc := &scope{fnIndex: len(g.funcs), retFloat: -1, mult: 1}
+	g.curCost = 0
 	body := &ast.Block{}
 	// Seed the first arrays with input-like data so runs do more than
 	// shuffle zeros.
@@ -409,9 +440,21 @@ func (g *generator) stmt(sc *scope, budget int) ast.Stmt {
 	return choices[g.rng.Intn(len(choices))](sc, budget)
 }
 
-func (g *generator) callableCount(sc *scope) int { return len(g.funcs) - sc.fnIndex }
+// callableBase is the lowest helper index the current function may call:
+// helpers call only strictly higher indexes (acyclicity — in particular no
+// self-recursion, which would not terminate), while main may call every
+// helper.
+func (g *generator) callableBase(sc *scope) int {
+	if sc.fnIndex >= len(g.funcs) {
+		return 0
+	}
+	return sc.fnIndex + 1
+}
+
+func (g *generator) callableCount(sc *scope) int { return len(g.funcs) - g.callableBase(sc) }
 
 func (g *generator) declS(sc *scope, budget int) ast.Stmt {
+	g.charge(sc, 8)
 	v := lvar{name: g.fresh("v"), float: g.rng.Intn(2) == 0}
 	s := declStmt(v.name, elemOf(v.float), g.expr(sc, v.float, g.cfg.MaxExpr))
 	sc.locals = append(sc.locals, v)
@@ -448,6 +491,7 @@ func (g *generator) assignS(sc *scope, budget int) ast.Stmt {
 	if !ok {
 		return g.declS(sc, budget)
 	}
+	g.charge(sc, 8)
 	switch g.rng.Intn(4) {
 	case 0:
 		return assign(id(name), token.ADDASSIGN, g.expr(sc, isFloat, g.cfg.MaxExpr-1))
@@ -478,6 +522,7 @@ func (g *generator) incDecS(sc *scope, budget int) ast.Stmt {
 	if len(cands) == 0 {
 		return g.assignS(sc, budget)
 	}
+	g.charge(sc, 4)
 	g.mark(IncDec)
 	op := token.INC
 	if g.rng.Intn(2) == 0 {
@@ -487,6 +532,7 @@ func (g *generator) incDecS(sc *scope, budget int) ast.Stmt {
 }
 
 func (g *generator) arrayS(sc *scope, budget int) ast.Stmt {
+	g.charge(sc, 10)
 	arrs := g.arrayGlobals()
 	v := arrs[g.rng.Intn(len(arrs))]
 	var lhs ast.Expr
@@ -532,6 +578,7 @@ func (g *generator) subscript(sc *scope, dim int64) ast.Expr {
 }
 
 func (g *generator) ifS(sc *scope, budget int) ast.Stmt {
+	g.charge(sc, 6)
 	s := &ast.IfStmt{Cond: g.cond(sc), Then: g.block(sc, budget-1)}
 	if g.rng.Intn(2) == 0 {
 		g.mark(IfElse)
@@ -551,7 +598,10 @@ func (g *generator) forS(sc *scope, budget int) ast.Stmt {
 	iters := int64(2 + g.rng.Intn(g.cfg.LoopIters-1))
 	sc.locals = append(sc.locals, lvar{name: lv, loopVar: true})
 	sc.loopDepth++
+	sc.mult *= iters
+	g.charge(sc, 4) // per-iteration loop overhead
 	body := g.block(sc, budget-1)
+	sc.mult /= iters
 	sc.loopDepth--
 	sc.locals = sc.locals[:len(sc.locals)-1]
 	return g.countedFor(lv, iters, body)
@@ -568,7 +618,10 @@ func (g *generator) whileS(sc *scope, budget int) ast.Stmt {
 	iters := int64(2 + g.rng.Intn(g.cfg.LoopIters-1))
 	sc.locals = append(sc.locals, lvar{name: wv, loopVar: true})
 	sc.loopDepth++
+	sc.mult *= iters
+	g.charge(sc, 6) // per-iteration counter + condition overhead
 	body := g.block(sc, budget-1)
+	sc.mult /= iters
 	sc.loopDepth--
 	sc.locals = sc.locals[:len(sc.locals)-1]
 	body.Stmts = append([]ast.Stmt{
@@ -597,7 +650,10 @@ func (g *generator) reductionS(sc *scope, budget int) ast.Stmt {
 	iters := int64(3 + g.rng.Intn(g.cfg.LoopIters))
 	sc.locals = append(sc.locals, lvar{name: lv, loopVar: true})
 	sc.loopDepth++
+	sc.mult *= iters
+	g.charge(sc, 10) // accumulate + loop overhead per iteration
 	e := g.expr(sc, isFloat, g.cfg.MaxExpr-1)
+	sc.mult /= iters
 	sc.loopDepth--
 	sc.locals = sc.locals[:len(sc.locals)-1]
 	var red ast.Stmt
@@ -610,6 +666,7 @@ func (g *generator) reductionS(sc *scope, budget int) ast.Stmt {
 }
 
 func (g *generator) breakContinueS(sc *scope, budget int) ast.Stmt {
+	g.charge(sc, 4)
 	var s ast.Stmt
 	if g.rng.Intn(2) == 0 {
 		g.mark(Break)
@@ -623,13 +680,29 @@ func (g *generator) breakContinueS(sc *scope, budget int) ast.Stmt {
 
 // earlyReturnS emits a guarded return from a helper function.
 func (g *generator) earlyReturnS(sc *scope, budget int) ast.Stmt {
+	g.charge(sc, 6)
 	g.mark(EarlyReturn)
 	ret := &ast.ReturnStmt{Result: g.expr(sc, sc.retFloat == 1, g.cfg.MaxExpr-1)}
 	return &ast.IfStmt{Cond: g.cond0(sc), Then: &ast.Block{Stmts: []ast.Stmt{ret}}}
 }
 
 func (g *generator) callS(sc *scope, budget int) ast.Stmt {
-	callee := g.funcs[sc.fnIndex+g.rng.Intn(g.callableCount(sc))]
+	// A call site is generated only when the callee's estimated cost,
+	// multiplied by the enclosing loops, fits the per-function work budget
+	// — the bound that keeps deeply nested call chains from exploding the
+	// program's runtime now that helpers genuinely execute.
+	base := g.callableBase(sc)
+	var fit []int
+	for j := base; j < len(g.funcs); j++ {
+		if g.curCost+sc.mult*(g.funcs[j].cost+8) <= fnWorkBudget {
+			fit = append(fit, j)
+		}
+	}
+	if len(fit) == 0 {
+		return g.assignS(sc, budget)
+	}
+	callee := g.funcs[fit[g.rng.Intn(len(fit))]]
+	g.charge(sc, callee.cost+8)
 	g.mark(Call)
 	var args []ast.Expr
 	for _, p := range callee.params {

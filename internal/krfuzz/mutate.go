@@ -1,0 +1,190 @@
+package krfuzz
+
+// Mutator: the generator reused as an editor. A mutation regenerates
+// exactly one helper function's body — the signature, every other
+// function, and all call sites are untouched — which is the edit shape the
+// incremental profile cache is built around: the edited function's content
+// key (and its transitive callers') changes, everything else stays
+// cacheable.
+//
+// The mutator classifies each edit by its cache blast radius:
+//
+//	BodyEdit   — a helper main (or another helper) calls directly;
+//	CalleeEdit — a helper that some *other helper* calls, so the edit
+//	             invalidates the caller's key transitively;
+//	DeadEdit   — a helper nothing calls: the edit must invalidate nothing
+//	             that executes, and the incremental profile must match the
+//	             from-scratch one trivially.
+
+import (
+	"math/rand"
+
+	"kremlin/internal/ast"
+)
+
+// MutationKind classifies a single-function edit by blast radius.
+type MutationKind int
+
+// The edit-pattern vocabulary.
+const (
+	BodyEdit MutationKind = iota
+	CalleeEdit
+	DeadEdit
+	NumMutationKinds
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case BodyEdit:
+		return "body-edit"
+	case CalleeEdit:
+		return "callee-edit"
+	case DeadEdit:
+		return "dead-edit"
+	}
+	return "?"
+}
+
+// Mutate returns a copy of p with one helper's body regenerated from
+// mutSeed, plus the edit's kind and the edited function's name. The same
+// (p, mutSeed) pair always yields the same mutation. Returns nil if p has
+// no helper functions.
+func Mutate(p *Program, mutSeed int64) (*Program, MutationKind, string) {
+	if p.gen == nil || len(p.gen.funcs) == 0 {
+		return nil, 0, ""
+	}
+	rng := rand.New(rand.NewSource(mutSeed))
+
+	// Call sites per callee, split by caller: another helper vs anywhere.
+	calledByHelper := map[string]bool{}
+	calledAtAll := map[string]bool{}
+	for _, fd := range p.File.Funcs {
+		fromHelper := fd.Name != "main"
+		walkStmts(fd.Body, func(e ast.Expr) {
+			c, ok := e.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			calledAtAll[c.Name] = true
+			if fromHelper {
+				calledByHelper[c.Name] = true
+			}
+		})
+	}
+
+	// Group candidates by kind, then pick a kind among the non-empty ones
+	// so small corpora still cover every edit pattern.
+	byKind := [NumMutationKinds][]int{}
+	for i, f := range p.gen.funcs {
+		switch {
+		case !calledAtAll[f.name]:
+			byKind[DeadEdit] = append(byKind[DeadEdit], i)
+		case calledByHelper[f.name]:
+			byKind[CalleeEdit] = append(byKind[CalleeEdit], i)
+		default:
+			byKind[BodyEdit] = append(byKind[BodyEdit], i)
+		}
+	}
+	var kinds []MutationKind
+	for k := MutationKind(0); k < NumMutationKinds; k++ {
+		if len(byKind[k]) > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	kind := kinds[rng.Intn(len(kinds))]
+	target := byKind[kind][rng.Intn(len(byKind[kind]))]
+
+	// Rebuild an identical program (Generate is deterministic), then graft
+	// a fresh body onto the target. The replacement generator shares the
+	// globals and signature tables, so every name and type it can mention
+	// is exactly what the original program declares.
+	mut := Generate(p.Seed, p.gen.cfg)
+	g2 := &generator{
+		rng:     rng,
+		cfg:     p.gen.cfg,
+		globals: p.gen.globals,
+		funcs:   p.gen.funcs,
+	}
+	mut.File.Funcs[target].Body = g2.regenBody(target)
+	return mut, kind, p.gen.funcs[target].name
+}
+
+// regenBody builds a fresh, safety-preserving body for helper i: same
+// parameters in scope, same return type, same acyclicity constraint
+// (callable helpers all have index > i).
+func (g *generator) regenBody(i int) *ast.Block {
+	f := g.funcs[i]
+	ret := 0
+	if f.retFloat {
+		ret = 1
+	}
+	sc := &scope{locals: append([]lvar{}, f.params...), fnIndex: i, retFloat: ret, mult: 1}
+	g.curCost = 0
+	b := g.block(sc, g.cfg.MaxDepth)
+	b.Stmts = append(b.Stmts, &ast.ReturnStmt{Result: g.expr(sc, f.retFloat, g.cfg.MaxExpr)})
+	return b
+}
+
+// walkStmts visits every expression under a statement tree. It covers the
+// node vocabulary the generator emits.
+func walkStmts(s ast.Stmt, visit func(ast.Expr)) {
+	switch n := s.(type) {
+	case *ast.Block:
+		for _, st := range n.Stmts {
+			walkStmts(st, visit)
+		}
+	case *ast.DeclStmt:
+		walkExpr(n.Decl.Init, visit)
+		for _, d := range n.Decl.Dims {
+			walkExpr(d, visit)
+		}
+	case *ast.AssignStmt:
+		walkExpr(n.LHS, visit)
+		walkExpr(n.RHS, visit)
+	case *ast.IncDecStmt:
+		walkExpr(n.LHS, visit)
+	case *ast.IfStmt:
+		walkExpr(n.Cond, visit)
+		walkStmts(n.Then, visit)
+		if n.Else != nil {
+			walkStmts(n.Else, visit)
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			walkStmts(n.Init, visit)
+		}
+		walkExpr(n.Cond, visit)
+		if n.Post != nil {
+			walkStmts(n.Post, visit)
+		}
+		walkStmts(n.Body, visit)
+	case *ast.WhileStmt:
+		walkExpr(n.Cond, visit)
+		walkStmts(n.Body, visit)
+	case *ast.ReturnStmt:
+		walkExpr(n.Result, visit)
+	case *ast.ExprStmt:
+		walkExpr(n.X, visit)
+	}
+}
+
+func walkExpr(e ast.Expr, visit func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *ast.IndexExpr:
+		walkExpr(n.X, visit)
+		walkExpr(n.Index, visit)
+	case *ast.CallExpr:
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *ast.BinaryExpr:
+		walkExpr(n.X, visit)
+		walkExpr(n.Y, visit)
+	case *ast.UnaryExpr:
+		walkExpr(n.X, visit)
+	}
+}

@@ -1,0 +1,105 @@
+package krgen
+
+// Scale-stress generator: synthesizes very large Kr programs (tens of
+// thousands of lines) whose helper functions are all sealed — pure, scalar
+// parameters, no globals, no RNG — so the incremental profile cache can
+// memoize every one of them. main calls each helper once with constant
+// arguments and folds the results into a printed digest, keeping the whole
+// program observable.
+//
+// Unlike Generate, this generator is closed-form deterministic: the source
+// is a pure function of (seed, config, edits), so an "edit" is just a
+// regeneration with one function's body variant bumped. That gives the
+// incremental-profiling tests a realistic single-function edit whose blast
+// radius is exactly one content key (plus its transitive callers).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScaleConfig bounds a generated scale program.
+type ScaleConfig struct {
+	Funcs int // sealed helper functions, each called once from main
+	Iters int // loop trip count inside each helper body
+}
+
+// scaleLinesPerFunc is the approximate source-line cost of one helper plus
+// its call site in main.
+const scaleLinesPerFunc = 9
+
+// scaleVariants is the number of distinct body shapes; edits cycle through
+// them.
+const scaleVariants = 4
+
+// ScaleForLines returns a config whose generated program has roughly the
+// requested number of source lines.
+func ScaleForLines(lines, iters int) ScaleConfig {
+	f := lines / scaleLinesPerFunc
+	if f < 1 {
+		f = 1
+	}
+	return ScaleConfig{Funcs: f, Iters: iters}
+}
+
+// ScaleFuncName returns the name of helper i, for tests that inspect keys.
+func ScaleFuncName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// scaleMix is a splitmix64-style hash so per-function constants are
+// deterministic in (seed, i) without carrying RNG state.
+func scaleMix(seed int64, i int) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 0x2545f4914f6cdd1d
+	z ^= z >> 31
+	z *= 0x94d049bb133111eb
+	z ^= z >> 29
+	return z
+}
+
+// GenerateScale emits the scale program for (seed, cfg). edits maps a
+// helper index to a variant bump; passing nil yields the pristine program,
+// and {i: 1} yields the same program with helper i's body rewritten — the
+// canonical "developer edited one function" input. Signatures and call
+// sites never change, so the edit invalidates exactly that helper's
+// content key.
+func GenerateScale(seed int64, cfg ScaleConfig, edits map[int]int) string {
+	var sb strings.Builder
+	sb.Grow(cfg.Funcs * 192)
+	for i := 0; i < cfg.Funcs; i++ {
+		h := scaleMix(seed, i)
+		variant := (int(h%scaleVariants) + edits[i]) % scaleVariants
+		a := int(h>>8%9) + 2
+		m := int(h>>16%13) + 3
+		var body string
+		switch variant {
+		case 0:
+			body = fmt.Sprintf("acc + x * %d + j %% %d", a, m)
+		case 1:
+			body = fmt.Sprintf("acc + x * %d + y + j %% %d", a, m)
+		case 2:
+			body = fmt.Sprintf("acc + x * %d - y + j %% %d", a, m)
+		default:
+			body = fmt.Sprintf("acc + x * %d + y * 2 + j %% %d", a, m)
+		}
+		// The initializer embeds i so every helper has a unique content
+		// key even when variants and constants coincide.
+		fmt.Fprintf(&sb, "int %s(int x, int y) {\n", ScaleFuncName(i))
+		fmt.Fprintf(&sb, "\tint acc = %d;\n", i)
+		fmt.Fprintf(&sb, "\tfor (int j = 0; j < %d; j++) {\n", cfg.Iters)
+		fmt.Fprintf(&sb, "\t\tacc = %s;\n", body)
+		sb.WriteString("\t}\n")
+		sb.WriteString("\treturn acc;\n")
+		sb.WriteString("}\n\n")
+	}
+	sb.WriteString("int main() {\n\tint t = 0;\n")
+	for i := 0; i < cfg.Funcs; i++ {
+		fmt.Fprintf(&sb, "\tt = t + %s(%d, %d);\n", ScaleFuncName(i), i%7+1, i%5+1)
+	}
+	sb.WriteString("\tprint(\"t\", t % 1000000);\n\treturn 0;\n}\n")
+	return sb.String()
+}
+
+// ScaleEdit returns the scale program with helper editIdx's body changed to
+// the next variant — a signature-preserving single-function edit.
+func ScaleEdit(seed int64, cfg ScaleConfig, editIdx int) string {
+	return GenerateScale(seed, cfg, map[int]int{editIdx: 1})
+}

@@ -1,0 +1,55 @@
+package krgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleDeterministic(t *testing.T) {
+	cfg := ScaleForLines(2000, 16)
+	a := GenerateScale(7, cfg, nil)
+	b := GenerateScale(7, cfg, nil)
+	if a != b {
+		t.Fatalf("GenerateScale not deterministic")
+	}
+	if GenerateScale(8, cfg, nil) == a {
+		t.Fatalf("different seeds produced identical programs")
+	}
+}
+
+func TestScaleLineBudget(t *testing.T) {
+	for _, lines := range []int{1000, 10000} {
+		cfg := ScaleForLines(lines, 16)
+		got := strings.Count(GenerateScale(1, cfg, nil), "\n")
+		if got < lines*8/10 || got > lines*12/10 {
+			t.Fatalf("asked for ~%d lines, got %d", lines, got)
+		}
+	}
+}
+
+func TestScaleEditLocality(t *testing.T) {
+	cfg := ScaleForLines(1000, 16)
+	base := GenerateScale(3, cfg, nil)
+	edit := ScaleEdit(3, cfg, cfg.Funcs/2)
+	if base == edit {
+		t.Fatalf("edit produced identical source")
+	}
+	// The edit must change exactly one line (the edited helper's loop body)
+	// and leave every signature and call site alone.
+	bl, el := strings.Split(base, "\n"), strings.Split(edit, "\n")
+	if len(bl) != len(el) {
+		t.Fatalf("edit changed line count: %d vs %d", len(bl), len(el))
+	}
+	diff := 0
+	for i := range bl {
+		if bl[i] != el[i] {
+			diff++
+			if !strings.Contains(bl[i], "acc = ") {
+				t.Fatalf("edit touched a non-body line: %q -> %q", bl[i], el[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("edit changed %d lines, want 1", diff)
+	}
+}

@@ -31,6 +31,11 @@ const (
 	// Oversize replaces the job's program with one whose execution
 	// overruns the instruction budget.
 	Oversize
+	// CorruptCache lets the job run clean, then flips a bit in its stored
+	// job-cache entry; a later identical submission must detect the
+	// checksum mismatch and fall back to re-execution, never serve the
+	// damaged payload. A no-op when the daemon runs without a job cache.
+	CorruptCache
 )
 
 func (k Kind) String() string {
@@ -45,6 +50,8 @@ func (k Kind) String() string {
 		return "cancel-mid-run"
 	case Oversize:
 		return "oversize"
+	case CorruptCache:
+		return "corrupt-cache"
 	}
 	return fmt.Sprintf("chaos.Kind(%d)", uint8(k))
 }
@@ -95,7 +102,7 @@ func (in *Injector) Fault(seq uint64) Fault {
 	if h%every != 0 {
 		return Fault{}
 	}
-	switch (h >> 32) % 4 {
+	switch (h >> 32) % 5 {
 	case 0:
 		return Fault{Kind: Panic}
 	case 1:
@@ -110,8 +117,10 @@ func (in *Injector) Fault(seq uint64) Fault {
 			d = time.Millisecond
 		}
 		return Fault{Kind: CancelMidRun, Delay: d}
-	default:
+	case 3:
 		return Fault{Kind: Oversize}
+	default:
+		return Fault{Kind: CorruptCache}
 	}
 }
 

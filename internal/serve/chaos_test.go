@@ -184,7 +184,7 @@ func TestChaosDeterminism(t *testing.T) {
 		}
 		seen[fa.Kind] = true
 	}
-	for _, k := range []chaos.Kind{chaos.Panic, chaos.Stall, chaos.CancelMidRun, chaos.Oversize} {
+	for _, k := range []chaos.Kind{chaos.Panic, chaos.Stall, chaos.CancelMidRun, chaos.Oversize, chaos.CorruptCache} {
 		if !seen[k] {
 			t.Errorf("kind %v never injected in 256 jobs", k)
 		}

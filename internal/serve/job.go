@@ -149,6 +149,7 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	// Chaos: poison the job before real work starts.
+	poisonCache := false
 	if s.cfg.Chaos != nil {
 		f := s.cfg.Chaos.Fault(j.seq)
 		if f.Kind != chaos.None {
@@ -168,6 +169,8 @@ func (s *Server) runJob(j *job) {
 			defer t.Stop()
 		case chaos.Oversize:
 			j.src = chaos.OversizeProgram()
+		case chaos.CorruptCache:
+			poisonCache = true
 		}
 	}
 
@@ -175,6 +178,38 @@ func (s *Server) runJob(j *job) {
 	if err := j.ctx.Err(); err != nil {
 		j.emit(s.errorEvent(j, limits.Cancelled(0)))
 		return
+	}
+
+	// Job cache: a repeat submission replays the stored event stream
+	// instead of re-executing. The key is computed after chaos so an
+	// Oversize-swapped source addresses its own (never-stored) entry.
+	var cacheKey string
+	var cached []Event
+	if s.jobCache != nil {
+		cacheKey = jobKey(j.src, j.personality, j.shards, s.cfg.Engine)
+		evs, hit, corrupt := s.jobCache.lookup(cacheKey)
+		if corrupt {
+			s.cacheCorrupt.Add(1)
+		}
+		if hit {
+			s.cacheHits.Add(1)
+			for _, e := range evs {
+				j.emit(e)
+			}
+			if poisonCache {
+				s.jobCache.corruptEntry(cacheKey)
+			}
+			j.emit(Event{Type: "done", ElapsedMS: float64(s.cfg.Now().Sub(j.start)) / float64(time.Millisecond)})
+			return
+		}
+		s.cacheMisses.Add(1)
+	}
+	// cacheEmit delivers e and remembers it for the cache (when enabled).
+	cacheEmit := func(e Event) {
+		if s.jobCache != nil {
+			cached = append(cached, e)
+		}
+		j.emit(e)
 	}
 
 	prog, err := kremlin.Compile(j.name, j.src)
@@ -212,7 +247,7 @@ func (s *Server) runJob(j *job) {
 		prof = p
 	}
 	if out.buf.Len() > 0 {
-		j.emit(Event{Type: "output", Data: out.buf.String(), Truncated: out.truncated})
+		cacheEmit(Event{Type: "output", Data: out.buf.String(), Truncated: out.truncated})
 	}
 	if err != nil {
 		j.emit(s.errorEvent(j, err))
@@ -224,7 +259,7 @@ func (s *Server) runJob(j *job) {
 		j.emit(s.errorEvent(j, err))
 		return
 	}
-	j.emit(Event{
+	cacheEmit(Event{
 		Type:        "profile",
 		Work:        work,
 		Steps:       steps,
@@ -249,7 +284,7 @@ func (s *Server) runJob(j *job) {
 			EstSpeedup: r.EstSpeedup,
 		}
 	}
-	j.emit(Event{
+	cacheEmit(Event{
 		Type:        "plan",
 		Personality: pers.Name,
 		EstSpeedup:  plan.EstProgramSpeedup,
@@ -261,7 +296,17 @@ func (s *Server) runJob(j *job) {
 		loops[i] = VetLoop{Label: rep.Region.Label(), Verdict: rep.Verdict.String()}
 	}
 	par, ser, unk := prog.Vet.Counts()
-	j.emit(Event{Type: "vet", Parallel: par, Serial: ser, Unknown: unk, Loops: loops})
+	cacheEmit(Event{Type: "vet", Parallel: par, Serial: ser, Unknown: unk, Loops: loops})
+
+	// Only a fully successful job is cached; error outcomes are not
+	// content-determined (timeouts, cancellations, config-dependent
+	// refusals) and must re-execute.
+	if s.jobCache != nil {
+		s.jobCache.store(cacheKey, cached)
+		if poisonCache {
+			s.jobCache.corruptEntry(cacheKey)
+		}
+	}
 
 	j.emit(Event{Type: "done", ElapsedMS: float64(s.cfg.Now().Sub(j.start)) / float64(time.Millisecond)})
 }

@@ -1,0 +1,123 @@
+package serve
+
+// jobCache memoizes whole successful jobs, content-addressed by the exact
+// inputs that determine the result: the Kr source plus the personality,
+// shard count, and engine the daemon would run it with. Profiling is
+// deterministic for a fixed (source, shards, engine), so a cached event
+// stream is byte-identical to what re-execution would produce — the cache
+// trades memory for skipping the entire compile/profile/plan/vet pipeline
+// on repeat submissions.
+//
+// Entries carry a checksum taken at insert time, verified on every
+// lookup. A damaged entry (chaos-injected or otherwise) is detected,
+// evicted, and counted; the job then re-executes as a miss. A corrupt
+// cache can cost a recompute, never a wrong answer.
+//
+// Failed jobs are never cached: their outcomes (timeout, cancellation,
+// budget refusal under a since-changed config) are not content-determined.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"kremlin"
+)
+
+type jobCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*jobCacheEntry
+	order   []string // insertion order, for FIFO eviction
+}
+
+type jobCacheEntry struct {
+	payload []byte // JSON-encoded []Event (every event but "done")
+	sum     uint64 // FNV-64a of payload at insert time
+}
+
+func newJobCache(max int) *jobCache {
+	return &jobCache{max: max, entries: map[string]*jobCacheEntry{}}
+}
+
+// jobKey addresses a result by everything that can change it.
+func jobKey(src, personality string, shards int, engine kremlin.Engine) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%d\x00%s\x00", engine, shards, personality)
+	h.Write([]byte(src))
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func jobChecksum(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// lookup returns the cached event stream for key. corrupt reports that an
+// entry existed but failed validation; it has already been evicted.
+func (c *jobCache) lookup(key string) (evs []Event, ok, corrupt bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.entries[key]
+	if !found {
+		return nil, false, false
+	}
+	if jobChecksum(e.payload) != e.sum {
+		c.evictLocked(key)
+		return nil, false, true
+	}
+	if err := json.Unmarshal(e.payload, &evs); err != nil {
+		// A payload that checksums clean but no longer parses means the
+		// entry was damaged before insert; same remedy.
+		c.evictLocked(key)
+		return nil, false, true
+	}
+	return evs, true, false
+}
+
+// store inserts the event stream under key, evicting the oldest entry
+// when the cache is full. Unencodable streams are silently not cached.
+func (c *jobCache) store(key string, evs []Event) {
+	payload, err := json.Marshal(evs)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		for len(c.entries) >= c.max && len(c.order) > 0 {
+			c.evictLocked(c.order[0])
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = &jobCacheEntry{payload: payload, sum: jobChecksum(payload)}
+}
+
+// corruptEntry flips a bit in the stored payload for key (chaos
+// injection); the next lookup must detect the mismatch.
+func (c *jobCache) corruptEntry(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && len(e.payload) > 0 {
+		e.payload[len(e.payload)/2] ^= 0x40
+	}
+}
+
+func (c *jobCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *jobCache) evictLocked(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"kremlin/internal/serve/chaos"
+)
+
+// stripDone drops the "done" event (its elapsed-ms field is wall-clock
+// dependent) so the remaining stream can be compared verbatim.
+func stripDone(t *testing.T, evs []Event) []Event {
+	t.Helper()
+	if len(evs) == 0 || evs[len(evs)-1].Type != "done" {
+		t.Fatalf("event stream does not end in done: %v", eventTypes(evs))
+	}
+	return evs[:len(evs)-1]
+}
+
+func sameEvents(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Data != b[i].Data ||
+			a[i].KRPF2 != b[i].KRPF2 || a[i].Work != b[i].Work ||
+			a[i].Steps != b[i].Steps || a[i].EstSpeedup != b[i].EstSpeedup ||
+			len(a[i].Recs) != len(b[i].Recs) || len(a[i].Loops) != len(b[i].Loops) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeJobCache: a repeat submission is answered from the cache with a
+// byte-identical stream, and the hit/miss counters surface it.
+func TestServeJobCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, JobCache: 8})
+
+	st1, evs1 := post(t, ts.Client(), ts.URL+"/profile?name=quick.kr", quickProg, nil)
+	st2, evs2 := post(t, ts.Client(), ts.URL+"/profile?name=quick.kr", quickProg, nil)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("statuses = %d, %d, want 200, 200", st1, st2)
+	}
+	if !sameEvents(stripDone(t, evs1), stripDone(t, evs2)) {
+		t.Fatalf("cached replay differs from original run:\n%v\nvs\n%v", evs1, evs2)
+	}
+
+	// A different personality addresses a different entry.
+	if st, _ := post(t, ts.Client(), ts.URL+"/profile?personality=cilk", quickProg, nil); st != http.StatusOK {
+		t.Fatalf("cilk run: status = %d, want 200", st)
+	}
+
+	stats := s.Stats()
+	if stats.CacheHits != 1 || stats.CacheMisses != 2 || stats.CacheCorrupt != 0 {
+		t.Errorf("cache counters = hits %d misses %d corrupt %d, want 1/2/0",
+			stats.CacheHits, stats.CacheMisses, stats.CacheCorrupt)
+	}
+	if stats.CacheEntries != 2 {
+		t.Errorf("CacheEntries = %d, want 2", stats.CacheEntries)
+	}
+}
+
+// TestServeJobCacheFailuresNotCached: an error outcome must never be
+// served from the cache.
+func TestServeJobCacheFailuresNotCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, JobCache: 8, MaxInsns: 200_000})
+	for i := 0; i < 2; i++ {
+		st, evs := post(t, ts.Client(), ts.URL+"/profile", slowProg, nil)
+		if st != http.StatusRequestEntityTooLarge {
+			t.Fatalf("run %d: status = %d, want 413 (events %v)", i, st, evs)
+		}
+	}
+	stats := s.Stats()
+	if stats.CacheHits != 0 || stats.CacheMisses != 2 || stats.CacheEntries != 0 {
+		t.Errorf("counters after two failed jobs = hits %d misses %d entries %d, want 0/2/0",
+			stats.CacheHits, stats.CacheMisses, stats.CacheEntries)
+	}
+}
+
+// TestServeJobCacheCorruption: a chaos-corrupted entry is detected by its
+// checksum, evicted, and the job re-executes — the client still gets the
+// correct result, never the damaged payload.
+func TestServeJobCacheCorruption(t *testing.T) {
+	// Scan for a seed whose schedule corrupts job 1's cache entry and
+	// leaves jobs 2 and 3 alone.
+	inj := &chaos.Injector{Every: 2}
+	for inj.Fault(1).Kind != chaos.CorruptCache ||
+		inj.Fault(2).Kind != chaos.None || inj.Fault(3).Kind != chaos.None {
+		inj.Seed++
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, JobCache: 8, Chaos: inj})
+
+	// Job 1 runs clean, is cached, then its entry is poisoned.
+	st1, evs1 := post(t, ts.Client(), ts.URL+"/profile", quickProg, nil)
+	// Job 2 finds the damaged entry, falls back to re-execution, re-stores.
+	st2, evs2 := post(t, ts.Client(), ts.URL+"/profile", quickProg, nil)
+	// Job 3 is a clean hit on the repaired entry.
+	st3, evs3 := post(t, ts.Client(), ts.URL+"/profile", quickProg, nil)
+	for i, st := range []int{st1, st2, st3} {
+		if st != http.StatusOK {
+			t.Fatalf("job %d: status = %d, want 200", i+1, st)
+		}
+	}
+	if !sameEvents(stripDone(t, evs1), stripDone(t, evs2)) ||
+		!sameEvents(stripDone(t, evs2), stripDone(t, evs3)) {
+		t.Fatal("event streams diverged across corruption recovery")
+	}
+
+	stats := s.Stats()
+	if stats.CacheCorrupt != 1 {
+		t.Errorf("CacheCorrupt = %d, want 1", stats.CacheCorrupt)
+	}
+	if stats.CacheHits != 1 || stats.CacheMisses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", stats.CacheHits, stats.CacheMisses)
+	}
+	if stats.Faulted != 1 {
+		t.Errorf("Faulted = %d, want 1", stats.Faulted)
+	}
+}
+
+// TestJobCacheEviction pins the FIFO bound: the cache never holds more
+// than its configured maximum.
+func TestJobCacheEviction(t *testing.T) {
+	c := newJobCache(2)
+	evs := []Event{{Type: "vet"}}
+	c.store("a", evs)
+	c.store("b", evs)
+	c.store("c", evs) // evicts a
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok, _ := c.lookup("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok, _ := c.lookup(k); !ok {
+			t.Errorf("entry %q missing", k)
+		}
+	}
+}
+
+// TestJobCacheChecksum pins the unit-level corruption contract.
+func TestJobCacheChecksum(t *testing.T) {
+	c := newJobCache(4)
+	c.store("k", []Event{{Type: "profile", Work: 42}})
+	c.corruptEntry("k")
+	if _, ok, corrupt := c.lookup("k"); ok || !corrupt {
+		t.Fatalf("lookup after corruption: ok=%v corrupt=%v, want miss+corrupt", ok, corrupt)
+	}
+	// The damaged entry was evicted: the next lookup is a plain miss.
+	if _, ok, corrupt := c.lookup("k"); ok || corrupt {
+		t.Fatalf("second lookup: ok=%v corrupt=%v, want plain miss", ok, corrupt)
+	}
+}

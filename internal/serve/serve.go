@@ -78,6 +78,12 @@ type Config struct {
 	Shards int
 	// Engine selects the per-job execution engine (default: bytecode VM).
 	Engine kremlin.Engine
+	// JobCache > 0 memoizes up to that many successful jobs, keyed by a
+	// content hash of (source, personality, shards, engine). A repeat
+	// submission is answered from the cache without re-execution; entries
+	// are checksummed and a damaged entry falls back to re-execution.
+	// 0 disables caching.
+	JobCache int
 	// Chaos, when non-nil, injects deterministic faults into jobs.
 	Chaos *chaos.Injector
 	// Now overrides the clock (tests); nil means time.Now.
@@ -135,13 +141,19 @@ type Stats struct {
 	InFlight    int64  `json:"in_flight"`    // jobs being serviced right now
 	Queued      int    `json:"queued"`       // jobs waiting in the queue
 	Draining    bool   `json:"draining"`     // daemon is refusing new work
+
+	CacheHits    uint64 `json:"cache_hits"`    // jobs answered from the job cache
+	CacheMisses  uint64 `json:"cache_misses"`  // cacheable jobs that had to execute
+	CacheCorrupt uint64 `json:"cache_corrupt"` // cache entries failing their checksum
+	CacheEntries int    `json:"cache_entries"` // entries resident right now
 }
 
 // Server is the daemon. Create with New, mount Handler on an http.Server,
 // stop with Drain.
 type Server struct {
-	cfg     Config
-	limiter *tenantLimiter
+	cfg      Config
+	limiter  *tenantLimiter
+	jobCache *jobCache // nil when Config.JobCache == 0
 
 	mu       sync.Mutex // guards draining and the close of jobs
 	draining bool
@@ -156,6 +168,10 @@ type Server struct {
 	faulted     atomic.Uint64
 	panics      atomic.Uint64
 	inFlight    atomic.Int64
+
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	cacheCorrupt atomic.Uint64
 }
 
 // New starts a daemon: the worker pool is running on return.
@@ -167,6 +183,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.RatePerSec > 0 {
 		s.limiter = newTenantLimiter(cfg.RatePerSec, cfg.RateBurst)
+	}
+	if cfg.JobCache > 0 {
+		s.jobCache = newJobCache(cfg.JobCache)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -185,17 +204,24 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	return Stats{
-		Accepted:    s.accepted.Load(),
-		Completed:   s.completed.Load(),
-		Shed:        s.shed.Load(),
-		RateLimited: s.rateLimited.Load(),
-		Faulted:     s.faulted.Load(),
-		Panics:      s.panics.Load(),
-		InFlight:    s.inFlight.Load(),
-		Queued:      len(s.jobs),
-		Draining:    draining,
+	st := Stats{
+		Accepted:     s.accepted.Load(),
+		Completed:    s.completed.Load(),
+		Shed:         s.shed.Load(),
+		RateLimited:  s.rateLimited.Load(),
+		Faulted:      s.faulted.Load(),
+		Panics:       s.panics.Load(),
+		InFlight:     s.inFlight.Load(),
+		Queued:       len(s.jobs),
+		Draining:     draining,
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CacheCorrupt: s.cacheCorrupt.Load(),
 	}
+	if s.jobCache != nil {
+		st.CacheEntries = s.jobCache.len()
+	}
+	return st
 }
 
 // submit enqueues j without blocking. It returns false when the queue is

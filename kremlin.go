@@ -32,6 +32,7 @@ import (
 	"kremlin/internal/bytecode"
 	"kremlin/internal/depcheck"
 	"kremlin/internal/hcpa"
+	"kremlin/internal/inccache"
 	"kremlin/internal/instrument"
 	"kremlin/internal/interp"
 	"kremlin/internal/ir"
@@ -193,6 +194,16 @@ type RunConfig struct {
 	TraceDeps bool
 	// Engine selects the execution engine (default: the bytecode VM).
 	Engine Engine
+	// Cache, when non-nil, enables incremental re-profiling for Profile():
+	// unchanged sealed functions replay their cached HCPA extents instead of
+	// executing, and fresh extents are recorded for future runs. The
+	// resulting profile is byte-identical to an uncached run. Ignored (the
+	// run is simply uncached) when the configuration is incompatible with
+	// replay: TraceDeps, a non-default depth window, or sharded profiling.
+	Cache *inccache.Store
+	// CacheStats, when non-nil and a cache session ran, receives the
+	// session's hit/miss counters.
+	CacheStats *inccache.Stats
 }
 
 func (p *Program) interpConfig(cfg *RunConfig, mode interp.Mode) interp.Config {
@@ -234,12 +245,43 @@ func (p *Program) RunGprof(cfg *RunConfig) (*interp.Result, error) {
 // parallelism profile of one run. This is the library form of running the
 // kremlin-cc-built binary.
 func (p *Program) Profile(cfg *RunConfig) (*profile.Profile, *interp.Result, error) {
-	res, err := p.execute(cfg, interp.HCPA)
+	ic := p.interpConfig(cfg, interp.HCPA)
+	sess := p.cacheSession(cfg)
+	ic.Cache = sess
+	var res *interp.Result
+	var err error
+	if cfg != nil && cfg.Engine == EngineTree {
+		res, err = interp.Run(p.Module, ic)
+	} else {
+		res, err = bytecode.Run(p.Bytecode(), ic)
+	}
+	if sess != nil && cfg.CacheStats != nil {
+		*cfg.CacheStats = sess.Stats()
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	if sess != nil {
+		// Persist fresh records; cache write failures degrade the cache,
+		// never the run.
+		_ = cfg.Cache.Save()
+	}
 	res.Profile.Safety = p.safetyVector()
 	return res.Profile, res, nil
+}
+
+// cacheSession returns the incremental-cache session for a run, or nil when
+// the run configuration is incompatible with sound extent replay (dependence
+// tracing changes what the runtime observes; a non-default depth window
+// changes what a recorded extent means).
+func (p *Program) cacheSession(cfg *RunConfig) *inccache.Session {
+	if cfg == nil || cfg.Cache == nil || cfg.TraceDeps || cfg.MinDepth != 0 {
+		return nil
+	}
+	if cfg.MaxDepth != 0 && cfg.MaxDepth != kremlib.DefaultMaxDepth {
+		return nil
+	}
+	return cfg.Cache.Session(p.Regions)
 }
 
 // safetyVector flattens the per-region static dependence verdicts into the
