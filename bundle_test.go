@@ -1,0 +1,132 @@
+package kremlin_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+	"kremlin/internal/inccache"
+	"kremlin/internal/planner"
+)
+
+// TestBundleRoundTrip pins the bundle contract: a Program reconstructed
+// from EncodeBundle's bytes is observably identical to the original —
+// same IR text, same program output, byte-identical serialized profile,
+// same plan rendering, same vet verdicts, and the same incremental-cache
+// content keys (so a warm inccache primed by source submissions hits for
+// bundle submissions of the same program, and vice versa).
+func TestBundleRoundTrip(t *testing.T) {
+	cases := map[string]string{
+		"tracking": bench.Tracking().Source,
+		"cg":       bench.ByName("cg").Source,
+		"is":       bench.ByName("is").Source,
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			orig, err := kremlin.Compile(name+".kr", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := orig.EncodeBundle()
+			if !kremlin.IsBundle(data) {
+				t.Fatalf("EncodeBundle output not recognized by IsBundle")
+			}
+			dec, err := kremlin.CompileBundle(data)
+			if err != nil {
+				t.Fatalf("CompileBundle: %v", err)
+			}
+
+			if got, want := dec.Module.String(), orig.Module.String(); got != want {
+				t.Fatalf("decoded IR differs from original:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+
+			type obs struct {
+				out     string
+				profile []byte
+				plan    string
+				vet     string
+			}
+			observe := func(p *kremlin.Program) obs {
+				var out bytes.Buffer
+				prof, _, err := p.Profile(&kremlin.RunConfig{Out: &out})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pb bytes.Buffer
+				if _, err := prof.WriteTo(&pb); err != nil {
+					t.Fatal(err)
+				}
+				var vet bytes.Buffer
+				for _, rep := range p.Vet.Loops {
+					vet.WriteString(rep.Region.Label())
+					vet.WriteString(" ")
+					vet.WriteString(rep.Verdict.String())
+					vet.WriteString("\n")
+				}
+				return obs{
+					out:     out.String(),
+					profile: pb.Bytes(),
+					plan:    p.Plan(prof, planner.OpenMP()).Render(),
+					vet:     vet.String(),
+				}
+			}
+			a, bb := observe(orig), observe(dec)
+			if a.out != bb.out {
+				t.Errorf("program output differs:\n%q\nvs\n%q", a.out, bb.out)
+			}
+			if !bytes.Equal(a.profile, bb.profile) {
+				t.Errorf("serialized profiles differ (%d vs %d bytes)", len(a.profile), len(bb.profile))
+			}
+			if a.plan != bb.plan {
+				t.Errorf("plans differ:\n%s\nvs\n%s", a.plan, bb.plan)
+			}
+			if a.vet != bb.vet {
+				t.Errorf("vet reports differ:\n%s\nvs\n%s", a.vet, bb.vet)
+			}
+
+			// Incremental-cache content keys must agree function by function.
+			store, err := inccache.Open(filepath.Join(t.TempDir(), "cache"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := store.Keys(dec.Regions), store.Keys(orig.Regions); !reflect.DeepEqual(got, want) {
+				t.Errorf("inccache keys differ:\n%v\nvs\n%v", got, want)
+			}
+		})
+	}
+}
+
+// TestBundleErrors pins the failure taxonomy: damaged or non-bundle bytes
+// are parse-stage compile errors, and corruption at any byte never panics.
+func TestBundleErrors(t *testing.T) {
+	prog, err := kremlin.Compile("t.kr", "void main() { print(1); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := prog.EncodeBundle()
+
+	if _, err := kremlin.CompileBundle([]byte("not a bundle")); err == nil {
+		t.Fatal("CompileBundle accepted garbage")
+	} else if kremlin.Classify(err) != kremlin.KindParse {
+		t.Fatalf("garbage classified as %v, want parse", kremlin.Classify(err))
+	}
+	var ce *kremlin.CompileError
+	if _, err := kremlin.CompileBundle(data[:len(data)/2]); !errors.As(err, &ce) {
+		t.Fatalf("truncated bundle: got %v, want *CompileError", err)
+	}
+
+	// Single-byte corruption anywhere must be rejected (the checksum
+	// trailer catches it) and must never panic.
+	for off := 0; off < len(data); off += 7 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		if _, err := kremlin.CompileBundle(mut); err == nil {
+			t.Fatalf("accepted bundle with corrupt byte at %d", off)
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //	kremlin-bench [-experiment all|fig3|fig6|fig7|fig8|fig9|compression|overhead|spclass|sensitivity|scaling|shards|vet|ablation|personality|fuzz|serve|scale|incfuzz]
 //	              [-benches a,b,...] [-shard-counts 1,2,4,8] [-json out.json]
 //	              [-fuzz-n 200] [-seed 1] [-fuzz-out dir]
-//	              [-serve-conc 100,1000] [-serve-jobs N]
+//	              [-serve-conc 100,1000] [-serve-warm-conc 100,1000,10000]
+//	              [-serve-jobs N] [-min-warm-speedup X]
 //	              [-scale-lines 10000,50000,100000] [-scale-iters 60] [-min-scale-speedup X]
 //	              [-cpuprofile f] [-memprofile f]
 //
@@ -17,8 +18,12 @@
 //
 // The serve experiment load-tests the kremlin-serve daemon in-process
 // over real HTTP: sustained QPS and p50/p99 latency at each -serve-conc
-// concurrency level; -json writes BENCH_serve.json. Like fuzz it only
-// runs when named (it measures the service layer, not a paper table).
+// concurrency level cold (caches off), plus warm repeat-traffic rows at
+// each -serve-warm-conc level with the job, compile, and incremental
+// caches on; high-concurrency rows ride an in-memory transport.
+// -min-warm-speedup gates warm-vs-cold QPS at shared concurrencies;
+// -json writes BENCH_serve.json. Like fuzz it only runs when named (it
+// measures the service layer, not a paper table).
 //
 // The fuzz experiment runs a differential/metamorphic fuzzing campaign:
 // -fuzz-n generated programs (seeds -seed .. -seed+n-1) through every
@@ -54,19 +59,21 @@ import (
 )
 
 var (
-	benches     = flag.String("benches", "", "comma-separated benchmark subset for the shards experiment (default: all)")
-	shardCounts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shards experiment")
-	jsonOut     = flag.String("json", "", "write the shards or fuzz experiment results as JSON to this path")
-	fuzzN       = flag.Int("fuzz-n", 200, "number of generated programs for the fuzz experiment")
-	fuzzSeed    = flag.Int64("seed", 1, "base generator seed for the fuzz experiment")
-	fuzzOut     = flag.String("fuzz-out", ".", "directory for shrunk fuzz reproducers")
-	serveConc   = flag.String("serve-conc", "100,1000", "comma-separated concurrency levels for the serve experiment")
-	serveJobs   = flag.Int("serve-jobs", 0, "jobs per serve concurrency level (0 = 3x concurrency)")
-	vmRepeats   = flag.Int("vm-repeats", 3, "best-of-N repeats per engine/mode for the vmspeed experiment")
-	minVMSpeed  = flag.Float64("min-vm-speedup", 0, "fail the vmspeed experiment if the plain geomean VM speedup is below this (0 = no guard)")
-	scaleLines  = flag.String("scale-lines", "10000,50000,100000", "comma-separated program sizes (source lines) for the scale experiment")
-	scaleIters  = flag.Int("scale-iters", 60, "loop trip count per generated helper in the scale experiment")
-	minScale    = flag.Float64("min-scale-speedup", 0, "fail the scale experiment if the geomean warm speedup is below this (0 = no guard)")
+	benches        = flag.String("benches", "", "comma-separated benchmark subset for the shards experiment (default: all)")
+	shardCounts    = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shards experiment")
+	jsonOut        = flag.String("json", "", "write the shards or fuzz experiment results as JSON to this path")
+	fuzzN          = flag.Int("fuzz-n", 200, "number of generated programs for the fuzz experiment")
+	fuzzSeed       = flag.Int64("seed", 1, "base generator seed for the fuzz experiment")
+	fuzzOut        = flag.String("fuzz-out", ".", "directory for shrunk fuzz reproducers")
+	serveConc      = flag.String("serve-conc", "100,1000", "comma-separated cold concurrency levels for the serve experiment")
+	serveWarmConc  = flag.String("serve-warm-conc", "100,1000,10000", "comma-separated warm (cached, repeat-traffic) concurrency levels (empty = none)")
+	serveJobs      = flag.Int("serve-jobs", 0, "jobs per serve concurrency level (0 = 3x concurrency)")
+	minWarmSpeedup = flag.Float64("min-warm-speedup", 0, "fail the serve experiment unless warm QPS >= this factor over cold at each shared concurrency (0 = no gate)")
+	vmRepeats      = flag.Int("vm-repeats", 3, "best-of-N repeats per engine/mode for the vmspeed experiment")
+	minVMSpeed     = flag.Float64("min-vm-speedup", 0, "fail the vmspeed experiment if the plain geomean VM speedup is below this (0 = no guard)")
+	scaleLines     = flag.String("scale-lines", "10000,50000,100000", "comma-separated program sizes (source lines) for the scale experiment")
+	scaleIters     = flag.Int("scale-iters", 60, "loop trip count per generated helper in the scale experiment")
+	minScale       = flag.Float64("min-scale-speedup", 0, "fail the scale experiment if the geomean warm speedup is below this (0 = no guard)")
 )
 
 func main() {
@@ -554,25 +561,46 @@ func fuzz() error {
 
 func serveBench() error {
 	header("kremlin-serve under load: sustained QPS and latency percentiles")
-	var concs []int
-	for _, s := range strings.Split(*serveConc, ",") {
-		c, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || c < 1 {
-			return fmt.Errorf("bad -serve-conc entry %q", s)
+	parseConcs := func(flagName, spec string) ([]int, error) {
+		var concs []int
+		if strings.TrimSpace(spec) == "" {
+			return nil, nil
 		}
-		concs = append(concs, c)
+		for _, s := range strings.Split(spec, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("bad %s entry %q", flagName, s)
+			}
+			concs = append(concs, c)
+		}
+		return concs, nil
+	}
+	concs, err := parseConcs("-serve-conc", *serveConc)
+	if err != nil {
+		return err
+	}
+	warmConcs, err := parseConcs("-serve-warm-conc", *serveWarmConc)
+	if err != nil {
+		return err
 	}
 	rows, err := eval.ServeBench(concs, *serveJobs)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-6s %8s %8s %10s %10s %10s %10s %6s %7s\n",
-		"conc", "jobs", "workers", "QPS", "p50(ms)", "p99(ms)", "max(ms)", "ok", "errors")
-	for _, r := range rows {
-		fmt.Printf("%-6d %8d %8d %10.1f %10.2f %10.2f %10.2f %6d %7d\n",
-			r.Concurrency, r.Jobs, r.Workers, r.QPS, r.P50Ms, r.P99Ms, r.MaxMs, r.OK, r.Errors)
+	warmRows, err := eval.ServeBenchWarm(warmConcs, *serveJobs)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("(GOMAXPROCS=%d; in-process daemon over real HTTP loopback)\n", runtime.GOMAXPROCS(0))
+	rows = append(rows, warmRows...)
+	fmt.Printf("%-6s %-7s %-6s %8s %8s %10s %10s %10s %10s %6s %7s\n",
+		"scen", "transp", "conc", "jobs", "workers", "QPS", "p50(ms)", "p99(ms)", "max(ms)", "ok", "errors")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-7s %-6d %8d %8d %10.1f %10.2f %10.2f %10.2f %6d %7d\n",
+			r.Scenario, r.Transport, r.Concurrency, r.Jobs, r.Workers, r.QPS, r.P50Ms, r.P99Ms, r.MaxMs, r.OK, r.Errors)
+	}
+	fmt.Printf("(GOMAXPROCS=%d; in-process daemon; cold = caches off over TCP loopback,\n", runtime.GOMAXPROCS(0))
+	fmt.Println(" warm = job+compile+inccache on, primed, repeat traffic; high-concurrency")
+	fmt.Println(" rows use an in-memory net.Pipe transport to dodge fd limits)")
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
@@ -582,6 +610,37 @@ func serveBench() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	// Regression gate: warm repeat traffic must beat cold by the given
+	// factor at every concurrency measured both ways.
+	if *minWarmSpeedup > 0 {
+		coldQPS := map[int]float64{}
+		for _, r := range rows {
+			if r.Scenario == "cold" {
+				coldQPS[r.Concurrency] = r.QPS
+			}
+		}
+		compared := 0
+		for _, r := range rows {
+			if r.Scenario != "warm" {
+				continue
+			}
+			cold, okc := coldQPS[r.Concurrency]
+			if !okc || cold <= 0 {
+				continue
+			}
+			compared++
+			speedup := r.QPS / cold
+			fmt.Printf("warm speedup at conc %d: %.1fx (gate %.1fx)\n",
+				r.Concurrency, speedup, *minWarmSpeedup)
+			if speedup < *minWarmSpeedup {
+				return fmt.Errorf("warm QPS at conc %d is %.1f, only %.2fx cold (%.1f); gate is %.1fx",
+					r.Concurrency, r.QPS, speedup, cold, *minWarmSpeedup)
+			}
+		}
+		if compared == 0 {
+			return fmt.Errorf("-min-warm-speedup set but no concurrency was measured both cold and warm")
+		}
 	}
 	return nil
 }

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	kremlin-cc [-dump-ast] [-dump-ir] [-dump-regions] [-run] prog.kr
+//	kremlin-cc [-dump-ast] [-dump-ir] [-dump-regions] [-emit-ir out.krib] [-run] prog.kr
+//
+// -emit-ir writes the compiled program as a KRIB1 IR bundle, the
+// precompiled form kremlin-serve accepts at POST /v1/jobs with
+// Content-Type application/x-kremlin-ir.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	dumpIR := flag.Bool("dump-ir", false, "print the SSA IR of every function")
 	dumpRegions := flag.Bool("dump-regions", false, "print the static region tree")
 	run := flag.Bool("run", false, "execute the program (uninstrumented) after compiling")
+	emitIR := flag.String("emit-ir", "", "write the compiled program as a KRIB1 IR bundle to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin-cc [-dump-ir] [-dump-regions] [-run] prog.kr")
@@ -72,6 +77,14 @@ func main() {
 			}
 			fmt.Printf("[%d] %s\n", r.ID, r)
 		}
+	}
+	if *emitIR != "" {
+		data := prog.EncodeBundle()
+		if err := os.WriteFile(*emitIR, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "kremlin-cc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d bytes (KRIB1)\n", *emitIR, len(data))
 	}
 	if *run {
 		res, err := prog.Run(&kremlin.RunConfig{Out: os.Stdout})

@@ -7,6 +7,7 @@
 //	kremlin-serve [-addr :8080] [-workers N] [-queue N] [-job-timeout d]
 //	              [-max-insns N] [-max-pages N] [-max-heap-words N]
 //	              [-rate R] [-burst N] [-shards K] [-job-cache N]
+//	              [-compile-cache N] [-inccache-dir path] [-inccache-max N]
 //
 // The daemon sheds load with 429 when the queue is full, rate-limits
 // per tenant (X-Kremlin-Tenant header) when -rate is set, and drains
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"kremlin"
+	"kremlin/internal/inccache"
 	"kremlin/internal/serve"
 )
 
@@ -40,6 +42,9 @@ func main() {
 	burst := flag.Int("burst", 0, "per-tenant burst (default 2x rate)")
 	shards := flag.Int("shards", 1, "depth-window shards per job")
 	jobCache := flag.Int("job-cache", 256, "memoize up to N successful jobs by content hash (0 = off)")
+	compileCache := flag.Int("compile-cache", 256, "memoize up to N compiled programs by content hash (0 = off)")
+	incDir := flag.String("inccache-dir", "", "shared incremental re-profiling cache directory (empty = off; tenants get isolated keyspaces)")
+	incMax := flag.Int("inccache-max", 1<<16, "record bound for the shared inccache (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
 	engine := flag.String("engine", "vm", "per-job execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
 	flag.Parse()
@@ -51,6 +56,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kremlin-serve: %v\n", err)
 		os.Exit(2)
+	}
+	var incStore *inccache.Store
+	if *incDir != "" {
+		incStore, err = inccache.Open(*incDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kremlin-serve: inccache: %v\n", err)
+			os.Exit(1)
+		}
+		incStore.SetMaxRecords(*incMax)
 	}
 
 	srv := serve.New(serve.Config{
@@ -65,6 +79,8 @@ func main() {
 		Shards:         *shards,
 		Engine:         eng,
 		JobCache:       *jobCache,
+		CompileCache:   *compileCache,
+		IncCache:       incStore,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

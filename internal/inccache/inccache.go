@@ -32,6 +32,9 @@
 package inccache
 
 import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -97,6 +100,7 @@ type Stats struct {
 	SkippedWork  uint64 `json:"skipped_work"`
 	StoreRecords int    `json:"store_records"`
 	Corrupt      int    `json:"corrupt_entries"` // cache files rejected and repaired at open
+	Evicted      int    `json:"evicted_records"` // records displaced by the size bound
 }
 
 // HitRate returns Hits/Lookups, or 0 with no lookups.
@@ -147,12 +151,16 @@ func newModInfo(regs *regions.Program) *modInfo {
 type Store struct {
 	dir string
 
-	mu       sync.Mutex
-	recs     map[Key][]*Record
-	dirty    map[Key]bool
-	mods     map[*ir.Module]*modInfo
-	corrupt  int
-	nRecords int
+	mu         sync.Mutex
+	recs       map[Key][]*Record
+	dirty      map[Key]bool
+	mods       map[*ir.Module]*modInfo
+	corrupt    int
+	nRecords   int
+	maxRecords int            // 0 = unbounded
+	lastUse    map[Key]uint64 // LRU clock value per key
+	useClock   uint64
+	evicted    int // records displaced by the bound
 }
 
 // Open loads (or creates) the cache directory. Unreadable, truncated,
@@ -161,10 +169,11 @@ type Store struct {
 // content, only on I/O errors creating the directory itself.
 func Open(dir string) (*Store, error) {
 	s := &Store{
-		dir:   dir,
-		recs:  make(map[Key][]*Record),
-		dirty: make(map[Key]bool),
-		mods:  make(map[*ir.Module]*modInfo),
+		dir:     dir,
+		recs:    make(map[Key][]*Record),
+		dirty:   make(map[Key]bool),
+		mods:    make(map[*ir.Module]*modInfo),
+		lastUse: make(map[Key]uint64),
 	}
 	if err := s.loadAll(); err != nil {
 		return nil, err
@@ -185,11 +194,94 @@ func (s *Store) Session(regs *regions.Program) *Session {
 	return &Session{store: s, info: mi}
 }
 
+// SessionScoped is Session with keyspace isolation: every content key this
+// session reads or writes is mixed with a salt derived from scope, so
+// records recorded under one scope are invisible to every other. The empty
+// scope is the unsalted global keyspace (identical to Session). The serve
+// daemon passes the tenant name, giving each tenant a private keyspace
+// inside one shared bounded store — one tenant's traffic can evict another's
+// records (the size bound is global) but can never replay them.
+func (s *Store) SessionScoped(regs *regions.Program, scope string) *Session {
+	sess := s.Session(regs)
+	if scope != "" {
+		sum := sha256.Sum256([]byte("kremlin-inccache-scope\x00" + scope))
+		copy(sess.salt[:], sum[:len(sess.salt)])
+		sess.scoped = true
+		sess.scopedKeys = make(map[*funcFact]Key)
+	}
+	return sess
+}
+
+// SetMaxRecords bounds the store to n records (0 = unbounded). When an
+// insert pushes the store over the bound, whole least-recently-used keys
+// are evicted — memory, dirty state, and their on-disk files — until the
+// bound holds again. Eviction is counted in Stats.Evicted.
+func (s *Store) SetMaxRecords(n int) {
+	s.mu.Lock()
+	s.maxRecords = n
+	victims := s.enforceBoundLocked(Key{})
+	s.mu.Unlock()
+	s.removeFiles(victims)
+}
+
+// EvictedCount returns how many records the size bound has displaced.
+func (s *Store) EvictedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// enforceBoundLocked evicts least-recently-used keys until the record bound
+// holds, sparing protect (the key just touched). Returns the evicted keys;
+// the caller removes their files outside the lock.
+func (s *Store) enforceBoundLocked(protect Key) []Key {
+	if s.maxRecords <= 0 || s.nRecords <= s.maxRecords {
+		return nil
+	}
+	type cand struct {
+		key Key
+		use uint64
+	}
+	cands := make([]cand, 0, len(s.recs))
+	for k := range s.recs {
+		if k != protect {
+			cands = append(cands, cand{k, s.lastUse[k]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].use < cands[j].use })
+	var out []Key
+	for _, c := range cands {
+		if s.nRecords <= s.maxRecords {
+			break
+		}
+		n := len(s.recs[c.key])
+		delete(s.recs, c.key)
+		delete(s.dirty, c.key)
+		delete(s.lastUse, c.key)
+		s.nRecords -= n
+		s.evicted += n
+		out = append(out, c.key)
+	}
+	return out
+}
+
+func (s *Store) removeFiles(keys []Key) {
+	for _, k := range keys {
+		_ = os.Remove(filepath.Join(s.dir, k.String()+".kric"))
+	}
+}
+
+func (s *Store) touchLocked(key Key) {
+	s.useClock++
+	s.lastUse[key] = s.useClock
+}
+
 func (s *Store) lookup(key Key, depth int, args []uint64) *Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range s.recs[key] {
 		if r.EntryDepth == depth && argsEqual(r.ArgBits, args) {
+			s.touchLocked(key)
 			return r
 		}
 	}
@@ -215,19 +307,24 @@ func (s *Store) canInsert(key Key, depth int, args []uint64) bool {
 
 func (s *Store) insert(key Key, rec *Record) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	lst := s.recs[key]
 	if len(lst) >= maxRecordsPerKey {
+		s.mu.Unlock()
 		return false
 	}
 	for _, r := range lst {
 		if r.EntryDepth == rec.EntryDepth && argsEqual(r.ArgBits, rec.ArgBits) {
+			s.mu.Unlock()
 			return false
 		}
 	}
 	s.recs[key] = append(lst, rec)
 	s.dirty[key] = true
 	s.nRecords++
+	s.touchLocked(key)
+	victims := s.enforceBoundLocked(key)
+	s.mu.Unlock()
+	s.removeFiles(victims)
 	return true
 }
 
@@ -317,9 +414,33 @@ type Session struct {
 	stats     Stats
 	disabled  bool
 
+	// Scoped sessions (SessionScoped) mix every content key with a salt
+	// derived from the scope name, isolating keyspaces per tenant. Mixing
+	// by XOR is sound: crafting a key that collides across scopes requires
+	// a preimage of the truncated SHA-256 content hash.
+	scoped     bool
+	salt       Key
+	scopedKeys map[*funcFact]Key
+
 	idScratch   []int32
 	charScratch []int32
 	runScratch  []profile.Child
+}
+
+// keyFor returns fact's content key in this session's keyspace.
+func (s *Session) keyFor(fact *funcFact) Key {
+	if !s.scoped {
+		return fact.key
+	}
+	if k, ok := s.scopedKeys[fact]; ok {
+		return k
+	}
+	k := fact.key
+	for i := range k {
+		k[i] ^= s.salt[i]
+	}
+	s.scopedKeys[fact] = k
+	return k
 }
 
 // Recording tracks one in-flight extent recording.
@@ -361,6 +482,7 @@ func (s *Session) Stats() Stats {
 	s.store.mu.Lock()
 	st.StoreRecords = s.store.nRecords
 	st.Corrupt = s.store.corrupt
+	st.Evicted = s.store.evicted
 	s.store.mu.Unlock()
 	return st
 }
@@ -403,7 +525,7 @@ func (s *Session) TrySkip(f *ir.Func, call *ir.Instr, fs *kremlib.FrameState, ar
 		return Hit{}, false
 	}
 	s.stats.Lookups++
-	rec := s.store.lookup(fact.key, depth, argBits)
+	rec := s.store.lookup(s.keyFor(fact), depth, argBits)
 	if rec == nil {
 		s.stats.Misses++
 		return Hit{}, false
@@ -499,12 +621,13 @@ func (s *Session) BeginRecord(f *ir.Func, argBits []uint64, steps uint64) *Recor
 	if fact == nil || !fact.sealed {
 		return nil
 	}
-	if !s.store.canInsert(fact.key, depth, argBits) {
+	key := s.keyFor(fact)
+	if !s.store.canInsert(key, depth, argBits) {
 		return nil
 	}
 	r := &Recording{
 		fn:         f,
-		key:        fact.key,
+		key:        key,
 		argBits:    append([]uint64(nil), argBits...),
 		entryDepth: depth,
 		startWork:  s.rt.TotalWork(),

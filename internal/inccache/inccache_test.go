@@ -3,6 +3,7 @@ package inccache_test
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -294,6 +295,145 @@ func TestBudgetFailureReproduces(t *testing.T) {
 	warmMsg, _ := run(st2)
 	if coldMsg == "" || coldMsg != warmMsg {
 		t.Fatalf("budget failure diverges:\ncold: %s\nwarm: %s", coldMsg, warmMsg)
+	}
+}
+
+// runScoped profiles srcBase against st under a tenant scope.
+func runScoped(t *testing.T, st *inccache.Store, scope string) ([]byte, inccache.Stats) {
+	t.Helper()
+	p := compile(t, srcBase)
+	var stats inccache.Stats
+	var out bytes.Buffer
+	prof, _, err := p.Profile(&kremlin.RunConfig{Out: &out, Cache: st, CacheScope: scope, CacheStats: &stats})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return profileBytes(t, prof), stats
+}
+
+// TestScopedKeyspaceIsolation pins the tenant-isolation contract: records
+// written under one scope never hit under another scope (or unscoped), yet
+// repeat traffic within a scope hits normally, and every combination stays
+// byte-identical to the uncached run.
+func TestScopedKeyspaceIsolation(t *testing.T) {
+	base, _, _ := coldProfile(t, srcBase, kremlin.EngineVM)
+	st := openStore(t, t.TempDir())
+
+	profA, statsA := runScoped(t, st, "tenant-a")
+	if !bytes.Equal(profA, base) {
+		t.Fatalf("scoped cold profile differs from uncached")
+	}
+	if statsA.Recorded == 0 {
+		t.Fatalf("scoped cold run recorded nothing")
+	}
+
+	// Same scope: warm.
+	profA2, statsA2 := runScoped(t, st, "tenant-a")
+	if !bytes.Equal(profA2, base) {
+		t.Fatalf("scoped warm profile differs from uncached")
+	}
+	if statsA2.Hits == 0 {
+		t.Fatalf("repeat run in the same scope had no hits: %+v", statsA2)
+	}
+
+	// Different scope: tenant-a's records must be invisible.
+	profB, statsB := runScoped(t, st, "tenant-b")
+	if !bytes.Equal(profB, base) {
+		t.Fatalf("cross-scope profile differs from uncached")
+	}
+	if statsB.Hits != 0 {
+		t.Fatalf("tenant-b replayed tenant-a's records: %+v", statsB)
+	}
+	if statsB.Recorded == 0 {
+		t.Fatalf("tenant-b's cold run recorded nothing")
+	}
+
+	// Unscoped sessions live in their own (global) keyspace too.
+	_, _, _, statsGlobal := runProfile(t, srcBase, st, kremlin.EngineVM)
+	if statsGlobal.Hits != 0 {
+		t.Fatalf("unscoped run replayed scoped records: %+v", statsGlobal)
+	}
+
+	// tenant-a is still warm after all the neighbours' traffic.
+	_, statsA3 := runScoped(t, st, "tenant-a")
+	if statsA3.Hits == 0 {
+		t.Fatalf("tenant-a's records lost: %+v", statsA3)
+	}
+}
+
+func kricFiles(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".kric") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRecordBoundEviction pins the size-bound contract: the store never
+// holds more records than the bound (modulo the one key being inserted),
+// evicted keys lose their disk files, the eviction counter reports the
+// displacement, and a shrinking SetMaxRecords evicts retroactively.
+func TestRecordBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	_, _, _, stats := runProfile(t, srcBase, st, kremlin.EngineVM)
+	full := st.Records()
+	if full < 4 {
+		t.Skipf("fixture produced only %d records", full)
+	}
+	filesFull := kricFiles(t, dir)
+
+	// Retroactive shrink: the store must drop to the bound and remove the
+	// evicted keys' files.
+	bound := 2
+	st.SetMaxRecords(bound)
+	if got := st.Records(); got > bound {
+		t.Fatalf("after SetMaxRecords(%d): %d records held", bound, got)
+	}
+	if st.EvictedCount() == 0 {
+		t.Fatalf("shrink evicted nothing (had %d records)", full)
+	}
+	if got := kricFiles(t, dir); got >= filesFull {
+		t.Fatalf("eviction removed no cache files (%d before, %d after)", filesFull, got)
+	}
+
+	// Inserts against a bounded store stay bounded, and the stats surface
+	// the eviction count.
+	dir2 := t.TempDir()
+	st2 := openStore(t, dir2)
+	st2.SetMaxRecords(1)
+	_, _, _, stats2 := runProfile(t, srcBase, st2, kremlin.EngineVM)
+	if got := st2.Records(); got > 1 {
+		t.Fatalf("bounded store holds %d records, want <= 1", got)
+	}
+	if stats2.Evicted == 0 {
+		t.Fatalf("session stats did not surface evictions: %+v", stats2)
+	}
+	if stats2.Recorded < stats.Recorded {
+		t.Fatalf("bound suppressed recording: %d vs %d", stats2.Recorded, stats.Recorded)
+	}
+
+	// The warm path still works under a generous bound: a bound wider than
+	// the working set must not evict and must still hit.
+	dir3 := t.TempDir()
+	st3 := openStore(t, dir3)
+	st3.SetMaxRecords(full * 2)
+	_, _, _, _ = runProfile(t, srcBase, st3, kremlin.EngineVM)
+	st3b := openStore(t, dir3)
+	st3b.SetMaxRecords(full * 2)
+	_, _, _, warm := runProfile(t, srcBase, st3b, kremlin.EngineVM)
+	if warm.Hits == 0 {
+		t.Fatalf("generous bound broke the warm path: %+v", warm)
+	}
+	if warm.Evicted != 0 {
+		t.Fatalf("generous bound evicted: %+v", warm)
 	}
 }
 

@@ -235,6 +235,14 @@ func (f *Func) NewValueID() int {
 // NumValues returns the number of value IDs allocated so far.
 func (f *Func) NumValues() int { return f.nextID }
 
+// SetIDBounds restores the fresh-ID counters after deserialization (the
+// irbundle decoder assembles Funcs field-by-field), so any later NewBlock
+// or NewValueID can never reuse an existing ID.
+func (f *Func) SetIDBounds(numValues, numBlocks int) {
+	f.nextID = numValues
+	f.nextBlk = numBlocks
+}
+
 // Module is a compiled Kr program.
 type Module struct {
 	Name    string

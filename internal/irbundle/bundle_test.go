@@ -1,0 +1,285 @@
+package irbundle
+
+import (
+	"strings"
+	"testing"
+
+	"kremlin/internal/ast"
+	"kremlin/internal/ir"
+	"kremlin/internal/source"
+	"kremlin/internal/types"
+)
+
+// newFunc builds an empty function registered in a fresh single-function
+// module, for hand-assembling hostile IR the compiler would never emit.
+func newFunc(name string, ret ast.BasicKind) (*ir.Func, *ir.Module) {
+	f := &ir.Func{Name: name, Ret: ret}
+	mod := &ir.Module{Name: "t.kr", Funcs: []*ir.Func{f}, ByName: map[string]*ir.Func{name: f}}
+	f.Module = mod
+	return f, mod
+}
+
+func emit(b *ir.Block, ins *ir.Instr) *ir.Instr {
+	ins.Block = b
+	ins.ID = b.Func.NewValueID()
+	ins.BreakArg = -1
+	b.Instrs = append(b.Instrs, ins)
+	return ins
+}
+
+func ret(b *ir.Block) { emit(b, &ir.Instr{Op: ir.OpRet}) }
+
+func jump(b, to *ir.Block) {
+	emit(b, &ir.Instr{Op: ir.OpJump, Targets: []*ir.Block{to}})
+	ir.AddEdge(b, to)
+}
+
+func br(b *ir.Block, cond ir.Value, then, els *ir.Block) {
+	emit(b, &ir.Instr{Op: ir.OpBr, Args: []ir.Value{cond}, Targets: []*ir.Block{then, els}})
+	ir.AddEdge(b, then)
+	ir.AddEdge(b, els)
+}
+
+func file() *source.File { return source.NewFile("t.kr", "void main() {}\n") }
+
+// roundtrip encodes mod and decodes the bytes, returning the decode error.
+func roundtrip(mod *ir.Module) error {
+	_, err := Decode(Encode(file(), mod))
+	return err
+}
+
+func TestDecodeAcceptsMinimalModule(t *testing.T) {
+	f, mod := newFunc("main", ast.Void)
+	ret(f.NewBlock("entry"))
+	dec, err := Decode(Encode(file(), mod))
+	if err != nil {
+		t.Fatalf("minimal module rejected: %v", err)
+	}
+	if dec.Module.Main() == nil || len(dec.Module.Main().Blocks) != 1 {
+		t.Fatalf("decoded module malformed: %s", dec.Module)
+	}
+}
+
+// TestDecodeRestoresIDBounds pins the SetIDBounds contract: IDs handed out
+// after decoding never collide with decoded ones, even when the encoded
+// numbering had gaps (as after dead-value elimination).
+func TestDecodeRestoresIDBounds(t *testing.T) {
+	f, mod := newFunc("main", ast.Void)
+	b := f.NewBlock("entry")
+	f.NewValueID() // burn an ID: decoded numbering must keep the gap
+	ret(b)
+	dec, err := Decode(Encode(file(), mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := dec.Module.Main()
+	if got, want := df.NumValues(), f.NumValues(); got != want {
+		t.Fatalf("NumValues = %d, want %d", got, want)
+	}
+	seen := map[int]bool{}
+	for _, blk := range df.Blocks {
+		for _, ins := range blk.Instrs {
+			seen[ins.ID] = true
+		}
+	}
+	if id := df.NewValueID(); seen[id] {
+		t.Fatalf("fresh ID %d collides with a decoded instruction", id)
+	}
+	if nb := df.NewBlock("x"); nb.ID <= df.Blocks[0].ID {
+		t.Fatalf("fresh block ID %d not beyond decoded blocks", nb.ID)
+	}
+}
+
+// TestValidatorRejections feeds the decoder modules that are structurally
+// encodable but that the compiler could never produce; every one must be
+// rejected with a diagnostic (and none may panic).
+func TestValidatorRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the expected error
+		mod  func() *ir.Module
+	}{
+		{"no-main", "no main function", func() *ir.Module {
+			f, mod := newFunc("notmain", ast.Void)
+			ret(f.NewBlock("entry"))
+			return mod
+		}},
+		{"main-with-params", "parameters", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			p := emit(b, &ir.Instr{Op: ir.OpParam, Typ: types.Scalar(ast.Int)})
+			f.Params = []*ir.Instr{p}
+			ret(b)
+			return mod
+		}},
+		{"no-terminator", "terminator", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpBuiltin, Builtin: "printnl", Typ: types.Scalar(ast.Void)})
+			return mod
+		}},
+		{"terminator-mid-block", "mid-block", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			ret(b)
+			ret(b)
+			return mod
+		}},
+		{"phi-after-non-phi", "phi after non-phi", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			loop := f.NewBlock("loop")
+			jump(entry, loop)
+			c := emit(loop, &ir.Instr{Op: ir.OpNot, Typ: types.Scalar(ast.Bool), Args: []ir.Value{&ir.ConstBool{}}})
+			emit(loop, &ir.Instr{Op: ir.OpPhi, Typ: types.Scalar(ast.Bool), Args: []ir.Value{&ir.ConstBool{}, c}})
+			jump(loop, loop)
+			return mod
+		}},
+		{"pred-without-edge", "without a matching edge", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			other := f.NewBlock("other")
+			jump(entry, other)
+			ret(other)
+			other.Preds = append(other.Preds, other) // claims a self-edge that no branch makes
+			return mod
+		}},
+		{"unreachable-block", "unreachable", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			ret(f.NewBlock("entry"))
+			ret(f.NewBlock("island"))
+			return mod
+		}},
+		{"irreducible-cfg", "irreducible", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			a := f.NewBlock("a")
+			b := f.NewBlock("b")
+			br(entry, &ir.ConstBool{V: true}, a, b)
+			jump(a, b)
+			jump(b, a) // two-headed loop: neither head dominates the other
+			return mod
+		}},
+		{"type-confused-add", "operand", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpBin, Bin: ir.BinAdd, Typ: types.Scalar(ast.Int),
+				Args: []ir.Value{&ir.ConstInt{V: 1}, &ir.ConstFloat{V: 2}}})
+			ret(b)
+			return mod
+		}},
+		{"load-from-scalar", "non-cell", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpLoad, Typ: types.Scalar(ast.Int), Args: []ir.Value{&ir.ConstInt{V: 7}}})
+			ret(b)
+			return mod
+		}},
+		{"view-of-scalar", "non-array", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpView, Typ: types.Scalar(ast.Int),
+				Args: []ir.Value{&ir.ConstInt{V: 0}, &ir.ConstInt{V: 0}}})
+			ret(b)
+			return mod
+		}},
+		{"use-not-dominated", "dominate", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			l := f.NewBlock("l")
+			r := f.NewBlock("r")
+			m := f.NewBlock("m")
+			br(entry, &ir.ConstBool{V: true}, l, r)
+			x := emit(l, &ir.Instr{Op: ir.OpNeg, Typ: types.Scalar(ast.Int), Args: []ir.Value{&ir.ConstInt{V: 1}}})
+			jump(l, m)
+			jump(r, m)
+			emit(m, &ir.Instr{Op: ir.OpNeg, Typ: types.Scalar(ast.Int), Args: []ir.Value{x}})
+			ret(m)
+			return mod
+		}},
+		{"phi-pred-mismatch", "phi operands", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			next := f.NewBlock("next")
+			jump(entry, next)
+			phi := &ir.Instr{Op: ir.OpPhi, Typ: types.Scalar(ast.Int),
+				Args: []ir.Value{&ir.ConstInt{}, &ir.ConstInt{}}}
+			phi.Block = next
+			phi.ID = f.NewValueID()
+			phi.BreakArg = -1
+			next.Instrs = append(next.Instrs, phi)
+			ret(next)
+			return mod
+		}},
+		{"stray-param", "stray OpParam", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpParam, Typ: types.Scalar(ast.Int), Slot: 3})
+			ret(b)
+			return mod
+		}},
+		{"unknown-builtin", "unknown builtin", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpBuiltin, Builtin: "system", Typ: types.Scalar(ast.Int)})
+			ret(b)
+			return mod
+		}},
+		{"br-on-int", "operand 0", func() *ir.Module {
+			f, mod := newFunc("main", ast.Void)
+			entry := f.NewBlock("entry")
+			out := f.NewBlock("out")
+			emit(entry, &ir.Instr{Op: ir.OpBr, Args: []ir.Value{&ir.ConstInt{V: 1}},
+				Targets: []*ir.Block{out, out}})
+			ir.AddEdge(entry, out)
+			ir.AddEdge(entry, out)
+			ret(out)
+			return mod
+		}},
+		{"ret-kind-mismatch", "operand 0", func() *ir.Module {
+			f, mod := newFunc("main", ast.Int)
+			b := f.NewBlock("entry")
+			emit(b, &ir.Instr{Op: ir.OpRet, Args: []ir.Value{&ir.ConstFloat{V: 1}}})
+			return mod
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := roundtrip(tc.mod())
+			if err == nil {
+				t.Fatalf("hostile module accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeNeverPanics drives the decoder over systematically damaged
+// bundles — truncations at every length and bit flips at every offset —
+// asserting it always returns (possibly an error) instead of panicking.
+func TestDecodeNeverPanics(t *testing.T) {
+	f, mod := newFunc("main", ast.Void)
+	b := f.NewBlock("entry")
+	g := &ir.Global{Name: "g", Elem: ast.Int, Dims: []int64{4}, Index: 0}
+	mod.Globals = []*ir.Global{g}
+	gi := emit(b, &ir.Instr{Op: ir.OpGlobal, Global: g, Typ: types.Type{Elem: ast.Int, Dims: 1}})
+	v := emit(b, &ir.Instr{Op: ir.OpView, Typ: types.Scalar(ast.Int), Args: []ir.Value{gi, &ir.ConstInt{V: 1}}})
+	emit(b, &ir.Instr{Op: ir.OpStore, Args: []ir.Value{v, &ir.ConstInt{V: 9}}})
+	ret(b)
+	data := Encode(file(), mod)
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("baseline bundle rejected: %v", err)
+	}
+	for n := 0; n <= len(data); n++ {
+		_, _ = Decode(data[:n])
+	}
+	for off := range data {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= bit
+			_, _ = Decode(mut)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package ircache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func k(s string) Key { return SourceKey(s+".kr", s) }
+
+func TestKeyDomainsAndContent(t *testing.T) {
+	if SourceKey("a.kr", "body") == BundleKey([]byte("body")) {
+		t.Fatal("source and bundle keys alias for identical bytes")
+	}
+	if SourceKey("a.kr", "body") == SourceKey("b.kr", "body") {
+		t.Fatal("program name does not participate in the source key")
+	}
+	if SourceKey("a.kr", "xy") == SourceKey("a.krx", "y") {
+		t.Fatal("length framing missing: shifted boundaries collide")
+	}
+}
+
+func TestLoadHitMissAndStats(t *testing.T) {
+	c := New(8, 0)
+	builds := 0
+	build := func() (interface{}, int64, error) { builds++; return "v", 10, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Load(k("p"), build)
+		if err != nil || v != "v" {
+			t.Fatalf("Load = %v, %v", v, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(8, 0)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Load(k("bad"), func() (interface{}, int64, error) { calls++; return nil, 0, boom })
+		if err != boom {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed build cached (ran %d times, want 2)", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrderAndRefresh(t *testing.T) {
+	c := New(2, 0)
+	load := func(name string) {
+		if _, err := c.Load(k(name), func() (interface{}, int64, error) { return name, 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load("a")
+	load("b")
+	load("a") // refresh: a becomes most recent
+	load("c") // evicts b, not a
+	st := c.Stats()
+	if st.Entries != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	hitsBefore := c.Stats().Hits
+	load("a")
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatal("refreshed entry was evicted as if it were oldest")
+	}
+	load("b") // must rebuild: b was the eviction victim
+	if c.Stats().Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (a, b, c, b-again)", c.Stats().Misses)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	c := New(0, 100)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("p%d", i)
+		if _, err := c.Load(k(name), func() (interface{}, int64, error) { return name, 40, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("holding %d bytes over the 100-byte bound", st.Bytes)
+	}
+	if st.Entries == 0 {
+		t.Fatal("byte bound evicted everything")
+	}
+
+	// A single entry over the bound still caches (the bound degrades to
+	// one-entry residency rather than thrashing).
+	big := New(0, 10)
+	if _, err := big.Load(k("huge"), func() (interface{}, int64, error) { return "huge", 1000, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := big.Stats(); st.Entries != 1 {
+		t.Fatalf("oversized entry not held: %+v", st)
+	}
+}
+
+// TestSingleFlight pins the stampede contract: N concurrent Loads of one
+// absent key run the builder exactly once, everyone gets its value, and
+// the joiners count as hits.
+func TestSingleFlight(t *testing.T) {
+	c := New(8, 0)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]interface{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[i], errs[i] = c.Load(k("shared"), func() (interface{}, int64, error) {
+				builds.Add(1)
+				<-gate // hold the build open so every goroutine joins it
+				return "built", 5, nil
+			})
+		}()
+	}
+	for c.Stats().Misses == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds.Load())
+	}
+	for i := range vals {
+		if errs[i] != nil || vals[i] != "built" {
+			t.Fatalf("waiter %d got %v, %v", i, vals[i], errs[i])
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, n-1)
+	}
+}
+
+// TestPanickingBuildReleasesWaiters: a builder panic must not leave
+// joiners blocked forever, and the key must stay buildable afterwards.
+func TestPanickingBuildReleasesWaiters(t *testing.T) {
+	c := New(8, 0)
+	started := make(chan struct{})
+	joined := make(chan error, 1)
+	go func() {
+		defer func() { recover() }()
+		_, _ = c.Load(k("p"), func() (interface{}, int64, error) {
+			close(started)
+			// Give the joiner a chance to attach before panicking.
+			for c.Stats().Hits == 0 {
+			}
+			panic("compile exploded")
+		})
+	}()
+	<-started
+	go func() {
+		_, err := c.Load(k("p"), func() (interface{}, int64, error) { return "fresh", 1, nil })
+		joined <- err
+	}()
+	if err := <-joined; err == nil {
+		t.Fatal("joiner of a panicked build reported success")
+	}
+	// The key is not poisoned: a later Load builds normally.
+	v, err := c.Load(k("p"), func() (interface{}, int64, error) { return "fresh", 1, nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("post-panic Load = %v, %v", v, err)
+	}
+}

@@ -9,12 +9,18 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
+
+	"kremlin"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST /profile?name=prog.kr&personality=openmp&shards=K
 //	    Body: Kr source. Response: NDJSON event stream (see Event).
+//	POST /v1/jobs?name=prog.kr&personality=openmp&shards=K
+//	    Body: Kr source, or a precompiled KRIB1 IR bundle when
+//	    Content-Type is application/x-kremlin-ir. Same response stream.
 //	GET /healthz
 //	    200 "ok" while accepting work, 503 "draining" during drain.
 //	GET /statz
@@ -22,10 +28,14 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /profile", s.handleProfile)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
 }
+
+// bundleContentType marks a request body as a precompiled KRIB1 IR bundle.
+const bundleContentType = "application/x-kremlin-ir"
 
 // statusForKind maps the error taxonomy onto HTTP statuses. Client
 // mistakes are 4xx, daemon faults 5xx, resource walls 413/429/504.
@@ -74,18 +84,43 @@ func tenant(r *http.Request) string {
 	return host
 }
 
+// handleProfile is the original source-only submission endpoint.
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.handleSubmit(w, r, false)
+}
+
+// handleJobs additionally accepts precompiled IR bundles by Content-Type.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.handleSubmit(w, r, true)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, allowBundle bool) {
 	if s.limiter != nil && !s.limiter.Allow(tenant(r), s.cfg.Now()) {
 		s.rateLimited.Add(1)
 		s.reject(w, "rate_limited", "tenant over rate limit")
 		return
 	}
 
-	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.reject(w, "body_too_large",
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 		return
+	}
+	isBundle := false
+	if ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";"); strings.TrimSpace(ct) == bundleContentType {
+		if !allowBundle {
+			s.reject(w, "parse_error", "IR bundles are accepted only at /v1/jobs")
+			return
+		}
+		// The full structural validation happens at compile time; the
+		// magic check just gives obviously-mislabeled bodies a crisp
+		// refusal before they occupy a queue slot.
+		if !kremlin.IsBundle(body) {
+			s.reject(w, "parse_error", "body is not a KRIB1 bundle")
+			return
+		}
+		isBundle = true
 	}
 
 	name := r.URL.Query().Get("name")
@@ -115,13 +150,18 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		seq:         s.seq.Add(1),
 		name:        name,
-		src:         string(src),
+		tenant:      tenant(r),
 		personality: pers,
 		shards:      shards,
 		ctx:         ctx,
 		cancel:      cancel,
 		events:      make(chan Event, 16),
 		start:       s.cfg.Now(),
+	}
+	if isBundle {
+		j.bundle = body
+	} else {
+		j.src = string(body)
 	}
 	if err := s.submit(j); err != nil {
 		if errors.Is(err, errDraining) {

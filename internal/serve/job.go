@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"kremlin"
+	"kremlin/internal/inccache"
+	"kremlin/internal/ircache"
 	"kremlin/internal/limits"
 	"kremlin/internal/planner"
 	"kremlin/internal/profile"
@@ -78,11 +80,14 @@ type VetLoop struct {
 	Verdict string `json:"verdict"`
 }
 
-// job is one admitted profiling request.
+// job is one admitted profiling request. Exactly one of src and bundle is
+// the payload: src for Kr source, bundle for a precompiled KRIB1 IR bundle.
 type job struct {
 	seq         uint64
 	name        string // program name for diagnostics
-	src         string // Kr source
+	src         string // Kr source ("" for bundle jobs)
+	bundle      []byte // KRIB1 bundle (nil for source jobs)
+	tenant      string // caller identity; scopes the shared inccache keyspace
 	personality string
 	shards      int
 
@@ -90,6 +95,57 @@ type job struct {
 	cancel context.CancelFunc
 	events chan Event // worker → handler; closed by the worker
 	start  time.Time
+}
+
+// payload returns the job's input kind tag and bytes, the pair that
+// content-addresses its result. The kind participates so a source text and
+// a bundle with identical bytes can never alias a cache entry.
+func (j *job) payload() (kind, payload string) {
+	if j.bundle != nil {
+		return "irb", string(j.bundle)
+	}
+	return "src", j.src
+}
+
+// compileJob turns the job's payload into a runnable program, through the
+// compile cache when one is configured. Cached programs are shared across
+// concurrent jobs — safe because a *kremlin.Program is immutable after
+// build (instrumentation is precomputed, bytecode lowering is behind a
+// sync.Once) — and concurrent first submissions compile exactly once.
+func (s *Server) compileJob(j *job) (*kremlin.Program, error) {
+	build := func() (interface{}, int64, error) {
+		var p *kremlin.Program
+		var err error
+		if j.bundle != nil {
+			p, err = kremlin.CompileBundle(j.bundle)
+		} else {
+			p, err = kremlin.Compile(j.name, j.src)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		// Held-bytes estimate: IR + regions + precomputed instrumentation
+		// land within a small constant factor of the input text.
+		return p, int64(len(j.src)+len(j.bundle)) * 16, nil
+	}
+	if s.compCache == nil {
+		v, _, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return v.(*kremlin.Program), nil
+	}
+	var key ircache.Key
+	if j.bundle != nil {
+		key = ircache.BundleKey(j.bundle)
+	} else {
+		key = ircache.SourceKey(j.name, j.src)
+	}
+	v, err := s.compCache.Load(key, build)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*kremlin.Program), nil
 }
 
 // emit delivers e to the handler, or drops it if the handler is gone
@@ -168,7 +224,7 @@ func (s *Server) runJob(j *job) {
 			t := time.AfterFunc(f.Delay, j.cancel)
 			defer t.Stop()
 		case chaos.Oversize:
-			j.src = chaos.OversizeProgram()
+			j.src, j.bundle = chaos.OversizeProgram(), nil
 		case chaos.CorruptCache:
 			poisonCache = true
 		}
@@ -186,7 +242,8 @@ func (s *Server) runJob(j *job) {
 	var cacheKey string
 	var cached []Event
 	if s.jobCache != nil {
-		cacheKey = jobKey(j.src, j.personality, j.shards, s.cfg.Engine)
+		kind, payload := j.payload()
+		cacheKey = jobKey(kind, payload, j.personality, j.shards, s.cfg.Engine)
 		evs, hit, corrupt := s.jobCache.lookup(cacheKey)
 		if corrupt {
 			s.cacheCorrupt.Add(1)
@@ -212,7 +269,7 @@ func (s *Server) runJob(j *job) {
 		j.emit(e)
 	}
 
-	prog, err := kremlin.Compile(j.name, j.src)
+	prog, err := s.compileJob(j)
 	if err != nil {
 		j.emit(s.errorEvent(j, err))
 		return
@@ -226,6 +283,12 @@ func (s *Server) runJob(j *job) {
 		MaxShadowPages: s.cfg.MaxShadowPages,
 		MaxHeapWords:   s.cfg.MaxHeapWords,
 		Engine:         s.cfg.Engine,
+	}
+	var incStats inccache.Stats
+	if s.cfg.IncCache != nil {
+		rc.Cache = s.cfg.IncCache
+		rc.CacheScope = j.tenant
+		rc.CacheStats = &incStats
 	}
 	var (
 		prof        *profile.Profile
@@ -245,6 +308,11 @@ func (s *Server) runJob(j *job) {
 			work, steps = res.Work, res.Steps
 		}
 		prof = p
+	}
+	if s.cfg.IncCache != nil {
+		s.incLookups.Add(incStats.Lookups)
+		s.incHits.Add(incStats.Hits)
+		s.incRecorded.Add(incStats.Recorded)
 	}
 	if out.buf.Len() > 0 {
 		cacheEmit(Event{Type: "output", Data: out.buf.String(), Truncated: out.truncated})

@@ -42,11 +42,13 @@ func newJobCache(max int) *jobCache {
 	return &jobCache{max: max, entries: map[string]*jobCacheEntry{}}
 }
 
-// jobKey addresses a result by everything that can change it.
-func jobKey(src, personality string, shards int, engine kremlin.Engine) string {
+// jobKey addresses a result by everything that can change it, including
+// the payload kind ("src" or "irb") — a source text and an IR bundle with
+// identical bytes are different programs.
+func jobKey(kind, payload, personality string, shards int, engine kremlin.Engine) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d\x00%d\x00%s\x00", engine, shards, personality)
-	h.Write([]byte(src))
+	fmt.Fprintf(h, "%s\x00%d\x00%d\x00%s\x00", kind, engine, shards, personality)
+	h.Write([]byte(payload))
 	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }
 
@@ -57,29 +59,54 @@ func jobChecksum(p []byte) uint64 {
 }
 
 // lookup returns the cached event stream for key. corrupt reports that an
-// entry existed but failed validation; it has already been evicted.
+// entry existed but failed validation; it has been evicted.
+//
+// Only the map read holds the lock: checksumming and decoding a large
+// payload are O(payload) work that would otherwise serialize every
+// concurrent lookup (and store) behind one hot entry. The payload slice is
+// copied out first because corruptEntry mutates it in place under the lock.
 func (c *jobCache) lookup(key string) (evs []Event, ok, corrupt bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, found := c.entries[key]
+	var payload []byte
+	var sum uint64
+	if found {
+		payload = append([]byte(nil), e.payload...)
+		sum = e.sum
+	}
+	c.mu.Unlock()
 	if !found {
 		return nil, false, false
 	}
-	if jobChecksum(e.payload) != e.sum {
-		c.evictLocked(key)
+	if jobChecksum(payload) != sum {
+		c.evictIf(key, e)
 		return nil, false, true
 	}
-	if err := json.Unmarshal(e.payload, &evs); err != nil {
+	if err := json.Unmarshal(payload, &evs); err != nil {
 		// A payload that checksums clean but no longer parses means the
 		// entry was damaged before insert; same remedy.
-		c.evictLocked(key)
+		c.evictIf(key, e)
 		return nil, false, true
 	}
 	return evs, true, false
 }
 
+// evictIf removes key only if it still holds the entry we validated —
+// a concurrent store may have replaced it with a fresh one since we
+// dropped the lock, and that one deserves its own validation.
+func (c *jobCache) evictIf(key string, e *jobCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] == e {
+		c.evictLocked(key)
+	}
+}
+
 // store inserts the event stream under key, evicting the oldest entry
-// when the cache is full. Unencodable streams are silently not cached.
+// when the cache is full. Re-storing an existing key counts as a fresh
+// insertion: its eviction position moves to the back of the FIFO, so a
+// key that keeps being re-produced is not evicted as if it were the
+// oldest resident. Unencodable streams are silently not cached.
 func (c *jobCache) store(key string, evs []Event) {
 	payload, err := json.Marshal(evs)
 	if err != nil {
@@ -87,12 +114,19 @@ func (c *jobCache) store(key string, evs []Event) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.entries[key]; !exists {
+	if _, exists := c.entries[key]; exists {
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	} else {
 		for len(c.entries) >= c.max && len(c.order) > 0 {
 			c.evictLocked(c.order[0])
 		}
-		c.order = append(c.order, key)
 	}
+	c.order = append(c.order, key)
 	c.entries[key] = &jobCacheEntry{payload: payload, sum: jobChecksum(payload)}
 }
 

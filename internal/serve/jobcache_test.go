@@ -2,6 +2,7 @@ package serve
 
 import (
 	"net/http"
+	"sync"
 	"testing"
 
 	"kremlin/internal/serve/chaos"
@@ -137,6 +138,74 @@ func TestJobCacheEviction(t *testing.T) {
 		if _, ok, _ := c.lookup(k); !ok {
 			t.Errorf("entry %q missing", k)
 		}
+	}
+}
+
+// TestJobCacheOverwriteRefreshesEviction pins the re-insertion contract:
+// re-storing an existing key moves it to the back of the FIFO. Before the
+// fix an overwritten key kept its original position, so the cache's most
+// recently produced result could be the very next eviction victim.
+func TestJobCacheOverwriteRefreshesEviction(t *testing.T) {
+	c := newJobCache(2)
+	evs := []Event{{Type: "vet"}}
+	c.store("a", evs)
+	c.store("b", evs)
+	c.store("a", []Event{{Type: "vet", Parallel: 1}}) // refresh: a is now newest
+	c.store("c", evs)                                 // must evict b, the oldest
+	if _, ok, _ := c.lookup("b"); ok {
+		t.Fatal("b survived eviction; the overwritten key kept its stale FIFO slot")
+	}
+	got, ok, _ := c.lookup("a")
+	if !ok {
+		t.Fatal("refreshed entry evicted as if it were oldest")
+	}
+	if len(got) != 1 || got[0].Parallel != 1 {
+		t.Fatalf("refresh did not keep the newest payload: %+v", got)
+	}
+	if _, ok, _ := c.lookup("c"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if len(c.order) != c.len() {
+		t.Fatalf("order list (%d) out of sync with entries (%d)", len(c.order), c.len())
+	}
+}
+
+// TestJobCacheConcurrentAccess hammers one cache from many goroutines —
+// lookups, stores, overwrites, and chaos corruption on overlapping keys —
+// under the race detector. It also pins that payload validation happens
+// outside the cache lock on a defensive copy: concurrent corruptEntry
+// mutating a payload mid-lookup must yield either the clean events or a
+// detected corruption, never a torn decode or a data race.
+func TestJobCacheConcurrentAccess(t *testing.T) {
+	c := newJobCache(4)
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+	evs := []Event{{Type: "profile", Work: 7, KRPF2: "cGF5bG9hZA=="}, {Type: "vet", Parallel: 2}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 4 {
+				case 0, 1:
+					got, ok, _ := c.lookup(k)
+					if ok && (len(got) != 2 || got[0].Work != 7) {
+						t.Errorf("lookup(%s) returned damaged events: %+v", k, got)
+						return
+					}
+				case 2:
+					c.store(k, evs)
+				case 3:
+					c.corruptEntry(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.len() > 4 {
+		t.Fatalf("cache over bound after concurrent traffic: %d entries", c.len())
 	}
 }
 

@@ -45,9 +45,18 @@ func (l *tenantLimiter) Allow(tenant string, now time.Time) bool {
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[tenant] = b
 	} else {
-		b.tokens += now.Sub(b.last).Seconds() * l.rate
-		if b.tokens > l.burst {
-			b.tokens = l.burst
+		// Clamp against clock regression (NTP step, VM migration): a
+		// backwards now must not mint negative tokens — unclamped, one
+		// regressed observation drives the balance arbitrarily negative and
+		// locks the tenant out until the clock climbs all the way back.
+		if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+			b.tokens += elapsed * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+		}
+		if b.tokens < 0 {
+			b.tokens = 0
 		}
 		b.last = now
 	}

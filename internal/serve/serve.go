@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"kremlin"
+	"kremlin/internal/inccache"
+	"kremlin/internal/ircache"
 	"kremlin/internal/serve/chaos"
 )
 
@@ -79,11 +81,28 @@ type Config struct {
 	// Engine selects the per-job execution engine (default: bytecode VM).
 	Engine kremlin.Engine
 	// JobCache > 0 memoizes up to that many successful jobs, keyed by a
-	// content hash of (source, personality, shards, engine). A repeat
+	// content hash of (payload, personality, shards, engine). A repeat
 	// submission is answered from the cache without re-execution; entries
 	// are checksummed and a damaged entry falls back to re-execution.
 	// 0 disables caching.
 	JobCache int
+	// CompileCache > 0 memoizes up to that many compiled programs, keyed
+	// by a content hash of the submitted source or IR bundle. A near-repeat
+	// submission — same program, different personality or shards, or the
+	// whole-job cache missed — skips the entire front end
+	// (lex/parse/typecheck/irbuild/analysis and bytecode compilation) and
+	// re-executes against the shared *kremlin.Program. Concurrent
+	// submissions of the same never-seen program compile once
+	// (single-flight). CompileCacheBytes optionally bounds the held bytes
+	// (0 = unbounded). 0 entries disables the cache.
+	CompileCache      int
+	CompileCacheBytes int64
+	// IncCache, when non-nil, is a shared incremental re-profiling store:
+	// jobs replay cached HCPA extents of unchanged sealed functions instead
+	// of executing them. Each tenant gets an isolated keyspace inside the
+	// shared store (records never replay across tenants), and the store's
+	// record bound is global. Profiles stay byte-identical to uncached runs.
+	IncCache *inccache.Store
 	// Chaos, when non-nil, injects deterministic faults into jobs.
 	Chaos *chaos.Injector
 	// Now overrides the clock (tests); nil means time.Now.
@@ -146,14 +165,31 @@ type Stats struct {
 	CacheMisses  uint64 `json:"cache_misses"`  // cacheable jobs that had to execute
 	CacheCorrupt uint64 `json:"cache_corrupt"` // cache entries failing their checksum
 	CacheEntries int    `json:"cache_entries"` // entries resident right now
+
+	// Compile cache (Config.CompileCache): content hash → compiled program.
+	CompileHits    uint64 `json:"compile_cache_hits"`    // jobs that skipped the front end
+	CompileMisses  uint64 `json:"compile_cache_misses"`  // compiles actually run
+	CompileEvicted uint64 `json:"compile_cache_evicted"` // programs displaced by the bounds
+	CompileEntries int    `json:"compile_cache_entries"` // programs resident right now
+	CompileBytes   int64  `json:"compile_cache_bytes"`   // estimated bytes held
+
+	// Shared incremental re-profiling store (Config.IncCache), summed over
+	// every job serviced so far.
+	IncLookups  uint64 `json:"inccache_lookups"`
+	IncHits     uint64 `json:"inccache_hits"`     // call extents replayed instead of executed
+	IncRecorded uint64 `json:"inccache_recorded"` // fresh extents captured
+	IncRecords  int    `json:"inccache_records"`  // records resident in the store
+	IncEvicted  int    `json:"inccache_evicted"`  // records displaced by the store bound
+	IncCorrupt  int    `json:"inccache_corrupt"`  // store files rejected and repaired at open
 }
 
 // Server is the daemon. Create with New, mount Handler on an http.Server,
 // stop with Drain.
 type Server struct {
-	cfg      Config
-	limiter  *tenantLimiter
-	jobCache *jobCache // nil when Config.JobCache == 0
+	cfg       Config
+	limiter   *tenantLimiter
+	jobCache  *jobCache      // nil when Config.JobCache == 0
+	compCache *ircache.Cache // nil when Config.CompileCache == 0
 
 	mu       sync.Mutex // guards draining and the close of jobs
 	draining bool
@@ -172,6 +208,10 @@ type Server struct {
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
 	cacheCorrupt atomic.Uint64
+
+	incLookups  atomic.Uint64
+	incHits     atomic.Uint64
+	incRecorded atomic.Uint64
 }
 
 // New starts a daemon: the worker pool is running on return.
@@ -186,6 +226,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.JobCache > 0 {
 		s.jobCache = newJobCache(cfg.JobCache)
+	}
+	if cfg.CompileCache > 0 {
+		s.compCache = ircache.New(cfg.CompileCache, cfg.CompileCacheBytes)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -220,6 +263,22 @@ func (s *Server) Stats() Stats {
 	}
 	if s.jobCache != nil {
 		st.CacheEntries = s.jobCache.len()
+	}
+	if s.compCache != nil {
+		cs := s.compCache.Stats()
+		st.CompileHits = cs.Hits
+		st.CompileMisses = cs.Misses
+		st.CompileEvicted = cs.Evicted
+		st.CompileEntries = cs.Entries
+		st.CompileBytes = cs.Bytes
+	}
+	if s.cfg.IncCache != nil {
+		st.IncLookups = s.incLookups.Load()
+		st.IncHits = s.incHits.Load()
+		st.IncRecorded = s.incRecorded.Load()
+		st.IncRecords = s.cfg.IncCache.Records()
+		st.IncEvicted = s.cfg.IncCache.EvictedCount()
+		st.IncCorrupt = s.cfg.IncCache.CorruptCount()
 	}
 	return st
 }

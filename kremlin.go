@@ -201,6 +201,12 @@ type RunConfig struct {
 	// run is simply uncached) when the configuration is incompatible with
 	// replay: TraceDeps, a non-default depth window, or sharded profiling.
 	Cache *inccache.Store
+	// CacheScope, when non-empty, isolates this run's cache keyspace: records
+	// read and written under one scope are invisible to every other scope of
+	// the same store. The serve daemon sets it to the tenant name so tenants
+	// share one bounded store without being able to replay each other's
+	// records.
+	CacheScope string
 	// CacheStats, when non-nil and a cache session ran, receives the
 	// session's hit/miss counters.
 	CacheStats *inccache.Stats
@@ -281,7 +287,7 @@ func (p *Program) cacheSession(cfg *RunConfig) *inccache.Session {
 	if cfg.MaxDepth != 0 && cfg.MaxDepth != kremlib.DefaultMaxDepth {
 		return nil
 	}
-	return cfg.Cache.Session(p.Regions)
+	return cfg.Cache.SessionScoped(p.Regions, cfg.CacheScope)
 }
 
 // safetyVector flattens the per-region static dependence verdicts into the
