@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/bytecode"
 	"kremlin/internal/depcheck"
 	"kremlin/internal/instrument"
@@ -52,14 +53,16 @@ func CompileBundle(data []byte) (p *Program, err error) {
 	if derr != nil {
 		return nil, bundleError(StageParse, derr)
 	}
+	facts := absint.Analyze(dec.Module)
 	regs := regions.Analyze(dec.Module, dec.File)
-	vet := depcheck.Analyze(regs)
+	vet := depcheck.Analyze(regs, facts)
 	p = &Program{
 		File:    dec.File,
 		Module:  dec.Module,
 		Regions: regs,
 		Instr:   instrument.Build(regs),
 		Vet:     vet,
+		Absint:  facts,
 	}
 	if verr := bytecode.Verify(p.Bytecode()); verr != nil {
 		return nil, bundleError(StageAnalysis, fmt.Errorf("bytecode verification: %w", verr))

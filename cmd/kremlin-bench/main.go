@@ -71,6 +71,7 @@ var (
 	minWarmSpeedup = flag.Float64("min-warm-speedup", 0, "fail the serve experiment unless warm QPS >= this factor over cold at each shared concurrency (0 = no gate)")
 	vmRepeats      = flag.Int("vm-repeats", 3, "best-of-N repeats per engine/mode for the vmspeed experiment")
 	minVMSpeed     = flag.Float64("min-vm-speedup", 0, "fail the vmspeed experiment if the plain geomean VM speedup is below this (0 = no guard)")
+	minAbsint      = flag.Float64("min-absint-speedup", 0, "fail the vmspeed experiment if the geomean speedup of the default build over -absint=off is below this (0 = no guard)")
 	scaleLines     = flag.String("scale-lines", "10000,50000,100000", "comma-separated program sizes (source lines) for the scale experiment")
 	scaleIters     = flag.Int("scale-iters", 60, "loop trip count per generated helper in the scale experiment")
 	minScale       = flag.Float64("min-scale-speedup", 0, "fail the scale experiment if the geomean warm speedup is below this (0 = no guard)")
@@ -426,16 +427,17 @@ func vmspeed() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %10s %10s %9s %10s %10s %9s %6s\n",
-		"bench", "plain-vm", "plain-tree", "speedup", "hcpa-vm", "hcpa-tree", "speedup", "equal")
+	fmt.Printf("%-8s %10s %10s %9s %10s %10s %9s %10s %9s %6s\n",
+		"bench", "plain-vm", "plain-tree", "speedup", "hcpa-vm", "hcpa-tree", "speedup", "checked", "absint", "equal")
 	for _, r := range sum.Rows {
 		eq := r.OutputEqual && r.CountersEqual && r.ProfileEqual && r.PlanEqual
-		fmt.Printf("%-8s %10v %10v %8.2fx %10v %10v %8.2fx %6t\n",
+		fmt.Printf("%-8s %10v %10v %8.2fx %10v %10v %8.2fx %10v %8.2fx %6t\n",
 			r.Name, r.PlainVM.Round(10_000), r.PlainTree.Round(10_000), r.PlainSpeedup,
-			r.HCPAVM.Round(10_000), r.HCPATree.Round(10_000), r.HCPASpeedup, eq)
+			r.HCPAVM.Round(10_000), r.HCPATree.Round(10_000), r.HCPASpeedup,
+			r.PlainChecked.Round(10_000), r.AbsintSpeedup, eq)
 	}
-	fmt.Printf("geomean: plain %.2fx, hcpa %.2fx; engines equivalent on every row: %t\n",
-		sum.PlainGeomean, sum.HCPAGeomean, sum.AllEqual)
+	fmt.Printf("geomean: plain %.2fx, hcpa %.2fx, absint (unchecked vs checked) %.2fx; engines equivalent on every row: %t\n",
+		sum.PlainGeomean, sum.HCPAGeomean, sum.AbsintGeomean, sum.AllEqual)
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {
@@ -451,6 +453,9 @@ func vmspeed() error {
 	}
 	if *minVMSpeed > 0 && sum.PlainGeomean < *minVMSpeed {
 		return fmt.Errorf("plain geomean speedup %.2fx below the %.2fx guard", sum.PlainGeomean, *minVMSpeed)
+	}
+	if *minAbsint > 0 && sum.AbsintGeomean < *minAbsint {
+		return fmt.Errorf("absint geomean speedup %.2fx below the %.2fx guard — the unchecked build lost to its own checked baseline", sum.AbsintGeomean, *minAbsint)
 	}
 	return nil
 }
@@ -475,8 +480,8 @@ func vet() error {
 	for _, r := range rows {
 		fmt.Printf("%-12s %6d %9d %7d %8d\n", r.Name, r.Loops, r.Parallel, r.Serial, r.Unknown)
 	}
-	loops, par, ser, unk := eval.VetTotals(rows)
-	fmt.Printf("%-12s %6d %9d %7d %8d\n", "total", loops, par, ser, unk)
+	sum := eval.Summarize(rows)
+	fmt.Printf("%-12s %6d %9d %7d %8d\n", "total", sum.Loops, sum.Parallel, sum.Serial, sum.Unknown)
 	fmt.Println("\nnon-parallel loops and why:")
 	for _, r := range rows {
 		for _, l := range r.Reports {
@@ -486,8 +491,15 @@ func vet() error {
 			fmt.Printf("  %-44s %-8s %s\n", l.Label, l.Verdict, l.Detail)
 		}
 	}
+	fmt.Printf("\ntracked metric: unknown_verdicts = %d (budget < %d)\n", sum.Unknown, sum.UnknownBudget)
+	if !sum.WithinBudget {
+		return fmt.Errorf("vet: %d unknown verdicts, budget is < %d — the analyzer regressed", sum.Unknown, sum.UnknownBudget)
+	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rows, "", "  ")
+		data, err := json.MarshalIndent(struct {
+			Summary eval.VetSummary `json:"summary"`
+			Rows    []eval.VetRow   `json:"rows"`
+		}{sum, rows}, "", "  ")
 		if err != nil {
 			return err
 		}

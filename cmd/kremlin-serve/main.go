@@ -47,6 +47,7 @@ func main() {
 	incMax := flag.Int("inccache-max", 1<<16, "record bound for the shared inccache (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
 	engine := flag.String("engine", "vm", "per-job execution engine: vm (block-batched bytecode) or tree (reference interpreter)")
+	noLint := flag.Bool("no-lint", false, "disable the lint admission gate (provably-faulting programs execute instead of being rejected)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: kremlin-serve [flags]")
@@ -81,6 +82,7 @@ func main() {
 		JobCache:       *jobCache,
 		CompileCache:   *compileCache,
 		IncCache:       incStore,
+		DisableLint:    *noLint,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

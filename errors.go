@@ -58,6 +58,9 @@ const (
 	// KindLimit is a resource-limit failure: cancellation, deadline,
 	// instruction budget, or memory cap (see the limits package).
 	KindLimit
+	// KindLint is a static-analysis rejection: the program compiles but
+	// provably faults on every terminating run (see LintError).
+	KindLint
 )
 
 func (k ErrorKind) String() string {
@@ -70,6 +73,8 @@ func (k ErrorKind) String() string {
 		return "runtime"
 	case KindLimit:
 		return "limit"
+	case KindLint:
+		return "lint"
 	}
 	return "other"
 }
@@ -86,6 +91,10 @@ func Classify(err error) ErrorKind {
 			return KindParse
 		}
 		return KindAnalysis
+	}
+	var le *LintError
+	if errors.As(err, &le) {
+		return KindLint
 	}
 	if limits.IsLimit(err) {
 		return KindLimit
@@ -113,6 +122,9 @@ const (
 	ExitAnalysis = 4
 	ExitRuntime  = 5
 	ExitLimit    = 6
+	// ExitLint is the `kremlin lint` contract: findings were reported (or,
+	// for the other commands, the program was rejected as provably faulting).
+	ExitLint = 7
 )
 
 // ExitCodeFor maps an error onto the CLI exit-code contract.
@@ -129,6 +141,8 @@ func ExitCodeFor(err error) int {
 		return ExitRuntime
 	case KindLimit:
 		return ExitLimit
+	case KindLint:
+		return ExitLint
 	}
 	return ExitOther
 }

@@ -1,0 +1,108 @@
+package kremlin_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kremlin"
+	"kremlin/internal/bench"
+)
+
+// lintPrograms is the lint snapshot corpus: every golden example program
+// (all expected clean — lint must stay silent on working code) plus a
+// small set of deliberately faulting programs that pin the rendered
+// diagnostic format, positions, and severities.
+func lintPrograms(t *testing.T) map[string]string {
+	t.Helper()
+	progs := goldenPrograms(t)
+	for _, b := range bench.All() {
+		progs["bench-"+b.Name] = b.Source
+	}
+	progs["fault-oob-after-loop"] = `
+int a[10];
+int main() {
+	for (int i = 0; i < 10; i++) {
+		a[i] = i;
+	}
+	return a[10];
+}
+`
+	progs["fault-div-zero"] = `
+int main() {
+	int n = 4;
+	int z = n - 4;
+	return n / z;
+}
+`
+	progs["warn-branch-dependent"] = `
+int a[8];
+int main() {
+	int k = 0;
+	if (a[0] > 0) {
+		k = a[12];
+	}
+	return k;
+}
+`
+	return progs
+}
+
+// renderLint serializes lint findings the way the CLI prints them, with a
+// stable "clean" sentinel so empty snapshots are visibly intentional.
+func renderLint(findings []kremlin.LintFinding) string {
+	if len(findings) == 0 {
+		return "clean\n"
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestGoldenLint snapshots kremlin lint output over the example corpus and
+// the bench suite. Working programs must snapshot as "clean"; the fault
+// corpus pins diagnostic text and source positions. Refresh intentionally
+// with
+//
+//	go test -run TestGoldenLint -update .
+func TestGoldenLint(t *testing.T) {
+	for name, src := range lintPrograms(t) {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			prog, err := kremlin.Compile(name+".kr", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderLint(prog.Lint())
+			if !strings.HasPrefix(name, "fault-") && strings.Contains(got, ": error:") {
+				t.Errorf("lint claims working program %s provably faults:\n%s", name, got)
+			}
+			if strings.HasPrefix(name, "fault-") && got == "clean\n" {
+				t.Errorf("lint missed the definite fault in %s", name)
+			}
+
+			path := filepath.Join("testdata", "golden", "lint", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden lint snapshot (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("lint output diverged from %s\n--- got ---\n%s--- want ---\n%s\n(rerun with -update if the change is intentional)",
+					path, got, want)
+			}
+		})
+	}
+}

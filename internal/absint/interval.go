@@ -1,0 +1,503 @@
+// Interval and congruence lattice with saturating int64 arithmetic.
+//
+// An abstract value is the product of an interval [Lo, Hi] and a
+// congruence x ≡ R (mod M). Bounds saturate at math.MinInt64/MaxInt64,
+// which double as -∞/+∞; an empty interval (Lo > Hi) is ⊥. The runtime's
+// integer arithmetic wraps silently, so whenever interval arithmetic
+// saturates (a real overflow is possible) the congruence component is
+// kept only when its modulus divides 2^64 — i.e. is a power of two —
+// because those residues survive two's-complement wraparound.
+package absint
+
+import "math"
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+// Interval is an inclusive integer range. Lo > Hi encodes ⊥ (no value).
+type Interval struct{ Lo, Hi int64 }
+
+// Top is the full int64 range.
+func Top() Interval { return Interval{negInf, posInf} }
+
+// Bottom is the empty range.
+func Bottom() Interval { return Interval{1, 0} }
+
+// Empty reports whether the interval contains no values.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Const reports whether the interval pins exactly one value.
+func (iv Interval) Const() (int64, bool) {
+	if iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return !iv.Empty() && iv.Lo <= v && v <= iv.Hi }
+
+func (iv Interval) join(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{min64(iv.Lo, o.Lo), max64(iv.Hi, o.Hi)}
+}
+
+func (iv Interval) meet(o Interval) Interval {
+	return Interval{max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)}
+}
+
+// widen jumps unstable bounds to ±∞ so loops converge in one step.
+func (iv Interval) widen(next Interval) Interval {
+	if iv.Empty() {
+		return next
+	}
+	if next.Empty() {
+		return iv
+	}
+	out := iv
+	if next.Lo < iv.Lo {
+		out.Lo = negInf
+	}
+	if next.Hi > iv.Hi {
+		out.Hi = posInf
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addSat adds with saturation; ovf reports that the exact sum was
+// unrepresentable (a wraparound is possible at runtime).
+func addSat(a, b int64) (v int64, ovf bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return posInf, true
+		}
+		return negInf, true
+	}
+	return s, false
+}
+
+func subSat(a, b int64) (int64, bool) {
+	if b == negInf {
+		// -MinInt64 is unrepresentable: a - MinInt64 ≥ a + MaxInt64.
+		if a >= 0 {
+			return posInf, true
+		}
+		return addSat(a+1, posInf)
+	}
+	return addSat(a, -b)
+}
+
+func mulSat(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a || (a == negInf && b == -1) || (b == negInf && a == -1) {
+		if (a > 0) == (b > 0) {
+			return posInf, true
+		}
+		return negInf, true
+	}
+	return p, false
+}
+
+// Val is the abstract value: interval × congruence. The congruence is
+// canonical: M == 1 means no residue information (R == 0); M == 0 means
+// the value is exactly R; M ≥ 2 means x ≡ R (mod M) with 0 ≤ R < M.
+// ⊥ is represented by an empty interval.
+type Val struct {
+	I    Interval
+	M, R int64
+}
+
+// TopVal carries no information.
+func TopVal() Val { return Val{I: Top(), M: 1} }
+
+// BotVal is the unreachable value.
+func BotVal() Val { return Val{I: Bottom(), M: 1} }
+
+// ConstVal is the exact abstract value of a constant.
+func ConstVal(v int64) Val { return Val{I: Interval{v, v}, M: 0, R: v} }
+
+// Bot reports whether the value is unreachable.
+func (v Val) Bot() bool { return v.I.Empty() }
+
+// IsConst reports the exact value when the abstraction pins one.
+func (v Val) IsConst() (int64, bool) {
+	if c, ok := v.I.Const(); ok {
+		return c, true
+	}
+	if v.M == 0 {
+		return v.R, true
+	}
+	return 0, false
+}
+
+// NonZero reports whether 0 is provably excluded.
+func (v Val) NonZero() bool {
+	if v.Bot() {
+		return false
+	}
+	if !v.I.Contains(0) {
+		return true
+	}
+	return v.M >= 2 && v.R != 0
+}
+
+// norm re-canonicalizes after arithmetic: a singleton interval becomes an
+// exact congruence, residues are reduced into [0, M).
+func (v Val) norm() Val {
+	if v.I.Empty() {
+		return BotVal()
+	}
+	if c, ok := v.I.Const(); ok {
+		return Val{I: v.I, M: 0, R: c}
+	}
+	switch {
+	case v.M < 0:
+		v.M = -v.M
+	}
+	if v.M == 0 {
+		// Exact congruence but a non-singleton interval: tighten the
+		// interval to the one feasible point if it is in range, else ⊥.
+		if v.I.Contains(v.R) {
+			return Val{I: Interval{v.R, v.R}, M: 0, R: v.R}
+		}
+		return BotVal()
+	}
+	if v.M == 1 || v.M >= maxMod {
+		v.M, v.R = 1, 0
+		return v
+	}
+	v.R %= v.M
+	if v.R < 0 {
+		v.R += v.M
+	}
+	// A congruence can shrink a wide interval's endpoints to the nearest
+	// members; enough to notice singletons and emptiness.
+	if span := v.I.Hi - v.I.Lo; span >= 0 && span < v.M && v.I.Lo > negInf && v.I.Hi < posInf {
+		lo := v.I.Lo
+		rem := ((lo % v.M) + v.M) % v.M
+		delta := v.R - rem
+		if delta < 0 {
+			delta += v.M
+		}
+		first, ovf := addSat(lo, delta)
+		if ovf {
+			return v
+		}
+		if first > v.I.Hi {
+			return BotVal()
+		}
+		return Val{I: Interval{first, first}, M: 0, R: first}
+	}
+	return v
+}
+
+// maxMod bounds tracked moduli and residues so congruence arithmetic can
+// never itself overflow int64 (maxMod² < 2^63).
+const maxMod = 1 << 31
+
+func congJoin(m1, r1, m2, r2 int64) (int64, int64) {
+	if m1 == 1 || m2 == 1 {
+		return 1, 0
+	}
+	if m1 == 0 && m2 == 0 && r1 == r2 {
+		return 0, r1 // both exact and equal
+	}
+	d, ovf := subSat(r1, r2)
+	if ovf {
+		return 1, 0
+	}
+	if d < 0 {
+		d = -d
+	}
+	g := gcd64(gcd64(m1, m2), d)
+	if g <= 1 || g >= maxMod {
+		return 1, 0
+	}
+	return g, ((r1 % g) + g) % g
+}
+
+// Join is the lattice join (least upper bound).
+func (v Val) Join(o Val) Val {
+	if v.Bot() {
+		return o
+	}
+	if o.Bot() {
+		return v
+	}
+	m, r := congJoin(v.M, v.R, o.M, o.R)
+	return Val{I: v.I.join(o.I), M: m, R: r}.norm()
+}
+
+// Meet intersects the two abstractions (used by branch refinement).
+func (v Val) Meet(o Val) Val {
+	if v.Bot() || o.Bot() {
+		return BotVal()
+	}
+	out := Val{I: v.I.meet(o.I)}
+	switch {
+	case v.M == 0 && o.M == 0:
+		if v.R != o.R {
+			return BotVal()
+		}
+		out.M, out.R = 0, v.R
+	case v.M == 0:
+		if o.M >= 2 {
+			if d, ovf := subSat(v.R, o.R); !ovf && ((d%o.M)+o.M)%o.M != 0 {
+				return BotVal()
+			}
+		}
+		out.M, out.R = 0, v.R
+	case o.M == 0:
+		return o.Meet(v)
+	case v.M == 1:
+		out.M, out.R = o.M, o.R
+	case o.M == 1:
+		out.M, out.R = v.M, v.R
+	default:
+		// Keep the stronger modulus when one divides the other and the
+		// residues are consistent; otherwise keep v's (still sound).
+		if o.M%v.M == 0 {
+			v, o = o, v
+		}
+		out.M, out.R = v.M, v.R
+	}
+	return out.norm()
+}
+
+// widen joins and pushes unstable interval bounds to ±∞.
+func (v Val) widen(next Val) Val {
+	if v.Bot() {
+		return next
+	}
+	if next.Bot() {
+		return v
+	}
+	m, r := congJoin(v.M, v.R, next.M, next.R)
+	return Val{I: v.I.widen(next.I), M: m, R: r}.norm()
+}
+
+// sameVal reports lattice equality (for fixpoint detection).
+func sameVal(a, b Val) bool {
+	if a.Bot() && b.Bot() {
+		return true
+	}
+	return a.I == b.I && a.M == b.M && a.R == b.R
+}
+
+// overflowed weakens a result whose exact math did not fit in int64: the
+// runtime wraps, so the interval collapses to ⊤ and the congruence
+// survives only for power-of-two moduli (residues mod 2^k are preserved
+// by two's-complement wraparound).
+func overflowed(v Val, ovf bool) Val {
+	if !ovf {
+		return v
+	}
+	m, r := v.M, v.R
+	if m == 0 { // "exact" is a lie after a wrap
+		m, r = 1, 0
+	}
+	if m >= 2 && m&(m-1) != 0 {
+		m, r = 1, 0
+	}
+	return Val{I: Top(), M: m, R: r}.norm()
+}
+
+// Add returns the abstract sum.
+func (v Val) Add(o Val) Val {
+	if v.Bot() || o.Bot() {
+		return BotVal()
+	}
+	lo, o1 := addSat(v.I.Lo, o.I.Lo)
+	hi, o2 := addSat(v.I.Hi, o.I.Hi)
+	m := gcd64(v.M, o.M)
+	if v.M == 0 && o.M == 0 {
+		m = 0
+	}
+	r, o3 := addSat(v.R, o.R)
+	if o3 {
+		m, r = 1, 0
+	}
+	out := Val{I: Interval{lo, hi}, M: m, R: r}
+	return overflowed(out.norm(), o1 || o2)
+}
+
+// Sub returns the abstract difference.
+func (v Val) Sub(o Val) Val { return v.Add(o.Neg()) }
+
+// Neg returns the abstract negation.
+func (v Val) Neg() Val {
+	if v.Bot() {
+		return BotVal()
+	}
+	lo, o1 := subSat(0, v.I.Hi)
+	hi, o2 := subSat(0, v.I.Lo)
+	out := Val{I: Interval{lo, hi}, M: v.M, R: -v.R}
+	return overflowed(out.norm(), o1 || o2)
+}
+
+// Mul returns the abstract product.
+func (v Val) Mul(o Val) Val {
+	if v.Bot() || o.Bot() {
+		return BotVal()
+	}
+	var lo, hi int64 = posInf, negInf
+	ovf := false
+	for _, a := range [2]int64{v.I.Lo, v.I.Hi} {
+		for _, b := range [2]int64{o.I.Lo, o.I.Hi} {
+			p, o1 := mulSat(a, b)
+			ovf = ovf || o1
+			lo, hi = min64(lo, p), max64(hi, p)
+		}
+	}
+	// Congruence product: (m1,r1)·(m2,r2) ⊆ (gcd(m1·m2, m1·r2, m2·r1), r1·r2).
+	m1, r1, m2, r2 := v.M, v.R, o.M, o.R
+	var m, r int64
+	switch {
+	case m1 == 0 && m2 == 0:
+		var o3 bool
+		if r, o3 = mulSat(r1, r2); o3 {
+			m, r = 1, 0
+		}
+	case m1 == 1 || m2 == 1:
+		if m1 == 1 {
+			m1, r1, m2, r2 = m2, r2, m1, r1
+		}
+		// x·y with x ≡ r1 (mod m1) and y unknown: multiples survive only
+		// when r1 == 0 (then the product is a multiple of m1).
+		if m1 >= 2 && r1 == 0 {
+			m, r = m1, 0
+		} else {
+			m, r = 1, 0
+		}
+	default:
+		if (m1 == 0 && abs64(r1) >= maxMod) || (m2 == 0 && abs64(r2) >= maxMod) {
+			m, r = 1, 0 // exact factor too large for safe residue math
+		} else {
+			m = gcd64(gcd64(m1*m2, m1*r2), m2*r1)
+			r = r1 * r2
+		}
+	}
+	out := Val{I: Interval{lo, hi}, M: m, R: r}
+	return overflowed(out.norm(), ovf)
+}
+
+// Div returns the abstract quotient (Go truncating division). A divisor
+// range containing zero yields ⊤ (the fault path is reported separately).
+func (v Val) Div(o Val) Val {
+	if v.Bot() || o.Bot() {
+		return BotVal()
+	}
+	if o.I.Contains(0) && !(o.M >= 2 && o.R != 0) {
+		return TopVal()
+	}
+	var lo, hi int64 = posInf, negInf
+	for _, a := range [2]int64{v.I.Lo, v.I.Hi} {
+		for _, b := range [2]int64{o.I.Lo, o.I.Hi} {
+			if b == 0 {
+				// Zero excluded by congruence; use the nearest nonzero bound.
+				if o.I.Lo == 0 {
+					b = 1
+				} else {
+					b = -1
+				}
+			}
+			q := quotSat(a, b)
+			lo, hi = min64(lo, q), max64(hi, q)
+		}
+	}
+	// Truncating division is monotone in the dividend for a fixed divisor
+	// sign but the extreme can sit at divisor = ±1 inside the range; the
+	// corners above cover it only when the divisor range has one sign.
+	if o.I.Lo < 0 && o.I.Hi > 0 {
+		a := max64(abs64(v.I.Lo), abs64(v.I.Hi))
+		lo, hi = min64(lo, -a), max64(hi, a)
+	}
+	return Val{I: Interval{lo, hi}, M: 1}.norm()
+}
+
+func quotSat(a, b int64) int64 {
+	if a == negInf && b == -1 {
+		return posInf
+	}
+	return a / b
+}
+
+// Rem returns the abstract remainder (sign follows the dividend, as in Go).
+func (v Val) Rem(o Val) Val {
+	if v.Bot() || o.Bot() {
+		return BotVal()
+	}
+	if o.I.Contains(0) && !(o.M >= 2 && o.R != 0) {
+		return TopVal()
+	}
+	maxAbs := max64(abs64(o.I.Lo), abs64(o.I.Hi))
+	if maxAbs <= 0 { // abs(MinInt64) saturates negative: give up
+		return TopVal()
+	}
+	bound := maxAbs - 1
+	lo, hi := -bound, bound
+	if v.I.Lo >= 0 {
+		lo = 0
+		hi = min64(hi, v.I.Hi)
+	} else if v.I.Hi <= 0 {
+		hi = 0
+		lo = max64(lo, v.I.Lo)
+	}
+	out := Val{I: Interval{lo, hi}, M: 1}
+	// x % c with a constant c and x ≡ r (mod m), c | m: the residue is
+	// r % c exactly when x ≥ 0 (Kr loops index with non-negative values).
+	if c, ok := o.IsConst(); ok && c >= 2 && v.I.Lo >= 0 {
+		if v.M >= 2 && v.M%c == 0 {
+			out.M, out.R = c, v.R%c
+		}
+	}
+	return out.norm()
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(v int64) int64 {
+	if v == negInf {
+		return posInf // saturate: |MinInt64| is unrepresentable
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -108,6 +108,30 @@ const (
 	opLdIdxNF
 	opStIdxN
 
+	// Unchecked variants. The compiler emits these only when the abstract
+	// interpreter (internal/absint) proved the access can never fault on
+	// any execution reaching it: every view level's index is within its
+	// dimension (which implies the operand has enough rank), or the
+	// divisor is provably nonzero. The VM skips the corresponding checks
+	// entirely. Because fused chains of proven views cannot fault, the
+	// unchecked chain forms are additionally allowed to span views with
+	// differing source positions (checked chains require a shared Pos so
+	// one slot serves every error). emitExact never produces these: the
+	// exact fallback path stays fully checked so faulting programs report
+	// the reference error at the reference position.
+	opViewU    // Dst = A[B] sub-view, no rank/bounds check
+	opLdIdxIU  // Dst = A[B], proven 1-D load, integer/bool element
+	opLdIdxFU  // Dst = A[B], float element
+	opStIdxU   // A[B] = C, proven 1-D store
+	opLdIdx2IU // Dst = A[B][C], proven rank-2 load
+	opLdIdx2FU
+	opStIdx2U // A[B][C] = Dst
+	opLdIdxNIU
+	opLdIdxNFU
+	opStIdxNU
+	opDivIU // Dst = A / B, divisor proven nonzero
+	opRemIU // Dst = A % B, divisor proven nonzero
+
 	// Exact-block ops. Blocks with calls or allocations compile to
 	// unfused 1:1 bytecode replayed by execExact with per-instruction
 	// accounting. opCall's A is the callee's function index; opAlloc's A
@@ -170,6 +194,10 @@ var opNames = [...]string{
 	opLdIdxI: "ldidx.i", opLdIdxF: "ldidx.f", opStIdx: "stidx",
 	opLdIdx2I: "ldidx2.i", opLdIdx2F: "ldidx2.f", opStIdx2: "stidx2",
 	opLdIdxNI: "ldidxn.i", opLdIdxNF: "ldidxn.f", opStIdxN: "stidxn",
+	opViewU: "view.u", opLdIdxIU: "ldidx.i.u", opLdIdxFU: "ldidx.f.u",
+	opStIdxU: "stidx.u", opLdIdx2IU: "ldidx2.i.u", opLdIdx2FU: "ldidx2.f.u",
+	opStIdx2U: "stidx2.u", opLdIdxNIU: "ldidxn.i.u", opLdIdxNFU: "ldidxn.f.u",
+	opStIdxNU: "stidxn.u", opDivIU: "div.i.u", opRemIU: "rem.i.u",
 	opCall: "call", opAlloc: "alloc",
 	opSqrt: "sqrt", opFabs: "fabs", opFloor: "floor", opExp: "exp",
 	opLog: "log", opSin: "sin", opCos: "cos", opPow: "pow",

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/analysis"
 	"kremlin/internal/instrument"
 	"kremlin/internal/interp"
@@ -50,7 +51,7 @@ func compileKr(t testing.TB, src string) *compiled {
 	analysis.Run(mod)
 	regs := regions.Analyze(mod, file)
 	instr := instrument.Build(regs)
-	p := Compile(mod, regs, instr)
+	p := Compile(mod, regs, instr, absint.Analyze(mod))
 	if err := Verify(p); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
@@ -206,29 +207,31 @@ func countOps(p *Program) map[opcode]int {
 // TestSuperinstructions checks that the compiler actually fuses the hot
 // pairs it advertises: compare-feeding-branch and 1-D indexed load/store.
 func TestSuperinstructions(t *testing.T) {
+	// Fused forms count whether or not absint proved the access in
+	// bounds (checked and unchecked variants are the same fusion).
 	c := compileKr(t, testPrograms["arrays"])
 	ops := countOps(c.prog)
 	if ops[opBrCmpI] == 0 {
 		t.Errorf("no fused int compare-branch in loop-heavy program; ops: %v", ops)
 	}
-	if ops[opLdIdxI] == 0 && ops[opLdIdxF] == 0 {
+	if ops[opLdIdxI]+ops[opLdIdxF]+ops[opLdIdxIU]+ops[opLdIdxFU] == 0 {
 		t.Errorf("no fused indexed load; ops: %v", ops)
 	}
-	if ops[opStIdx] == 0 {
+	if ops[opStIdx]+ops[opStIdxU] == 0 {
 		t.Errorf("no fused indexed store; ops: %v", ops)
 	}
 
 	// A 2-D access chain collapses into one dispatch per load/store.
 	m := compileKr(t, testPrograms["matrix"])
 	mops := countOps(m.prog)
-	if mops[opLdIdx2I] == 0 {
+	if mops[opLdIdx2I]+mops[opLdIdx2IU] == 0 {
 		t.Errorf("no fused 2-D indexed load in matrix program; ops: %v", mops)
 	}
-	if mops[opStIdx2] == 0 {
+	if mops[opStIdx2]+mops[opStIdx2U] == 0 {
 		t.Errorf("no fused 2-D indexed store in matrix program; ops: %v", mops)
 	}
-	if mops[opView] != 0 {
-		t.Errorf("matrix program retains %d opView after 2-D fusion; ops: %v", mops[opView], mops)
+	if mops[opView]+mops[opViewU] != 0 {
+		t.Errorf("matrix program retains %d views after 2-D fusion; ops: %v", mops[opView]+mops[opViewU], mops)
 	}
 
 	// A rank-3 chain collapses into the N-ary fused forms.
@@ -243,11 +246,11 @@ void main() {
 	print(c[3][2][1]);
 }`)
 	cops := countOps(cube.prog)
-	if cops[opStIdxN] == 0 || cops[opLdIdxNI] == 0 {
+	if cops[opStIdxN]+cops[opStIdxNU] == 0 || cops[opLdIdxNI]+cops[opLdIdxNIU] == 0 {
 		t.Errorf("rank-3 program did not fuse its full chains; ops: %v", cops)
 	}
-	if cops[opView] != 0 {
-		t.Errorf("rank-3 program retains %d opView after N-ary fusion; ops: %v", cops[opView], cops)
+	if cops[opView]+cops[opViewU] != 0 {
+		t.Errorf("rank-3 program retains %d views after N-ary fusion; ops: %v", cops[opView]+cops[opViewU], cops)
 	}
 
 	// A compound assignment reuses one cell view for both the load and the
@@ -261,8 +264,8 @@ void main() {
 	print(m[7][7]);
 }`)
 	pops := countOps(comp.prog)
-	if pops[opView] == 0 {
-		t.Errorf("compound assignment lost its shared cell opView; ops: %v", pops)
+	if pops[opView]+pops[opViewU] == 0 {
+		t.Errorf("compound assignment lost its shared cell view; ops: %v", pops)
 	}
 }
 
@@ -484,5 +487,117 @@ func TestDeterminism(t *testing.T) {
 	}
 	if o1.String() != o2.String() || r1.Work != r2.Work || r1.Steps != r2.Steps {
 		t.Error("two VM runs diverged")
+	}
+}
+
+// compileKrFacts is compileKr with caller-controlled absint facts, so a
+// test can compare the fact-driven build against a facts-free build of
+// the same module.
+func compileKrFacts(t testing.TB, src string, withFacts bool) *compiled {
+	t.Helper()
+	file := source.NewFile("test.kr", src)
+	errs := &source.ErrorList{}
+	tree := parser.Parse(file, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := types.Check(tree, file, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	mod := irbuild.Build(tree, info, file, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("irbuild: %v", err)
+	}
+	analysis.Run(mod)
+	regs := regions.Analyze(mod, file)
+	instr := instrument.Build(regs)
+	var facts *absint.Facts
+	if withFacts {
+		facts = absint.Analyze(mod)
+	}
+	p := Compile(mod, regs, instr, facts)
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return &compiled{mod: mod, regs: regs, instr: instr, prog: p}
+}
+
+// TestUncheckedEmission pins the bounds-check-elimination contract: a
+// program whose accesses and divisors are all provably safe compiles to
+// unchecked opcodes when absint facts are supplied, and to zero unchecked
+// opcodes when they are withheld (nil facts = compile as if -absint=off).
+// Both builds must pass structural verification, and the unchecked build
+// must not retain any checked indexed forms for the proven accesses.
+func TestUncheckedEmission(t *testing.T) {
+	src := `
+int a[10];
+int m[4][4];
+void main() {
+	for (int i = 0; i < 10; i++) {
+		a[i] = i * 3;
+	}
+	for (int i = 0; i < 4; i++) {
+		for (int j = 0; j < 4; j++) {
+			m[i][j] = a[i + j] / (j + 1);
+		}
+	}
+	print(a[9] + m[3][3]);
+}`
+	unchecked := []opcode{
+		opViewU, opLdIdxIU, opLdIdxFU, opStIdxU,
+		opLdIdx2IU, opLdIdx2FU, opStIdx2U,
+		opLdIdxNIU, opLdIdxNFU, opStIdxNU,
+		opDivIU, opRemIU,
+	}
+	sum := func(ops map[opcode]int, set []opcode) int {
+		n := 0
+		for _, op := range set {
+			n += ops[op]
+		}
+		return n
+	}
+
+	with := countOps(compileKrFacts(t, src, true).prog)
+	without := countOps(compileKrFacts(t, src, false).prog)
+
+	if n := sum(without, unchecked); n != 0 {
+		t.Errorf("facts-free build emitted %d unchecked ops; ops: %v", n, without)
+	}
+	if sum(with, unchecked) == 0 {
+		t.Errorf("fact-driven build emitted no unchecked ops for fully proven program; ops: %v", with)
+	}
+	// Every proven access family should have flipped: the fact-driven
+	// build keeps no checked 1-D/2-D indexed ops and no checked div.
+	for _, pair := range []struct {
+		name    string
+		checked []opcode
+		flipped []opcode
+	}{
+		{"1-D store", []opcode{opStIdx}, []opcode{opStIdxU}},
+		{"1-D load", []opcode{opLdIdxI, opLdIdxF}, []opcode{opLdIdxIU, opLdIdxFU}},
+		{"2-D store", []opcode{opStIdx2}, []opcode{opStIdx2U}},
+		{"division", []opcode{opDivI}, []opcode{opDivIU}},
+	} {
+		if sum(with, pair.checked) != 0 {
+			t.Errorf("%s: fact-driven build retains checked ops; ops: %v", pair.name, with)
+		}
+		if sum(with, pair.flipped) == 0 && sum(without, pair.checked) > 0 {
+			t.Errorf("%s: proven access did not use unchecked form; ops: %v", pair.name, with)
+		}
+	}
+
+	// Both builds execute to the same output.
+	var outA, outB strings.Builder
+	c1 := compileKrFacts(t, src, true)
+	c2 := compileKrFacts(t, src, false)
+	if _, err := Run(c1.prog, c1.config(interp.Plain, &outA)); err != nil {
+		t.Fatalf("fact-driven run: %v", err)
+	}
+	if _, err := Run(c2.prog, c2.config(interp.Plain, &outB)); err != nil {
+		t.Fatalf("facts-free run: %v", err)
+	}
+	if outA.String() != outB.String() {
+		t.Errorf("output diverged:\nwith facts: %q\nwithout:    %q", outA.String(), outB.String())
 	}
 }

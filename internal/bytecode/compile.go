@@ -3,6 +3,7 @@ package bytecode
 import (
 	"math"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/ast"
 	"kremlin/internal/instrument"
 	"kremlin/internal/ir"
@@ -13,15 +14,21 @@ import (
 // Compile lowers a module into flat bytecode. prog and instr are the
 // region analysis and instrumentation tables the module was compiled with
 // (the same ones the tree engine consults at run time); edges, control
-// pushes, and region events are resolved against them once, here.
-func Compile(mod *ir.Module, prog *regions.Program, instr *instrument.Module) *Program {
+// pushes, and region events are resolved against them once, here. facts,
+// when non-nil, supplies the abstract interpreter's proofs: views proven
+// in bounds and divisors proven nonzero compile to unchecked opcode
+// variants and open fusion windows that faultable instructions would
+// otherwise close. A nil facts (-absint=off) compiles fully checked code;
+// profiles, plans, and program output are identical either way — only the
+// dispatch cost of the proven checks differs.
+func Compile(mod *ir.Module, prog *regions.Program, instr *instrument.Module, facts *absint.Facts) *Program {
 	p := &Program{Mod: mod, Prog: prog, ByFunc: make(map[*ir.Func]*FuncCode, len(mod.Funcs))}
 	fidx := make(map[*ir.Func]int32, len(mod.Funcs))
 	for i, f := range mod.Funcs {
 		fidx[f] = int32(i)
 	}
 	for _, f := range mod.Funcs {
-		fc := compileFunc(f, prog, instr, fidx)
+		fc := compileFunc(f, prog, instr, fidx, facts)
 		p.Funcs = append(p.Funcs, fc)
 		p.ByFunc[f] = fc
 	}
@@ -42,12 +49,32 @@ type fnCompiler struct {
 	uses     []int32 // value ID -> static reference count
 	constIdx map[constKey]int32
 	fidx     map[*ir.Func]int32 // function -> Program.Funcs index (opCall)
+	// facts are the absint proofs consulted for unchecked emission; nil
+	// disables elimination. inExact suppresses them while emitExact runs:
+	// the exact fallback path must stay fully checked so faulting programs
+	// report the reference error at the reference position.
+	facts   *absint.Facts
+	inExact bool
 }
 
-func compileFunc(f *ir.Func, prog *regions.Program, instr *instrument.Module, fidx map[*ir.Func]int32) *FuncCode {
+// provenView reports whether the view's index was proven within its
+// dimension on every execution (implies the operand has rank, so both the
+// rank and bounds checks may be skipped).
+func (c *fnCompiler) provenView(ins *ir.Instr) bool {
+	return c.facts != nil && !c.inExact && c.facts.InBounds(ins)
+}
+
+// provenDiv reports whether an integer division/modulo's divisor was
+// proven nonzero on every execution.
+func (c *fnCompiler) provenDiv(ins *ir.Instr) bool {
+	return c.facts != nil && !c.inExact && c.facts.NonZeroDivisor(ins)
+}
+
+func compileFunc(f *ir.Func, prog *regions.Program, instr *instrument.Module, fidx map[*ir.Func]int32, facts *absint.Facts) *FuncCode {
 	c := &fnCompiler{
-		f:    f,
-		fidx: fidx,
+		f:     f,
+		fidx:  fidx,
+		facts: facts,
 		fc: &FuncCode{
 			F:         f,
 			ConstBase: int32(f.NumValues()),
@@ -301,18 +328,22 @@ func (c *fnCompiler) template(body []*ir.Instr) *kremlib.BlockTemplate {
 // write to the output stream (the tree engine would have stopped first).
 // Everything else — register arithmetic, heap reads, even RNG draws — is
 // invisible once a runtime error aborts the run (errors return no result
-// and no partial state).
-func transparent(ins *ir.Instr) bool {
+// and no partial state). Instructions the abstract interpreter proved
+// fault-free — in-bounds views, nonzero divisors — are transparent too:
+// they cannot produce the error that would win.
+func (c *fnCompiler) transparent(ins *ir.Instr) bool {
 	switch ins.Op {
 	case ir.OpBin:
 		// Integer division and modulo fault on zero; all other binary ops
 		// (including float division) are total.
 		if ins.Bin == ir.BinDiv || ins.Bin == ir.BinRem {
-			return ins.Args[0].Type().Elem == ast.Float
+			return ins.Args[0].Type().Elem == ast.Float || c.provenDiv(ins)
 		}
 		return true
 	case ir.OpNeg, ir.OpNot, ir.OpConvert, ir.OpGlobal, ir.OpLoad, ir.OpParam:
 		return true
+	case ir.OpView:
+		return c.provenView(ins)
 	case ir.OpBuiltin:
 		switch ins.Builtin {
 		case "sqrt", "fabs", "floor", "exp", "log", "sin", "cos", "pow",
@@ -323,7 +354,7 @@ func transparent(ins *ir.Instr) bool {
 		// forces the whole block slow-path regardless.
 		return false
 	}
-	// Views fault, stores/terminators/calls close the window.
+	// Unproven views fault, stores/terminators/calls close the window.
 	return false
 }
 
@@ -352,7 +383,7 @@ func (c *fnCompiler) fusion(body []*ir.Instr) (fuse map[*ir.Instr]*ir.Instr, cha
 	// transparent.
 	reaches := func(pi, ci int) bool {
 		for k := pi + 1; k < ci; k++ {
-			if !transparent(body[k]) {
+			if !c.transparent(body[k]) {
 				return false
 			}
 		}
@@ -402,12 +433,20 @@ func (c *fnCompiler) fusion(body []*ir.Instr) (fuse map[*ir.Instr]*ir.Instr, cha
 			// each reachable through a transparent window. Index chains
 			// report every bounds error at the root expression, so all
 			// links share one source position — required, since the fused
-			// op carries a single Pos slot.
+			// op carries a single Pos slot. A chain of views proven in
+			// bounds can never report an error at all, so proven links may
+			// span differing positions (the chain then compiles to an
+			// unchecked opcode; see emitIns).
 			chain := []*ir.Instr{view}
 			cur, curIdx := view, vi
+			allProven := c.provenView(view)
 			for {
 				src, ok := cur.Args[0].(*ir.Instr)
-				if !ok || src.Op != ir.OpView || !single(src) || src.Pos != cur.Pos {
+				if !ok || src.Op != ir.OpView || !single(src) {
+					break
+				}
+				srcProven := c.provenView(src)
+				if src.Pos != cur.Pos && !(allProven && srcProven) {
 					break
 				}
 				si, inB := pos[src]
@@ -416,6 +455,7 @@ func (c *fnCompiler) fusion(body []*ir.Instr) (fuse map[*ir.Instr]*ir.Instr, cha
 				}
 				chain = append(chain, src)
 				cur, curIdx = src, si
+				allProven = allProven && srcProven
 			}
 			// Reverse to outermost-first: index emission order.
 			for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
@@ -476,6 +516,8 @@ func (c *fnCompiler) push(i Ins) {
 // FuncCode.Lat. execExact replays it with the reference engine's exact
 // per-instruction budget/liveness/work accounting in non-HCPA modes.
 func (c *fnCompiler) emitExact(bb *BBlock, body []*ir.Instr) {
+	c.inExact = true
+	defer func() { c.inExact = false }()
 	bb.Start = int32(len(c.fc.Code))
 	for _, ins := range body {
 		switch ins.Op {
@@ -533,8 +575,11 @@ func (c *fnCompiler) emitIns(ins *ir.Instr, fused *ir.Instr, chain []*ir.Instr, 
 			op = pick(isFloat, opMulF, opMulI)
 		case ir.BinDiv:
 			op = pick(isFloat, opDivF, opDivI)
+			if !isFloat && c.provenDiv(ins) {
+				op = opDivIU
+			}
 		case ir.BinRem:
-			op = opRemI
+			op = pick(c.provenDiv(ins), opRemIU, opRemI)
 		case ir.BinAnd:
 			op = opAndI
 		case ir.BinOr:
@@ -553,37 +598,62 @@ func (c *fnCompiler) emitIns(ins *ir.Instr, fused *ir.Instr, chain []*ir.Instr, 
 	case ir.OpGlobal:
 		c.push(Ins{Op: opGlobal, Dst: dst, A: int32(ins.Global.Index)})
 	case ir.OpView:
-		c.push(Ins{Op: opView, Dst: dst, A: c.opnd(ins.Args[0]), B: c.opnd(ins.Args[1]), Pos: pos})
+		c.push(Ins{Op: pick(c.provenView(ins), opViewU, opView),
+			Dst: dst, A: c.opnd(ins.Args[0]), B: c.opnd(ins.Args[1]), Pos: pos})
 	case ir.OpLoad:
 		isF := ins.Typ.Elem == ast.Float
+		// A chain whose every view is proven in bounds compiles to the
+		// unchecked form: no level can fault, so no check and no Pos fidelity
+		// is needed.
+		uc := len(chain) > 0
+		for _, v := range chain {
+			uc = uc && c.provenView(v)
+		}
 		switch len(chain) {
 		case 0:
 			c.push(Ins{Op: pick(isF, opLoadF, opLoadI), Dst: dst, A: c.opnd(ins.Args[0])})
 		case 1:
-			c.push(Ins{Op: pick(isF, opLdIdxF, opLdIdxI), Dst: dst,
+			op := pick(isF, opLdIdxF, opLdIdxI)
+			if uc {
+				op = pick(isF, opLdIdxFU, opLdIdxIU)
+			}
+			c.push(Ins{Op: op, Dst: dst,
 				A: c.opnd(chain[0].Args[0]), B: c.opnd(chain[0].Args[1]), Pos: int32(chain[0].Pos)})
 		case 2:
-			c.push(Ins{Op: pick(isF, opLdIdx2F, opLdIdx2I), Dst: dst,
+			op := pick(isF, opLdIdx2F, opLdIdx2I)
+			if uc {
+				op = pick(isF, opLdIdx2FU, opLdIdx2IU)
+			}
+			c.push(Ins{Op: op, Dst: dst,
 				A: c.opnd(chain[0].Args[0]), B: c.opnd(chain[0].Args[1]),
 				C: c.opnd(chain[1].Args[1]), Pos: int32(chain[0].Pos)})
 		default:
-			c.push(Ins{Op: pick(isF, opLdIdxNF, opLdIdxNI), Dst: dst,
+			op := pick(isF, opLdIdxNF, opLdIdxNI)
+			if uc {
+				op = pick(isF, opLdIdxNFU, opLdIdxNIU)
+			}
+			c.push(Ins{Op: op, Dst: dst,
 				A: c.opnd(chain[0].Args[0]), B: c.idxList(chain), C: int32(len(chain)),
 				Pos: int32(chain[0].Pos)})
 		}
 	case ir.OpStore:
+		uc := len(chain) > 0
+		for _, v := range chain {
+			uc = uc && c.provenView(v)
+		}
 		switch len(chain) {
 		case 0:
 			c.push(Ins{Op: opStore, A: c.opnd(ins.Args[0]), B: c.opnd(ins.Args[1])})
 		case 1:
-			c.push(Ins{Op: opStIdx, A: c.opnd(chain[0].Args[0]), B: c.opnd(chain[0].Args[1]),
+			c.push(Ins{Op: pick(uc, opStIdxU, opStIdx),
+				A: c.opnd(chain[0].Args[0]), B: c.opnd(chain[0].Args[1]),
 				C: c.opnd(ins.Args[1]), Pos: int32(chain[0].Pos)})
 		case 2:
-			c.push(Ins{Op: opStIdx2, Dst: c.opnd(ins.Args[1]),
+			c.push(Ins{Op: pick(uc, opStIdx2U, opStIdx2), Dst: c.opnd(ins.Args[1]),
 				A: c.opnd(chain[0].Args[0]), B: c.opnd(chain[0].Args[1]),
 				C: c.opnd(chain[1].Args[1]), Pos: int32(chain[0].Pos)})
 		default:
-			c.push(Ins{Op: opStIdxN, Dst: c.opnd(ins.Args[1]),
+			c.push(Ins{Op: pick(uc, opStIdxNU, opStIdxN), Dst: c.opnd(ins.Args[1]),
 				A: c.opnd(chain[0].Args[0]), B: c.idxList(chain), C: int32(len(chain)),
 				Pos: int32(chain[0].Pos)})
 		}

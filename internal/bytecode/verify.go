@@ -23,9 +23,11 @@ const (
 func regUse(op opcode) int {
 	switch op {
 	case opAddI, opSubI, opMulI, opDivI, opRemI, opAndI, opOrI,
+		opDivIU, opRemIU,
 		opAddF, opSubF, opMulF, opDivF, opCmpI, opCmpF,
 		opPow, opMinI, opMaxI, opMinF, opMaxF, opDim,
-		opView, opLdIdxI, opLdIdxF, opIncJmpI, opDecJmpI:
+		opView, opViewU, opLdIdxI, opLdIdxF, opLdIdxIU, opLdIdxFU,
+		opIncJmpI, opDecJmpI:
 		return useDst | useA | useB
 	case opNegI, opNegF, opNot, opConvIF, opConvFI,
 		opLoadI, opLoadF,
@@ -35,16 +37,16 @@ func regUse(op opcode) int {
 		return useDst
 	case opStore, opBrCmpI, opBrCmpF:
 		return useA | useB
-	case opStIdx:
+	case opStIdx, opStIdxU:
 		return useA | useB | useC
-	case opLdIdx2I, opLdIdx2F, opIncCmpBrI, opDecCmpBrI:
+	case opLdIdx2I, opLdIdx2F, opLdIdx2IU, opLdIdx2FU, opIncCmpBrI, opDecCmpBrI:
 		return useDst | useA | useB | useC
-	case opStIdx2:
+	case opStIdx2, opStIdx2U:
 		return useDstSrc | useA | useB | useC
 	// The N-ary forms' B/C address FuncCode.IdxRegs, checked separately.
-	case opLdIdxNI, opLdIdxNF:
+	case opLdIdxNI, opLdIdxNF, opLdIdxNIU, opLdIdxNFU:
 		return useDst | useA
-	case opStIdxN:
+	case opStIdxN, opStIdxNU:
 		return useDstSrc | useA
 	case opSrand, opPrintValI, opPrintValF, opPrintValB, opBr, opRetVal:
 		return useA
@@ -135,11 +137,11 @@ func verifyBlock(p *Program, fc *FuncCode, b *BBlock) error {
 	}
 	if b.NeedsSlow && !b.Exact {
 		if b.Start != -1 || b.End != -1 {
-			return fmt.Errorf("non-exact NeedsSlow block carries bytecode [%d,%d)", b.Start, b.End)
+			return fmt.Errorf("func %s: non-exact NeedsSlow block carries bytecode [%d,%d)", fc.F.Name, b.Start, b.End)
 		}
 	} else {
 		if b.Start < 0 || b.End < b.Start || int(b.End) > len(fc.Code) {
-			return fmt.Errorf("code range [%d,%d) out of bounds (%d)", b.Start, b.End, len(fc.Code))
+			return fmt.Errorf("func %s: code range [%d,%d) out of bounds (%d) [%d insns]", fc.F.Name, b.Start, b.End, len(fc.Code), b.End-b.Start)
 		}
 		for pc := b.Start; pc < b.End; pc++ {
 			ins := &fc.Code[pc]
@@ -154,13 +156,18 @@ func verifyBlock(p *Program, fc *FuncCode, b *BBlock) error {
 				case opBrCmpI, opBrCmpF, opIncCmpBrI, opDecCmpBrI, opIncJmpI, opDecJmpI, opLdIdxI, opLdIdxF, opStIdx,
 					opLdIdx2I, opLdIdx2F, opStIdx2, opLdIdxNI, opLdIdxNF, opStIdxN:
 					return fmt.Errorf("pc %d: fused opcode %v in exact block", pc, ins.Op)
+				case opViewU, opLdIdxIU, opLdIdxFU, opStIdxU, opLdIdx2IU, opLdIdx2FU,
+					opStIdx2U, opLdIdxNIU, opLdIdxNFU, opStIdxNU, opDivIU, opRemIU:
+					// The exact path is the checked fallback: an unchecked
+					// opcode here could silently skip a reference error.
+					return fmt.Errorf("pc %d: unchecked opcode %v in exact block", pc, ins.Op)
 				}
 			} else if ins.Op == opCall || ins.Op == opAlloc {
 				return fmt.Errorf("pc %d: exact-only opcode %v in fast block", pc, ins.Op)
 			}
 		}
 		if b.Exact && int(b.End) > len(fc.Lat) {
-			return fmt.Errorf("exact block [%d,%d) outside latency table (%d)", b.Start, b.End, len(fc.Lat))
+			return fmt.Errorf("func %s: exact block [%d,%d) outside latency table (%d)", fc.F.Name, b.Start, b.End, len(fc.Lat))
 		}
 		if b.Term != termNone && b.End > b.Start && !isTermOp(fc.Code[b.End-1].Op) {
 			return fmt.Errorf("terminated block ends in non-terminator %v", fc.Code[b.End-1].Op)
@@ -278,7 +285,7 @@ func verifyIns(p *Program, fc *FuncCode, ins *Ins) error {
 				return err
 			}
 		}
-	case opLdIdxNI, opLdIdxNF, opStIdxN:
+	case opLdIdxNI, opLdIdxNF, opStIdxN, opLdIdxNIU, opLdIdxNFU, opStIdxNU:
 		if ins.C < 3 || ins.B < 0 || int(ins.B)+int(ins.C) > len(fc.IdxRegs) {
 			return fmt.Errorf("index list [%d,%d+%d) out of range [0,%d)", ins.B, ins.B, ins.C, len(fc.IdxRegs))
 		}

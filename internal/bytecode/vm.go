@@ -363,6 +363,17 @@ func idxN(m *machine, dims []int64, fc *FuncCode, regs []val, ins *Ins) (uint64,
 	return a.base + uint64(off) - interp.HeapBase, nil
 }
 
+// idxNU resolves a fused rank-3+ access whose every level absint proved
+// in bounds: the Horner walk runs with no rank or bounds checks.
+func idxNU(dims []int64, fc *FuncCode, regs []val, ins *Ins) uint64 {
+	a := regs[ins.A].a
+	var off int64
+	for l, r := range fc.IdxRegs[ins.B : ins.B+ins.C] {
+		off = off*dims[a.doff+int32(l)] + regs[r].i
+	}
+	return a.base + uint64(off) - interp.HeapBase
+}
+
 func (m *machine) printPiece(s string) {
 	if m.out == nil {
 		return
@@ -848,6 +859,70 @@ func (m *machine) execFast(fc *FuncCode, regs []val, b *BBlock, chain bool) (int
 			if err != nil {
 				return 0, val{}, false, err
 			}
+			v := regs[ins.Dst]
+			var bits uint64
+			if regs[ins.A].a.elem == uint8(ast.Float) {
+				bits = math.Float64bits(v.f)
+			} else {
+				bits = uint64(v.i)
+			}
+			heap[cell] = bits
+		case opDivIU:
+			// Unchecked variants: absint proved the fault condition
+			// impossible (divisor nonzero / every index level in bounds),
+			// so the checks and their error paths are elided entirely.
+			regs[ins.Dst].i = regs[ins.A].i / regs[ins.B].i
+		case opRemIU:
+			regs[ins.Dst].i = regs[ins.A].i % regs[ins.B].i
+		case opViewU:
+			a := regs[ins.A].a
+			idx := regs[ins.B].i
+			stride := int64(1)
+			for k := a.doff + 1; k < a.doff+int32(a.rank); k++ {
+				stride *= adims[k]
+			}
+			regs[ins.Dst].a = arr{base: a.base + uint64(idx*stride), doff: a.doff + 1, rank: a.rank - 1, elem: a.elem}
+		case opLdIdxIU:
+			a := regs[ins.A].a
+			regs[ins.Dst].i = int64(heap[a.base+uint64(regs[ins.B].i)-interp.HeapBase])
+		case opLdIdxFU:
+			a := regs[ins.A].a
+			regs[ins.Dst].f = math.Float64frombits(heap[a.base+uint64(regs[ins.B].i)-interp.HeapBase])
+		case opStIdxU:
+			a := regs[ins.A].a
+			v := regs[ins.C]
+			var bits uint64
+			if a.elem == uint8(ast.Float) {
+				bits = math.Float64bits(v.f)
+			} else {
+				bits = uint64(v.i)
+			}
+			heap[a.base+uint64(regs[ins.B].i)-interp.HeapBase] = bits
+		case opLdIdx2IU:
+			a := regs[ins.A].a
+			cell := a.base + uint64(regs[ins.B].i*adims[a.doff+1]+regs[ins.C].i) - interp.HeapBase
+			regs[ins.Dst].i = int64(heap[cell])
+		case opLdIdx2FU:
+			a := regs[ins.A].a
+			cell := a.base + uint64(regs[ins.B].i*adims[a.doff+1]+regs[ins.C].i) - interp.HeapBase
+			regs[ins.Dst].f = math.Float64frombits(heap[cell])
+		case opStIdx2U:
+			a := regs[ins.A].a
+			cell := a.base + uint64(regs[ins.B].i*adims[a.doff+1]+regs[ins.C].i) - interp.HeapBase
+			v := regs[ins.Dst]
+			var bits uint64
+			if a.elem == uint8(ast.Float) {
+				bits = math.Float64bits(v.f)
+			} else {
+				bits = uint64(v.i)
+			}
+			heap[cell] = bits
+		case opLdIdxNIU:
+			regs[ins.Dst].i = int64(heap[idxNU(adims, fc, regs, ins)])
+		case opLdIdxNFU:
+			regs[ins.Dst].f = math.Float64frombits(heap[idxNU(adims, fc, regs, ins)])
+		case opStIdxNU:
+			cell := idxNU(adims, fc, regs, ins)
 			v := regs[ins.Dst]
 			var bits uint64
 			if regs[ins.A].a.elem == uint8(ast.Float) {

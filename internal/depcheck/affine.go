@@ -322,36 +322,11 @@ const (
 	pairMaybe
 )
 
-// testPair combines the per-dimension tests: any provably-unequal
-// dimension (or two dimensions demanding different distances) makes the
-// pair independent; a consistent solution across all dimensions with no
-// undecided dimension is a definite carried dependence.
-func testPair(w, r []affine) (pairResult, int64) {
-	if len(w) != len(r) {
-		return pairMaybe, 0
-	}
-	var dist int64
-	haveDist := false
-	maybe := false
-	for d := range w {
-		res, dd := testDim(w[d], r[d])
-		switch res {
-		case dimNever:
-			return pairIndependent, 0
-		case dimDist:
-			if haveDist && dd != dist {
-				return pairIndependent, 0 // inconsistent distances: no solution
-			}
-			haveDist, dist = true, dd
-		case dimMaybe:
-			maybe = true
-		}
-	}
-	if maybe {
-		return pairMaybe, 0
-	}
-	return pairDefinite, dist
-}
+// The per-dimension results combine in testPairFacts (facts.go): any
+// provably-unequal dimension (or two dimensions demanding different
+// distances) makes the pair independent; a consistent solution across
+// all dimensions with no undecided dimension is a definite carried
+// dependence.
 
 func gcd(a, b int64) int64 {
 	for b != 0 {

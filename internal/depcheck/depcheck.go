@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/cfg"
 	"kremlin/internal/ir"
 	"kremlin/internal/regions"
@@ -137,10 +138,16 @@ func (r *Result) Counts() (parallel, serial, unknown int) {
 }
 
 // Analyze classifies every loop region of prog and stamps each loop
-// region's Safety field with the verdict.
-func Analyze(prog *regions.Program) *Result {
+// region's Safety field with the verdict. facts, when non-nil, supplies
+// the interval/congruence abstract interpretation of internal/absint; it
+// upgrades verdicts that the purely syntactic tests leave unknown
+// (subscript-range disjointness, must-iterate inner loops, shared
+// inner induction subscripts) and never downgrades one. Passing nil
+// facts reproduces the facts-free analysis.
+func Analyze(prog *regions.Program, facts *absint.Facts) *Result {
 	res := &Result{ByRegion: make(map[int]*LoopReport)}
 	sums := Summarize(prog.Module)
+	binds := bindParams(prog.Module)
 	fas := make(map[*ir.Func]*funcAnalysis)
 	for _, r := range prog.Regions {
 		if r.Kind != regions.LoopRegion {
@@ -149,7 +156,7 @@ func Analyze(prog *regions.Program) *Result {
 		fi := prog.PerFunc[r.Func]
 		fa := fas[r.Func]
 		if fa == nil {
-			fa = newFuncAnalysis(r.Func, sums)
+			fa = newFuncAnalysis(r.Func, sums, facts, binds)
 			fas[r.Func] = fa
 		}
 		rep := fa.checkLoop(fi.LoopOf[r], r, prog.Src)
@@ -162,19 +169,32 @@ func Analyze(prog *regions.Program) *Result {
 
 // funcAnalysis caches the per-function CFG facts the loop checks share.
 type funcAnalysis struct {
-	f    *ir.Func
-	sums map[*ir.Func]*Summary
-	g    *cfg.Graph
-	idom []int
-	pos  map[*ir.Instr]int // instruction index within its block
+	f     *ir.Func
+	sums  map[*ir.Func]*Summary
+	g     *cfg.Graph
+	idom  []int
+	pos   map[*ir.Instr]int // instruction index within its block
+	facts *absint.Facts     // may be nil: interval/congruence refinements off
+	binds map[*ir.Instr]*bindSet
+	encl  map[*ir.Block]*cfg.Loop // innermost loop containing each block
 }
 
-func newFuncAnalysis(f *ir.Func, sums map[*ir.Func]*Summary) *funcAnalysis {
-	fa := &funcAnalysis{f: f, sums: sums, g: cfg.New(f), pos: make(map[*ir.Instr]int)}
+func newFuncAnalysis(f *ir.Func, sums map[*ir.Func]*Summary, facts *absint.Facts, binds map[*ir.Instr]*bindSet) *funcAnalysis {
+	fa := &funcAnalysis{
+		f: f, sums: sums, g: cfg.New(f), pos: make(map[*ir.Instr]int),
+		facts: facts, binds: binds, encl: make(map[*ir.Block]*cfg.Loop),
+	}
 	fa.idom = fa.g.Dominators()
 	for _, b := range f.Blocks {
 		for i, ins := range b.Instrs {
 			fa.pos[ins] = i
+		}
+	}
+	for _, lp := range fa.g.Loops(fa.idom) {
+		for _, b := range lp.Blocks {
+			if cur := fa.encl[b]; cur == nil || lp.Depth > cur.Depth {
+				fa.encl[b] = lp
+			}
 		}
 	}
 	return fa
@@ -189,16 +209,66 @@ func (fa *funcAnalysis) dominatesIns(a, b *ir.Instr) bool {
 	return cfg.Dominates(fa.idom, fa.g.Index(a.Block), fa.g.Index(b.Block))
 }
 
-// uncond reports whether ins executes on every completed iteration of l:
-// its block dominates every latch (back-edge source).
-func (fa *funcAnalysis) uncond(ins *ir.Instr, latches []*ir.Block) bool {
-	bi := fa.g.Index(ins.Block)
-	for _, latch := range latches {
-		if !cfg.Dominates(fa.idom, bi, fa.g.Index(latch)) {
+// uncond reports whether ins executes on every completed iteration of l.
+// The direct test is that its block dominates every latch (back-edge
+// source). When that fails because ins sits inside an inner loop, the
+// test climbs: if ins's block dominates every latch and every in-body
+// break source of its innermost loop li (so any pass through li's body
+// runs ins before completing or leaving), and absint proves li's body
+// runs at least once per entry (MustIterate), then ins executes whenever
+// li.Header does, and the question repeats from li.Header one level up.
+func (fa *funcAnalysis) uncond(ins *ir.Instr, l *cfg.Loop, latches []*ir.Block) bool {
+	if len(latches) == 0 {
+		return false
+	}
+	b := ins.Block
+	li := fa.encl[b]
+	for {
+		if fa.domAll(b, latches) {
+			return true
+		}
+		if li == nil || li.Header == l.Header {
+			return false
+		}
+		if !fa.facts.MustIterate(li.Header) || !fa.domLoopBody(b, li) {
+			return false
+		}
+		b, li = li.Header, li.Parent
+	}
+}
+
+// domAll reports whether b dominates every block in list.
+func (fa *funcAnalysis) domAll(b *ir.Block, list []*ir.Block) bool {
+	bi := fa.g.Index(b)
+	for _, o := range list {
+		if !cfg.Dominates(fa.idom, bi, fa.g.Index(o)) {
 			return false
 		}
 	}
-	return len(latches) > 0
+	return true
+}
+
+// domLoopBody reports whether b dominates every latch of li and every
+// non-header in-loop source of an exit edge. Control that enters li's
+// body then executes b before completing an iteration or breaking out,
+// so b runs on li's first iteration — the one MustIterate guarantees.
+func (fa *funcAnalysis) domLoopBody(b *ir.Block, li *cfg.Loop) bool {
+	bi := fa.g.Index(b)
+	for _, blk := range li.Blocks {
+		u := fa.g.Index(blk)
+		mustDom := false
+		for _, s := range fa.g.Succs[u] {
+			sb := fa.g.Blocks[s]
+			if sb == li.Header || (!li.Contains(sb) && blk != li.Header) {
+				mustDom = true
+				break
+			}
+		}
+		if mustDom && !cfg.Dominates(fa.idom, bi, u) {
+			return false
+		}
+	}
+	return true
 }
 
 // access is one memory access the loop performs, directly or through a call.
@@ -301,21 +371,21 @@ func (fa *funcAnalysis) collectAccesses(l *cfg.Loop, latches []*ir.Block, src *s
 				obj, subs, whole := resolveCell(ins.Args[0])
 				accs = append(accs, access{
 					ins: ins, obj: obj, subs: subs, whole: whole,
-					uncond: fa.uncond(ins, latches), broken: ins.Reduction,
+					uncond: fa.uncond(ins, l, latches), broken: ins.Reduction,
 					exposed: true,
 				})
 			case ir.OpStore:
 				obj, subs, whole := resolveCell(ins.Args[0])
 				accs = append(accs, access{
 					ins: ins, write: true, obj: obj, subs: subs, whole: whole,
-					uncond: fa.uncond(ins, latches),
+					uncond: fa.uncond(ins, l, latches),
 				})
 			case ir.OpBuiltin:
 				switch ins.Builtin {
 				case "rand", "frand", "srand":
 					c := Cause{Kind: CauseRNG, Line: fa.line(src, ins),
 						Detail: fmt.Sprintf("%s() reads and advances the RNG state every iteration", ins.Builtin)}
-					if fa.uncond(ins, latches) {
+					if fa.uncond(ins, l, latches) {
 						causes = append(causes, c)
 					} else {
 						c.Detail = fmt.Sprintf("%s() advances the RNG state on some iterations", ins.Builtin)
@@ -324,7 +394,7 @@ func (fa *funcAnalysis) collectAccesses(l *cfg.Loop, latches []*ir.Block, src *s
 				case "printval", "printstr", "printnl":
 					c := Cause{Kind: CauseIO, Line: fa.line(src, ins),
 						Detail: "print output must appear in iteration order"}
-					if fa.uncond(ins, latches) {
+					if fa.uncond(ins, l, latches) {
 						causes = append(causes, c)
 					} else {
 						c.Detail = "print on some iterations constrains output order"
@@ -349,13 +419,13 @@ func (fa *funcAnalysis) collectAccesses(l *cfg.Loop, latches []*ir.Block, src *s
 					}
 					c := Cause{Kind: kind, Line: fa.line(src, ins),
 						Detail: fmt.Sprintf("%s() carries %s across iterations", ins.Callee.Name, what)}
-					if sum.UncondImpure && fa.uncond(ins, latches) {
+					if sum.UncondImpure && fa.uncond(ins, l, latches) {
 						causes = append(causes, c)
 					} else {
 						blockers = append(blockers, c)
 					}
 				}
-				accs = append(accs, fa.callAccesses(ins, sum, latches)...)
+				accs = append(accs, fa.callAccesses(ins, sum, l, latches)...)
 			}
 		}
 	}
@@ -365,11 +435,11 @@ func (fa *funcAnalysis) collectAccesses(l *cfg.Loop, latches []*ir.Block, src *s
 // callAccesses expands a callee's mod/ref summary into whole-object
 // accesses at this call site, mapping the callee's array-parameter effects
 // through the actual arguments.
-func (fa *funcAnalysis) callAccesses(call *ir.Instr, sum *Summary, latches []*ir.Block) []access {
+func (fa *funcAnalysis) callAccesses(call *ir.Instr, sum *Summary, l *cfg.Loop, latches []*ir.Block) []access {
 	var out []access
 	add := func(a access) {
 		a.ins = call
-		a.uncond = fa.uncond(call, latches)
+		a.uncond = fa.uncond(call, l, latches)
 		out = append(out, a)
 	}
 	for _, g := range sum.ReadGlobals {
@@ -443,7 +513,7 @@ func (fa *funcAnalysis) memoryDeps(l *cfg.Loop, ivs map[*ir.Instr]ivInfo, accs [
 			if w.whole || w.obj.unknown || !sameObject(r.obj, w.obj) {
 				continue
 			}
-			if !sameCellForms(forms[ri], forms[wi]) {
+			if !sameCell(forms[ri], forms[wi], r.subs, w.subs) {
 				continue
 			}
 			if w.ins == r.ins && r.exposed {
@@ -466,7 +536,7 @@ func (fa *funcAnalysis) memoryDeps(l *cfg.Loop, ivs map[*ir.Instr]ivInfo, accs [
 		}
 		for _, wi := range writes {
 			w := accs[wi]
-			if !mayAlias(r.obj, w.obj) {
+			if !fa.aliases(r.obj, w.obj) {
 				continue
 			}
 			name := r.obj.name()
@@ -482,7 +552,7 @@ func (fa *funcAnalysis) memoryDeps(l *cfg.Loop, ivs map[*ir.Instr]ivInfo, accs [
 					Detail: fmt.Sprintf("access to %s is not element-wise analyzable", name)})
 				continue
 			}
-			verdict, dist := testPair(forms[wi], forms[ri])
+			verdict, dist := fa.testPairFacts(l, forms[wi], forms[ri], w, r)
 			switch verdict {
 			case pairIndependent:
 				continue
@@ -519,13 +589,19 @@ func distancePhrase(dist int64) string {
 	}
 }
 
-// sameCellForms reports whether two full subscript-form vectors provably
-// address the same cell in the same iteration (used by the kill analysis).
-func sameCellForms(a, b []affine) bool {
+// sameCell reports whether two accesses provably address the same cell in
+// the same iteration (used by the kill analysis): each dimension's affine
+// forms must agree, or — even when the subscript is not affine at all —
+// both sides index with the very same SSA value, which trivially takes
+// the same value within one iteration.
+func sameCell(a, b []affine, asubs, bsubs []ir.Value) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for d := range a {
+		if d < len(asubs) && d < len(bsubs) && asubs[d] == bsubs[d] {
+			continue
+		}
 		if !a[d].ok || !b[d].ok || !a[d].equalBases(b[d]) ||
 			a[d].k != b[d].k || a[d].c != b[d].c {
 			return false

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/analysis"
 	"kremlin/internal/depcheck"
 	"kremlin/internal/irbuild"
@@ -33,7 +34,7 @@ func check(t *testing.T, src string) (*regions.Program, *depcheck.Result) {
 	}
 	analysis.Run(mod)
 	prog := regions.Analyze(mod, file)
-	return prog, depcheck.Analyze(prog)
+	return prog, depcheck.Analyze(prog, absint.Analyze(mod))
 }
 
 // loopIn returns the report of the single loop region inside function fn.
@@ -448,14 +449,17 @@ int main() { sweep(10); return 0; }
 	if outer.Region.ID > inner.Region.ID {
 		outer, inner = inner, outer
 	}
-	// The outer loop carries m[i-1][j] -> m[i][j]. Proving that *definite*
-	// would need trip-count reasoning about j (the inner IV is not affine in
-	// the outer one), so the honest outer verdict is Unknown — but never
-	// Parallel. The inner loop reads only row i-1, which it never writes:
-	// the textbook inner-DOALL.
-	wantVerdict(t, outer, depcheck.Unknown)
-	if len(outer.Blockers) == 0 || !strings.Contains(outer.Blockers[0].Detail, "m") {
-		t.Errorf("outer blockers should name m: %v", outer.Blockers)
+	// The outer loop carries m[i-1][j] -> m[i][j]. The affine tests alone
+	// cannot prove that *definite* (the inner IV j is not affine in the
+	// outer loop), but the absint refinement can: main calls sweep(10), so
+	// the inner loop provably iterates, and both sides touch m[.][0] —
+	// the shared inner induction subscript at its start value — on every
+	// outer iteration. Row i written is read by iteration i+1: Serial.
+	// The inner loop reads only row i-1, which it never writes: the
+	// textbook inner-DOALL.
+	wantVerdict(t, outer, depcheck.Serial)
+	if len(outer.Causes) == 0 || !strings.Contains(outer.Causes[0].Detail, "m") {
+		t.Errorf("outer causes should name m: %v", outer.Causes)
 	}
 	wantVerdict(t, inner, depcheck.Parallel)
 }

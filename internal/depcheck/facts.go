@@ -1,0 +1,324 @@
+package depcheck
+
+// This file holds the absint-powered refinements: whole-module parameter
+// binding sets for the alias query, value-range/congruence disjointness
+// of subscripts, and the shared-inner-induction collision rule.
+// Everything here only upgrades verdicts the syntactic tests leave
+// unknown — with nil facts the analysis is a superset of the facts-free
+// one, never weaker.
+
+import (
+	"kremlin/internal/absint"
+	"kremlin/internal/cfg"
+	"kremlin/internal/ir"
+)
+
+// bindSet is the set of root arrays a callee's array parameter can be
+// bound to, computed over every call site in the module. A closed
+// (non-open) set lists every global and local allocation the parameter
+// can name; two parameters with disjoint closed sets never alias, and a
+// parameter whose closed set excludes a global never aliases it. A
+// parameter of a function that is never called has a closed empty set:
+// its accesses never execute, so "aliases nothing" is sound.
+type bindSet struct {
+	open    bool // some binding could not be resolved to a root array
+	globals map[*ir.Global]bool
+	allocs  map[*ir.Instr]bool
+}
+
+// rootArray walks view chains to the defining array of v: a global, a
+// local allocation, or a parameter. nil when the base is anything else.
+func rootArray(v ir.Value) *ir.Instr {
+	for {
+		ins, ok := v.(*ir.Instr)
+		if !ok {
+			return nil
+		}
+		switch ins.Op {
+		case ir.OpView:
+			v = ins.Args[0]
+		case ir.OpGlobal, ir.OpAllocArray, ir.OpParam:
+			return ins
+		default:
+			return nil
+		}
+	}
+}
+
+// bindParams computes the binding set of every array parameter in the
+// module: the roots of every actual argument at every call site, with
+// parameter-to-parameter edges closed transitively (handles recursion).
+func bindParams(mod *ir.Module) map[*ir.Instr]*bindSet {
+	binds := make(map[*ir.Instr]*bindSet)
+	get := func(p *ir.Instr) *bindSet {
+		bs := binds[p]
+		if bs == nil {
+			bs = &bindSet{globals: make(map[*ir.Global]bool), allocs: make(map[*ir.Instr]bool)}
+			binds[p] = bs
+		}
+		return bs
+	}
+	for _, f := range mod.Funcs {
+		for _, p := range f.Params {
+			if p.Typ.Dims > 0 {
+				get(p)
+			}
+		}
+	}
+	edges := make(map[*ir.Instr]map[*ir.Instr]bool) // callee param -> caller params flowing in
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, ins := range b.Instrs {
+				if ins.Op != ir.OpCall || ins.Callee == nil {
+					continue
+				}
+				for i, p := range ins.Callee.Params {
+					if p.Typ.Dims == 0 {
+						continue
+					}
+					bs := get(p)
+					var root *ir.Instr
+					if i < len(ins.Args) {
+						root = rootArray(ins.Args[i])
+					}
+					switch {
+					case root == nil:
+						bs.open = true
+					case root.Op == ir.OpGlobal:
+						bs.globals[root.Global] = true
+					case root.Op == ir.OpAllocArray:
+						bs.allocs[root] = true
+					default: // OpParam: caller's own parameter flows in
+						if edges[p] == nil {
+							edges[p] = make(map[*ir.Instr]bool)
+						}
+						edges[p][root] = true
+					}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for p, srcs := range edges {
+			bs := binds[p]
+			for q := range srcs {
+				qs := binds[q]
+				if qs == nil {
+					if !bs.open {
+						bs.open, changed = true, true
+					}
+					continue
+				}
+				if qs.open && !bs.open {
+					bs.open, changed = true, true
+				}
+				for g := range qs.globals {
+					if !bs.globals[g] {
+						bs.globals[g], changed = true, true
+					}
+				}
+				for a := range qs.allocs {
+					if !bs.allocs[a] {
+						bs.allocs[a], changed = true, true
+					}
+				}
+			}
+		}
+	}
+	return binds
+}
+
+// aliases is mayAlias refined by the module-wide binding sets: an array
+// parameter with a closed binding set aliases only the roots it can be
+// bound to.
+func (fa *funcAnalysis) aliases(a, b object) bool {
+	if !mayAlias(a, b) {
+		return false
+	}
+	if fa.binds == nil {
+		return true
+	}
+	switch {
+	case a.param != nil && b.param != nil:
+		if a.param == b.param {
+			return true
+		}
+		as, bs := fa.binds[a.param], fa.binds[b.param]
+		if as == nil || bs == nil || as.open || bs.open {
+			return true
+		}
+		for g := range as.globals {
+			if bs.globals[g] {
+				return true
+			}
+		}
+		for al := range as.allocs {
+			if bs.allocs[al] {
+				return true
+			}
+		}
+		return false
+	case a.param != nil:
+		return fa.paramBindable(a.param, b)
+	case b.param != nil:
+		return fa.paramBindable(b.param, a)
+	}
+	return true
+}
+
+// paramBindable reports whether parameter p's binding set admits object o.
+func (fa *funcAnalysis) paramBindable(p *ir.Instr, o object) bool {
+	bs := fa.binds[p]
+	if bs == nil || bs.open {
+		return true
+	}
+	switch {
+	case o.global != nil:
+		return bs.globals[o.global]
+	case o.alloc != nil:
+		return bs.allocs[o.alloc]
+	}
+	return true
+}
+
+// testPairFacts is testPair with two absint refinements for dimensions
+// the affine tests cannot decide: disjoint value ranges or residue
+// classes prove the dimension never collides (dimNever), and a shared
+// inner-loop induction subscript whose start value re-occurs every outer
+// iteration proves it always collides (dimAlways).
+func (fa *funcAnalysis) testPairFacts(l *cfg.Loop, w, r []affine, wa, ra access) (pairResult, int64) {
+	if len(w) != len(r) {
+		return pairMaybe, 0
+	}
+	var dist int64
+	haveDist, maybe := false, false
+	for d := range w {
+		res, dd := testDim(w[d], r[d])
+		if res == dimMaybe {
+			switch {
+			case fa.disjointVals(wa.subs[d], ra.subs[d]):
+				res = dimNever
+			case fa.sharedInnerIV(l, wa, ra, d):
+				res = dimAlways
+			}
+		}
+		switch res {
+		case dimNever:
+			return pairIndependent, 0
+		case dimDist:
+			if haveDist && dd != dist {
+				return pairIndependent, 0
+			}
+			haveDist, dist = true, dd
+		case dimMaybe:
+			maybe = true
+		}
+	}
+	if maybe {
+		return pairMaybe, 0
+	}
+	return pairDefinite, dist
+}
+
+// disjointVals reports whether the abstract values of two subscripts can
+// never be equal: their intervals do not overlap, or their congruence
+// classes differ modulo a common divisor of the strides.
+func (fa *funcAnalysis) disjointVals(a, b ir.Value) bool {
+	if fa.facts == nil {
+		return false
+	}
+	va, ok := fa.facts.ValueOf(a)
+	if !ok {
+		return false
+	}
+	vb, ok := fa.facts.ValueOf(b)
+	if !ok {
+		return false
+	}
+	if va.Bot() || vb.Bot() {
+		return false // unreachable code: stay conservative
+	}
+	if va.I.Hi < vb.I.Lo || vb.I.Hi < va.I.Lo {
+		return true
+	}
+	return congDisjoint(va, vb)
+}
+
+// congDisjoint reports x ≢ y under the congruence components: values in
+// different residue classes modulo a common modulus are never equal.
+// M == 0 is an exact constant (any modulus applies), M == 1 is no
+// information.
+func congDisjoint(a, b absint.Val) bool {
+	switch {
+	case a.M == 0 && b.M == 0:
+		return a.R != b.R
+	case a.M == 0 && b.M >= 2:
+		return posMod(a.R-b.R, b.M) != 0
+	case b.M == 0 && a.M >= 2:
+		return posMod(b.R-a.R, a.M) != 0
+	case a.M >= 2 && b.M >= 2:
+		g := gcd(a.M, b.M)
+		return g > 1 && posMod(a.R-b.R, g) != 0
+	}
+	return false
+}
+
+func posMod(x, m int64) int64 {
+	x %= m
+	if x < 0 {
+		x += m
+	}
+	return x
+}
+
+// sharedInnerIV recognizes a dimension subscripted on both sides by the
+// very same inner-loop induction phi. When the inner loop provably runs
+// its body on every entry (absint MustIterate), the phi's start value is
+// invariant in l, and both accesses execute on every completed pass
+// through the inner body (domLoopBody), then both sides touch index
+// `start` of this dimension on every completed iteration of l: the
+// dimension collides for every iteration pair, i.e. dimAlways. Combined
+// with consistent distances in the remaining dimensions this turns an
+// unknown into a definite carried dependence.
+func (fa *funcAnalysis) sharedInnerIV(l *cfg.Loop, wa, ra access, d int) bool {
+	if fa.facts == nil || wa.subs[d] != ra.subs[d] {
+		return false
+	}
+	phi, ok := wa.subs[d].(*ir.Instr)
+	if !ok || phi.Op != ir.OpPhi || !phi.Induction {
+		return false
+	}
+	li := fa.encl[phi.Block]
+	if li == nil || li.Header != phi.Block {
+		return false
+	}
+	if li.Header == l.Header || !l.Contains(li.Header) {
+		return false
+	}
+	if !fa.facts.MustIterate(li.Header) {
+		return false
+	}
+	// The start value (the phi operand on entry edges) must be the same
+	// cell index on every iteration of l.
+	var start ir.Value
+	for i, pred := range phi.Block.Preds {
+		if li.Contains(pred) {
+			continue
+		}
+		if start != nil && start != phi.Args[i] {
+			return false
+		}
+		start = phi.Args[i]
+	}
+	if start == nil {
+		return false
+	}
+	if sins, ok := start.(*ir.Instr); ok && l.Contains(sins.Block) {
+		return false
+	}
+	if !li.Contains(wa.ins.Block) || !li.Contains(ra.ins.Block) {
+		return false
+	}
+	return fa.domLoopBody(wa.ins.Block, li) && fa.domLoopBody(ra.ins.Block, li)
+}

@@ -78,3 +78,32 @@ func VetTotals(rows []VetRow) (loops, parallel, serial, unknown int) {
 	}
 	return
 }
+
+// UnknownBudget is the tracked ceiling on unknown dependence verdicts
+// across the standard vet corpus (bench suite + tracking + the two
+// standalone examples). The abstract-interpretation facts fed into
+// depcheck are expected to keep the count strictly below this; a
+// regression that pushes it back up fails the vet experiment.
+const UnknownBudget = 36
+
+// VetSummary is the tracked roll-up of a vet run, serialized alongside
+// the per-program rows so dashboards can watch the unknown count over
+// time without re-deriving it.
+type VetSummary struct {
+	Loops         int  `json:"loops"`
+	Parallel      int  `json:"parallel"`
+	Serial        int  `json:"serial"`
+	Unknown       int  `json:"unknown"`
+	UnknownBudget int  `json:"unknown_budget"`
+	WithinBudget  bool `json:"within_budget"`
+}
+
+// Summarize folds per-program rows into the tracked summary.
+func Summarize(rows []VetRow) VetSummary {
+	loops, par, ser, unk := VetTotals(rows)
+	return VetSummary{
+		Loops: loops, Parallel: par, Serial: ser, Unknown: unk,
+		UnknownBudget: UnknownBudget,
+		WithinBudget:  unk < UnknownBudget,
+	}
+}

@@ -10,6 +10,7 @@ package eval
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"time"
@@ -34,6 +35,12 @@ type VMSpeedRow struct {
 	HCPATree    time.Duration `json:"hcpa_tree_ns"`
 	HCPASpeedup float64       `json:"hcpa_speedup"`
 
+	// Bounds-check elimination: the same VM with absint facts withheld
+	// (-absint=off), so every check stays explicit. The unchecked build
+	// must never lose to its own checked baseline.
+	PlainChecked  time.Duration `json:"plain_checked_ns"`
+	AbsintSpeedup float64       `json:"absint_speedup"`
+
 	// Equivalence evidence, checked on this very measurement run.
 	OutputEqual   bool `json:"output_equal"`   // plain output bytes identical
 	CountersEqual bool `json:"counters_equal"` // work + steps identical, both modes
@@ -51,6 +58,10 @@ type VMSpeedSummary struct {
 	// HCPAGeomean is the instrumented speedup (shadow-memory work, which
 	// both engines share, bounds it below the plain number).
 	HCPAGeomean float64 `json:"hcpa_geomean_speedup"`
+	// AbsintGeomean is the bounds-check-elimination payoff: geomean
+	// plain wall-clock speedup of the default (unchecked-ops) build over
+	// the same VM compiled with -absint=off (every check explicit).
+	AbsintGeomean float64 `json:"absint_geomean_speedup"`
 	// AllEqual is true when every row's equivalence flags all hold.
 	AllEqual bool `json:"all_equal"`
 }
@@ -90,14 +101,30 @@ func VMSpeed(names []string, repeats int) (*VMSpeedSummary, error) {
 		}
 	}
 	sum := &VMSpeedSummary{AllEqual: true}
-	plainLog, hcpaLog := 0.0, 0.0
+	plainLog, hcpaLog, absintLog := 0.0, 0.0, 0.0
 	for _, b := range benches {
 		prog, err := kremlin.Compile(b.Name+".kr", b.Source)
 		if err != nil {
 			return nil, err
 		}
 		prog.Bytecode() // compile outside the timed region
+		checked, err := kremlin.CompileWith(b.Name+".kr", b.Source,
+			kremlin.CompileOptions{DisableAbsint: true})
+		if err != nil {
+			return nil, err
+		}
+		checked.Bytecode()
 		row := VMSpeedRow{Name: b.Name}
+
+		// One untimed warm-up of each build: the first-ever execution
+		// pays one-off costs (heap growth, page faults) that would bias
+		// whichever build is timed first.
+		if _, err := prog.Run(&kremlin.RunConfig{Out: io.Discard}); err != nil {
+			return nil, fmt.Errorf("eval: %s warm-up: %w", b.Name, err)
+		}
+		if _, err := checked.Run(&kremlin.RunConfig{Out: io.Discard}); err != nil {
+			return nil, fmt.Errorf("eval: %s warm-up checked: %w", b.Name, err)
+		}
 
 		// Plain mode: output + counters must match across engines.
 		var vmOut, treeOut strings.Builder
@@ -123,6 +150,25 @@ func VMSpeed(names []string, repeats int) (*VMSpeedSummary, error) {
 		row.Steps = vmRes.Steps
 		row.OutputEqual = vmOut.String() == treeOut.String()
 		row.CountersEqual = vmRes.Work == treeRes.Work && vmRes.Steps == treeRes.Steps
+
+		// Checked baseline: identical semantics, every check explicit.
+		var chkOut strings.Builder
+		var chkRes *interp.Result
+		row.PlainChecked, err = timeBest(repeats, func() error {
+			chkOut.Reset()
+			r, err := checked.Run(&kremlin.RunConfig{Out: &chkOut})
+			chkRes = r
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s plain checked: %w", b.Name, err)
+		}
+		if chkOut.String() != vmOut.String() {
+			row.OutputEqual = false
+		}
+		if chkRes.Work != vmRes.Work || chkRes.Steps != vmRes.Steps {
+			row.CountersEqual = false
+		}
 
 		// HCPA mode: profiles must serialize byte-identically and plan
 		// identically.
@@ -154,13 +200,28 @@ func VMSpeed(names []string, repeats int) (*VMSpeedSummary, error) {
 			return nil, err
 		}
 		row.ProfileEqual = bytes.Equal(vb.Bytes(), tb.Bytes())
+		// The checked build's profile must also serialize byte-identically
+		// — bounds-check elimination may change nothing observable.
+		chkProf, _, err := checked.Profile(nil)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s hcpa checked: %w", b.Name, err)
+		}
+		var cb bytes.Buffer
+		if _, err := chkProf.WriteTo(&cb); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(cb.Bytes(), vb.Bytes()) {
+			row.ProfileEqual = false
+		}
 		row.PlanEqual = prog.Plan(vmProf, planner.OpenMP()).Render() ==
 			prog.Plan(treeProf, planner.OpenMP()).Render()
 
 		row.PlainSpeedup = float64(row.PlainTree) / float64(row.PlainVM)
 		row.HCPASpeedup = float64(row.HCPATree) / float64(row.HCPAVM)
+		row.AbsintSpeedup = float64(row.PlainChecked) / float64(row.PlainVM)
 		plainLog += math.Log(row.PlainSpeedup)
 		hcpaLog += math.Log(row.HCPASpeedup)
+		absintLog += math.Log(row.AbsintSpeedup)
 		if !row.OutputEqual || !row.CountersEqual || !row.ProfileEqual || !row.PlanEqual {
 			sum.AllEqual = false
 		}
@@ -169,6 +230,7 @@ func VMSpeed(names []string, repeats int) (*VMSpeedSummary, error) {
 	if n := len(sum.Rows); n > 0 {
 		sum.PlainGeomean = math.Exp(plainLog / float64(n))
 		sum.HCPAGeomean = math.Exp(hcpaLog / float64(n))
+		sum.AbsintGeomean = math.Exp(absintLog / float64(n))
 	}
 	return sum, nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package krfuzz
+
+const raceEnabled = false

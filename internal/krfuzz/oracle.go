@@ -91,6 +91,15 @@ func Check(name, src string, cfg OracleConfig) error {
 		return fail("plain-run", "%v", err)
 	}
 
+	// Lint must be silent on clean seeds: an error-severity finding claims
+	// every terminating run of main faults, and the plain run just
+	// terminated cleanly — any such finding is a soundness bug in the
+	// abstract interpreter.
+	if errs := prog.Absint.Errors(); len(errs) > 0 {
+		return fail("lint-false-positive",
+			"program ran cleanly but lint claims a definite fault: %s (%s)", errs[0].Msg, errs[0].Kind)
+	}
+
 	// Differential: gprof instrumentation must not change behavior.
 	var gprofOut strings.Builder
 	gprof, err := prog.RunGprof(run(&gprofOut))
@@ -167,6 +176,33 @@ func Check(name, src string, cfg OracleConfig) error {
 	}
 	if tb, vb := profileBytes(eprof), profileBytes(prof); !bytes.Equal(tb, vb) {
 		return fail("engine-profile", "HCPA profiles serialized differently between engines (%d vs %d bytes)", len(tb), len(vb))
+	}
+
+	// Differential: the checked and unchecked bytecode builds must be
+	// observably identical. The default build consumes the abstract
+	// interpretation (unchecked opcode variants, wider fusion); with
+	// -absint=off every bounds and divisor check stays explicit. Output,
+	// counters, and profile bytes must not move.
+	aprog, err := kremlin.CompileWith(name, src, kremlin.CompileOptions{DisableAbsint: true})
+	if err != nil {
+		return fail("absint-off-compile", "%v", err)
+	}
+	if err := bytecode.Verify(aprog.Bytecode()); err != nil {
+		return fail("absint-off-verify", "%v", err)
+	}
+	var aOut strings.Builder
+	aprof, ares, err := aprog.Profile(run(&aOut))
+	if err != nil {
+		return fail("absint-off-run", "%v", err)
+	}
+	if aOut.String() != plainOut.String() {
+		return fail("absint-off-output", "output differs with absint off:\n--- on ---\n%s--- off ---\n%s", plainOut.String(), aOut.String())
+	}
+	if ares.Work != hres.Work || ares.Steps != hres.Steps {
+		return fail("absint-off-counters", "absint-off work/steps %d/%d, default %d/%d", ares.Work, ares.Steps, hres.Work, hres.Steps)
+	}
+	if ab, db := profileBytes(aprof), profileBytes(prof); !bytes.Equal(ab, db) {
+		return fail("absint-off-profile", "profiles serialized differently with absint off (%d vs %d bytes)", len(ab), len(db))
 	}
 
 	if err := checkProfileInvariants(src, prog, prof); err != nil {
@@ -431,6 +467,67 @@ func checkPrintFixpoint(src string, tree *ast.File) error {
 	}
 	if again := ast.Print(reparsed); again != printed {
 		return &Failure{Source: src, Check: "print-fixpoint", Detail: "Print(Parse(Print(ast))) differs from Print(ast)"}
+	}
+	return nil
+}
+
+// CheckFault runs the fault-position metamorphic matrix on a program
+// expected to fail at runtime. Every configuration — the default VM
+// build (unchecked opcodes where proven safe), the -absint=off build
+// (every check explicit), the tree-walking reference interpreter, and
+// HCPA-instrumented profiling — must report the same error (message and
+// source position) and produce the same output prefix. A divergence
+// means an unchecked opcode skipped a check it needed, or the exact
+// fallback re-executed a faulting block differently.
+func CheckFault(name, src string, cfg OracleConfig) error {
+	fail := func(check, format string, args ...interface{}) error {
+		return &Failure{Source: src, Check: check, Detail: fmt.Sprintf(format, args...)}
+	}
+	prog, err := kremlin.Compile(name, src)
+	if err != nil {
+		return fail("fault-compile", "%v", err)
+	}
+	aprog, err := kremlin.CompileWith(name, src, kremlin.CompileOptions{DisableAbsint: true})
+	if err != nil {
+		return fail("fault-absint-off-compile", "%v", err)
+	}
+	run := func(out *strings.Builder) *kremlin.RunConfig {
+		return &kremlin.RunConfig{Out: out, MaxSteps: cfg.maxSteps()}
+	}
+
+	var vmOut strings.Builder
+	_, vmErr := prog.Run(run(&vmOut))
+	if vmErr == nil {
+		return fail("fault-expected", "program ran cleanly; CheckFault wants a runtime fault")
+	}
+
+	var offOut strings.Builder
+	_, offErr := aprog.Run(run(&offOut))
+	if offErr == nil || offErr.Error() != vmErr.Error() {
+		return fail("fault-position-absint", "absint on/off report different errors:\n  on:  %v\n  off: %v", vmErr, offErr)
+	}
+	if offOut.String() != vmOut.String() {
+		return fail("fault-output-absint", "output prefix differs with absint off:\n--- on ---\n%s--- off ---\n%s", vmOut.String(), offOut.String())
+	}
+
+	var treeOut strings.Builder
+	tcfg := run(&treeOut)
+	tcfg.Engine = kremlin.EngineTree
+	_, treeErr := prog.Run(tcfg)
+	if treeErr == nil || treeErr.Error() != vmErr.Error() {
+		return fail("fault-position-engine", "VM and tree report different errors:\n  vm:   %v\n  tree: %v", vmErr, treeErr)
+	}
+	if treeOut.String() != vmOut.String() {
+		return fail("fault-output-engine", "output prefix differs between engines:\n--- vm ---\n%s--- tree ---\n%s", vmOut.String(), treeOut.String())
+	}
+
+	var profOut strings.Builder
+	_, _, profErr := prog.Profile(run(&profOut))
+	if profErr == nil || profErr.Error() != vmErr.Error() {
+		return fail("fault-position-hcpa", "plain and HCPA report different errors:\n  plain: %v\n  hcpa:  %v", vmErr, profErr)
+	}
+	if profOut.String() != vmOut.String() {
+		return fail("fault-output-hcpa", "output prefix differs under HCPA instrumentation")
 	}
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package krfuzz
+
+// raceEnabled relaxes wall-clock budgets: the race detector slows
+// execution 5-10x, which says nothing about pipeline performance.
+const raceEnabled = true

@@ -43,7 +43,7 @@ func statusForKind(kind string) int {
 	switch kind {
 	case "parse_error", "analysis_error":
 		return http.StatusBadRequest // 400
-	case "runtime_error":
+	case "runtime_error", "lint_error":
 		return http.StatusUnprocessableEntity // 422
 	case "budget_exceeded", "mem_cap_exceeded", "body_too_large":
 		return http.StatusRequestEntityTooLarge // 413

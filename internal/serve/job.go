@@ -275,6 +275,17 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 
+	// Lint admission: a program the abstract interpreter proves faults on
+	// every terminating run is refused before any execution budget is
+	// spent on it (sources and IR bundles alike).
+	if !s.cfg.DisableLint {
+		if lerr := prog.LintReject(); lerr != nil {
+			s.lintReject.Add(1)
+			j.emit(s.errorEvent(j, lerr))
+			return
+		}
+	}
+
 	out := &limitedBuf{max: s.cfg.MaxOutputBytes}
 	rc := &kremlin.RunConfig{
 		Out:            out,
@@ -410,6 +421,8 @@ func errorKind(j *job, err error) string {
 		return "analysis_error"
 	case kremlin.KindRuntime:
 		return "runtime_error"
+	case kremlin.KindLint:
+		return "lint_error"
 	case kremlin.KindLimit:
 		switch {
 		case errors.Is(err, limits.ErrBudgetExceeded):

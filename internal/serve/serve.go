@@ -103,6 +103,11 @@ type Config struct {
 	// shared store (records never replay across tenants), and the store's
 	// record bound is global. Profiles stay byte-identical to uncached runs.
 	IncCache *inccache.Store
+	// DisableLint turns off the lint admission gate. By default a job
+	// whose program the abstract interpreter proves faults on every
+	// terminating run is rejected with a typed "lint_error" before any
+	// worker-pool budget is spent executing it.
+	DisableLint bool
 	// Chaos, when non-nil, injects deterministic faults into jobs.
 	Chaos *chaos.Injector
 	// Now overrides the clock (tests); nil means time.Now.
@@ -151,15 +156,16 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of the daemon's counters.
 type Stats struct {
-	Accepted    uint64 `json:"accepted"`     // jobs admitted to the queue
-	Completed   uint64 `json:"completed"`    // jobs fully serviced (any outcome)
-	Shed        uint64 `json:"shed"`         // submissions refused: queue full
-	RateLimited uint64 `json:"rate_limited"` // submissions refused: tenant over rate
-	Faulted     uint64 `json:"faulted"`      // jobs poisoned by the chaos injector
-	Panics      uint64 `json:"panics"`       // worker panics caught by the recover boundary
-	InFlight    int64  `json:"in_flight"`    // jobs being serviced right now
-	Queued      int    `json:"queued"`       // jobs waiting in the queue
-	Draining    bool   `json:"draining"`     // daemon is refusing new work
+	Accepted    uint64 `json:"accepted"`      // jobs admitted to the queue
+	Completed   uint64 `json:"completed"`     // jobs fully serviced (any outcome)
+	Shed        uint64 `json:"shed"`          // submissions refused: queue full
+	RateLimited uint64 `json:"rate_limited"`  // submissions refused: tenant over rate
+	Faulted     uint64 `json:"faulted"`       // jobs poisoned by the chaos injector
+	Panics      uint64 `json:"panics"`        // worker panics caught by the recover boundary
+	LintReject  uint64 `json:"lint_rejected"` // jobs refused: program provably faults
+	InFlight    int64  `json:"in_flight"`     // jobs being serviced right now
+	Queued      int    `json:"queued"`        // jobs waiting in the queue
+	Draining    bool   `json:"draining"`      // daemon is refusing new work
 
 	CacheHits    uint64 `json:"cache_hits"`    // jobs answered from the job cache
 	CacheMisses  uint64 `json:"cache_misses"`  // cacheable jobs that had to execute
@@ -203,6 +209,7 @@ type Server struct {
 	rateLimited atomic.Uint64
 	faulted     atomic.Uint64
 	panics      atomic.Uint64
+	lintReject  atomic.Uint64
 	inFlight    atomic.Int64
 
 	cacheHits    atomic.Uint64
@@ -254,6 +261,7 @@ func (s *Server) Stats() Stats {
 		RateLimited:  s.rateLimited.Load(),
 		Faulted:      s.faulted.Load(),
 		Panics:       s.panics.Load(),
+		LintReject:   s.lintReject.Load(),
 		InFlight:     s.inFlight.Load(),
 		Queued:       len(s.jobs),
 		Draining:     draining,

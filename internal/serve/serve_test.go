@@ -15,6 +15,8 @@ import (
 	"testing"
 	"time"
 
+	"kremlin"
+	"kremlin/internal/irbundle"
 	"kremlin/internal/profile"
 	"kremlin/internal/serve/chaos"
 )
@@ -166,7 +168,11 @@ func TestServeErrorTaxonomy(t *testing.T) {
 	}{
 		{"parse", "int main( {", http.StatusBadRequest, "parse_error"},
 		{"analysis", "int main() { return undefined_var; }", http.StatusBadRequest, "analysis_error"},
-		{"runtime", "int main() { int z = 0; return 1 / z; }", http.StatusUnprocessableEntity, "runtime_error"},
+		// The runtime fault flows through an array cell so the abstract
+		// interpreter cannot prove it and the lint gate stays quiet.
+		{"runtime", "int a[1];\nint main() { a[0] = 0; return 1 / a[0]; }", http.StatusUnprocessableEntity, "runtime_error"},
+		// A provable fault never reaches a worker: lint rejects at admission.
+		{"lint", "int main() { int z = 0; return 1 / z; }", http.StatusUnprocessableEntity, "lint_error"},
 		{"budget", slowProg, http.StatusRequestEntityTooLarge, "budget_exceeded"},
 	}
 	for _, tc := range cases {
@@ -418,6 +424,90 @@ func TestStatzEndpoint(t *testing.T) {
 	}
 	if st.Accepted != 1 || st.Completed != 1 {
 		t.Errorf("statz = %+v, want accepted=1 completed=1", st)
+	}
+}
+
+// faultingProg provably faults on every terminating run: the abstract
+// interpreter pins the out-of-bounds index exactly.
+const faultingProg = `
+int a[10];
+int main() {
+	int i = 12;
+	a[i] = 3;
+	return a[0];
+}
+`
+
+func TestServeLintAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	st, evs := post(t, ts.Client(), ts.URL+"/v1/jobs", faultingProg, nil)
+	if st != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (events %v)", st, evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != "error" || last.Kind != "lint_error" {
+		t.Fatalf("final event = %+v, want error/lint_error", last)
+	}
+	if !strings.Contains(last.Detail, "out of range") {
+		t.Errorf("detail %q does not name the fault", last.Detail)
+	}
+	if got := s.Stats().LintReject; got != 1 {
+		t.Errorf("stats lint_rejected = %d, want 1", got)
+	}
+
+	// A clean program on the same server is unaffected.
+	st, evs = post(t, ts.Client(), ts.URL+"/v1/jobs", quickProg, nil)
+	if st != http.StatusOK {
+		t.Fatalf("clean program status = %d, want 200 (events %v)", st, evs)
+	}
+}
+
+func TestServeLintDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, DisableLint: true})
+	st, evs := post(t, ts.Client(), ts.URL+"/v1/jobs", faultingProg, nil)
+	if st != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (events %v)", st, evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != "error" || last.Kind != "runtime_error" {
+		t.Fatalf("final event = %+v, want error/runtime_error (gate disabled)", last)
+	}
+	if got := s.Stats().LintReject; got != 0 {
+		t.Errorf("stats lint_rejected = %d, want 0", got)
+	}
+}
+
+// TestServeLintBundle proves the gate also covers precompiled IR bundles.
+func TestServeLintBundle(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	prog, err := kremlin.Compile("fault.kr", faultingProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := irbundle.Encode(prog.File, prog.Module)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", bundleContentType)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bundle status = %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var e Event
+	if err := json.Unmarshal(bytes.TrimSpace(body), &e); err != nil {
+		t.Fatalf("bad response %q: %v", body, err)
+	}
+	if e.Kind != "lint_error" {
+		t.Fatalf("bundle event = %+v, want lint_error", e)
+	}
+	if got := s.Stats().LintReject; got != 1 {
+		t.Errorf("stats lint_rejected = %d, want 1", got)
 	}
 }
 

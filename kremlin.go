@@ -27,6 +27,7 @@ import (
 	"io"
 	"sync"
 
+	"kremlin/internal/absint"
 	"kremlin/internal/analysis"
 	"kremlin/internal/ast"
 	"kremlin/internal/bytecode"
@@ -60,14 +61,22 @@ type Program struct {
 	// provably serial / unknown per loop region); the same verdicts are
 	// stamped on Regions as each region's Safety.
 	Vet *depcheck.Result
+	// Absint holds the interval/congruence abstract interpretation facts:
+	// proven-in-bounds views, proven-nonzero divisors, must-iterate loops,
+	// and the lint diagnostics (definite faults, unreachable code, dead
+	// stores). Always computed — depcheck and `kremlin lint` consume it
+	// unconditionally; only bytecode consumption is gated (-absint=off,
+	// CompileOptions.DisableAbsint).
+	Absint *absint.Facts
 	// Analysis reports how many induction/reduction dependencies the static
 	// analysis broke.
 	Analysis analysis.Stats
 	// Opt reports what the optimizer did (zero unless Optimize was set).
 	Opt opt.Stats
 
-	bcOnce sync.Once
-	bc     *bytecode.Program
+	absintOff bool
+	bcOnce    sync.Once
+	bc        *bytecode.Program
 }
 
 // Engine selects the execution engine backing Run/RunGprof/Profile/
@@ -105,7 +114,13 @@ func ParseEngine(s string) (Engine, error) {
 // Bytecode returns the program's compiled bytecode, lowering the module on
 // first use (cached; safe for concurrent callers).
 func (p *Program) Bytecode() *bytecode.Program {
-	p.bcOnce.Do(func() { p.bc = bytecode.Compile(p.Module, p.Regions, p.Instr) })
+	p.bcOnce.Do(func() {
+		facts := p.Absint
+		if p.absintOff {
+			facts = nil // compile fully checked code; observables are identical
+		}
+		p.bc = bytecode.Compile(p.Module, p.Regions, p.Instr, facts)
+	})
 	return p.bc
 }
 
@@ -119,6 +134,12 @@ type CompileOptions struct {
 	// §2.4 ablation showing how easy-to-break dependencies masquerade as
 	// seriality under plain CPA.
 	DisableDependenceBreaking bool
+	// DisableAbsint (-absint=off) stops the bytecode compiler from
+	// consuming abstract-interpretation facts: no unchecked opcodes, no
+	// widened fusion windows. The facts themselves are still computed (vet
+	// and lint always use them); profiles, plans, and program output are
+	// byte-identical either way.
+	DisableAbsint bool
 }
 
 // Compile parses, type-checks, lowers, and statically instruments src with
@@ -158,18 +179,21 @@ func CompileWith(name, src string, o CompileOptions) (*Program, error) {
 	} else {
 		stats = analysis.Run(mod)
 	}
+	facts := absint.Analyze(mod)
 	regs := regions.Analyze(mod, file)
-	vet := depcheck.Analyze(regs)
+	vet := depcheck.Analyze(regs, facts)
 	return &Program{
-		File:     file,
-		AST:      tree,
-		Info:     info,
-		Module:   mod,
-		Regions:  regs,
-		Instr:    instrument.Build(regs),
-		Vet:      vet,
-		Analysis: stats,
-		Opt:      ostats,
+		File:      file,
+		AST:       tree,
+		Info:      info,
+		Module:    mod,
+		Regions:   regs,
+		Instr:     instrument.Build(regs),
+		Vet:       vet,
+		Absint:    facts,
+		Analysis:  stats,
+		Opt:       ostats,
+		absintOff: o.DisableAbsint,
 	}, nil
 }
 

@@ -3,6 +3,7 @@ package kremlin_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -207,6 +208,63 @@ func TestEnginePrefixParity(t *testing.T) {
 	}
 	if vres.Steps != tres.Steps {
 		t.Errorf("heap cap: partial steps diverged: vm %d, tree %d", vres.Steps, tres.Steps)
+	}
+}
+
+// arrayProg spends nearly all of its steps in array accesses whose
+// bounds the abstract interpreter proves, so the default build executes
+// unchecked opcodes on the hot path while -absint=off keeps every check.
+const arrayProg = `
+int a[1000];
+int main() {
+	int acc = 0;
+	for (int r = 0; r < 100; r++) {
+		for (int i = 0; i < 1000; i++) {
+			a[i] = a[i] + i;
+		}
+		acc = acc + a[r];
+		print("round", r, acc);
+	}
+	return acc;
+}
+`
+
+// TestAbsintOffPrefixParity: under an instruction budget the -absint=off
+// build must stop at exactly the same instruction as the default build —
+// same partial counters, same error text, same output prefix — including
+// at the awkward liveness-poll boundaries. Bounds-check elimination may
+// only change speed, never the observable step stream.
+func TestAbsintOffPrefixParity(t *testing.T) {
+	on := compileT(t, arrayProg)
+	off, err := kremlin.CompileWith("limits_test.kr", arrayProg, kremlin.CompileOptions{DisableAbsint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []uint64{
+		10_000,
+		limits.LiveCheckInterval - 1,
+		limits.LiveCheckInterval,
+		limits.LiveCheckInterval + 1,
+		5 * limits.LiveCheckInterval,
+	}
+	for _, b := range budgets {
+		var onOut, offOut strings.Builder
+		vres, verr := on.Run(&kremlin.RunConfig{MaxSteps: b, Out: &onOut})
+		ores, oerr := off.Run(&kremlin.RunConfig{MaxSteps: b, Out: &offOut})
+		if !errors.Is(verr, limits.ErrBudgetExceeded) || !errors.Is(oerr, limits.ErrBudgetExceeded) {
+			t.Fatalf("budget %d: absint-on err %v, absint-off err %v", b, verr, oerr)
+		}
+		if verr.Error() != oerr.Error() {
+			t.Errorf("budget %d: error text diverged:\non:  %v\noff: %v", b, verr, oerr)
+		}
+		if vres.Steps != ores.Steps || vres.Work != ores.Work {
+			t.Errorf("budget %d: partial counters diverged: on steps/work %d/%d, off %d/%d",
+				b, vres.Steps, vres.Work, ores.Steps, ores.Work)
+		}
+		if onOut.String() != offOut.String() {
+			t.Errorf("budget %d: output prefix diverged:\n--- on ---\n%s--- off ---\n%s",
+				b, onOut.String(), offOut.String())
+		}
 	}
 }
 

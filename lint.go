@@ -1,0 +1,95 @@
+package kremlin
+
+import (
+	"fmt"
+)
+
+// LintFinding is one abstract-interpretation lint diagnostic with its
+// source position resolved to line:col. Severity "error" means the fault
+// sits on main's must-execute path — every terminating run hits it;
+// "warn" covers definite faults in conditionally-executed code plus
+// unreachable-code and dead-store findings.
+type LintFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Fn       string `json:"fn"`
+	Severity string `json:"severity"`
+	Kind     string `json:"kind"`
+	Msg      string `json:"msg"`
+}
+
+// String renders the finding in the conventional compiler-diagnostic
+// shape: file:line:col: severity: message [kind].
+func (f LintFinding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", f.File, f.Line, f.Col, f.Severity, f.Msg, f.Kind)
+}
+
+// Lint returns the program's abstract-interpretation findings (definite
+// faults, unreachable code, dead stores), ordered by function then
+// position. Empty for a clean program; also empty when the module
+// exceeded the analysis size budget.
+func (p *Program) Lint() []LintFinding {
+	diags := p.Absint.Diagnostics()
+	if len(diags) == 0 {
+		return nil
+	}
+	out := make([]LintFinding, len(diags))
+	for i, d := range diags {
+		pos := p.File.Pos(d.Pos)
+		out[i] = LintFinding{
+			File:     p.File.Name,
+			Line:     pos.Line,
+			Col:      pos.Col,
+			Fn:       d.Fn,
+			Severity: d.Severity.String(),
+			Kind:     d.Kind,
+			Msg:      d.Msg,
+		}
+	}
+	return out
+}
+
+// LintReject returns a *LintError when the program provably faults on
+// every terminating run (an error-severity finding exists), nil
+// otherwise. The serve daemon calls this at admission to refuse such
+// jobs before they burn worker-pool budget.
+func (p *Program) LintReject() error {
+	errs := p.Absint.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	findings := make([]LintFinding, len(errs))
+	for i, d := range errs {
+		pos := p.File.Pos(d.Pos)
+		findings[i] = LintFinding{
+			File:     p.File.Name,
+			Line:     pos.Line,
+			Col:      pos.Col,
+			Fn:       d.Fn,
+			Severity: d.Severity.String(),
+			Kind:     d.Kind,
+			Msg:      d.Msg,
+		}
+	}
+	return &LintError{Findings: findings}
+}
+
+// LintError reports that static analysis proved the program faults on
+// every terminating run. It carries its own error kind (KindLint) and
+// exit code (ExitLint); the serve daemon maps it to a typed
+// "lint_error" rejection.
+type LintError struct {
+	Findings []LintFinding
+}
+
+func (e *LintError) Error() string {
+	if len(e.Findings) == 0 {
+		return "lint: program provably faults"
+	}
+	msg := fmt.Sprintf("lint: program provably faults: %s", e.Findings[0])
+	if n := len(e.Findings) - 1; n > 0 {
+		msg += fmt.Sprintf(" (and %d more)", n)
+	}
+	return msg
+}
